@@ -1,0 +1,21 @@
+"""Benchmark-suite helpers.
+
+Each benchmark target regenerates one table/figure of the paper (see the
+experiment index in DESIGN.md), asserts the paper's *shape* claims, and
+writes the full rendered report to ``benchmarks/results/<experiment>.txt``
+so the numbers survive the pytest-benchmark summary table.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_report(report) -> Path:
+    """Persist an ExperimentReport's text next to the benchmarks."""
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{report.experiment_id}.txt"
+    path.write_text(report.text + "\n")
+    return path

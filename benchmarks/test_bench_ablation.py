@@ -1,0 +1,65 @@
+"""Benchmark ``ablation_constants``: the theorems' constants made concrete.
+
+Every guarantee in the paper is quantified over a constant ("for a
+sufficiently large c/b/q").  The ablation shows the trade-off: small
+constants fail visibly, large constants trade time/energy for reliability.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.ablation import run_ablation
+
+from benchmarks.conftest import save_report
+
+
+def test_bench_ablation(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_ablation(
+            k=256, cs=(1, 2, 4, 6, 10), bs=(1, 2, 4, 8), qs=(0.5, 1.0, 2.0, 4.0),
+            reps=10, seed=8086,
+        ),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report)
+    print(report.text)
+
+    na = [r for r in report.rows if r["protocol"] == "NonAdaptiveWithK"]
+    sd = [r for r in report.rows if r["protocol"] == "SublinearDecrease"]
+    ds = [r for r in report.rows if r["protocol"] == "DecreaseSlowly(wakeup)"]
+
+    # Larger c -> latency grows ~linearly in c (the 3ck horizon) while
+    # reliability improves: the smallest c fails visibly (Theorem 3.1
+    # requires a sufficiently large constant), the largest never does.
+    assert na[0]["incomplete_runs"] > 0
+    assert na[-1]["incomplete_runs"] == 0
+    complete = [r for r in na if r["incomplete_runs"] == 0]
+    assert complete[-1]["latency"] > complete[0]["latency"]
+    # Larger b -> more energy (more rounds per ladder step).
+    energies = [r["energy"] for r in sd]
+    assert energies == sorted(energies)
+    # Wake-up is fast at every q; larger q never hurts completion.
+    assert all(r["incomplete_runs"] == 0 for r in ds)
+
+
+def test_bench_estimate_robustness(benchmark):
+    """The 'linear upper bound' clause of Theorem 3.1, quantified:
+    overestimates stay reliable (latency linear in k_hat), severe
+    underestimates collapse the channel."""
+    from repro.experiments.estimate_exp import run_estimate_robustness
+
+    report = benchmark.pedantic(
+        lambda: run_estimate_robustness(k=256, reps=8, seed=33),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report)
+    print(report.text)
+    by_factor = {r["k_hat_over_k"]: r for r in report.rows}
+    # k_hat = k/16: the pumped channel delivers (almost) nothing.
+    assert by_factor[0.0625]["delivered_fraction"] < 0.2
+    # Any linear upper bound works perfectly.
+    for factor in (1.0, 2.0, 4.0, 8.0):
+        assert by_factor[factor]["failures"] == 0
+    # Overestimate cost is linear: latency ~ doubles per factor doubling.
+    assert by_factor[8.0]["latency"] < 16 * by_factor[1.0]["latency"]

@@ -1,0 +1,31 @@
+"""Benchmark ``table1_cd_row``: the collision-detection row of Table 1.
+
+Paper claims reproduced:
+* [Bend-16] row: with CD, adaptive contention resolution is O(k);
+* the paper's comparison: ``AdaptiveNoK`` matches that linear shape
+  *without* collision detection, paying only a constant factor.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.cd_row_exp import run_cd_row
+
+from benchmarks.conftest import save_report
+
+
+def test_bench_cd_row(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_cd_row(ks=(32, 64, 128, 256), reps=4, seed=2016),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report)
+    print(report.text)
+
+    for row in report.rows:
+        # Both linear: latency/k bounded across the sweep.
+        assert row["cd_latency_over_k"] < 12
+        assert row["nocd_latency_over_k"] < 40
+    # The CD advantage is a bounded constant, not a growing factor.
+    gaps = [row["constant_gap"] for row in report.rows]
+    assert max(gaps) / min(gaps) < 4.0

@@ -1,0 +1,59 @@
+"""Benchmarks ``fig1_clocks``, ``fig2_probability_schedule``,
+``fig4_sublinear_schedule``: the paper's illustrative figures, regenerated
+from the implemented protocols (golden checks on the schedules)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.figures import (
+    run_fig1_clocks,
+    run_fig2_schedule,
+    run_fig4_schedule,
+)
+
+from benchmarks.conftest import save_report
+
+
+def test_bench_fig1_clocks(benchmark):
+    report = benchmark.pedantic(run_fig1_clocks, rounds=1, iterations=1)
+    save_report(report)
+    print(report.text)
+    # The paper's reading of its own figure: three active stations at t=5.
+    row5 = next(r for r in report.rows if r["reference_round"] == 5)
+    active = [v for key, v in row5.items() if key != "reference_round" and v is not None]
+    assert len(active) == 3
+    # u4's local round 1 == u2/u3's round 3 == u1's round 7.
+    row7 = next(r for r in report.rows if r["reference_round"] == 7)
+    assert (row7["u1"], row7["u2"], row7["u3"], row7["u4"]) == (7, 3, 3, 1)
+
+
+def test_bench_fig2_schedule(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_fig2_schedule(k=16, c=1, offset=1), rounds=1, iterations=1
+    )
+    save_report(report)
+    print(report.text)
+    # Level probabilities 1/2k, 1/k, 2/k with lengths ck, ck/2, ck/4.
+    k = 16
+    assert report.rows[0]["u1_p"] == pytest.approx(1 / (2 * k))
+    assert report.rows[k]["u1_p"] == pytest.approx(1 / k)  # level 1 starts
+    assert report.rows[k + k // 2]["u1_p"] == pytest.approx(2 / k)
+    # Offset stations disagree in some rounds (the figure's point).
+    assert any(
+        r["u2_p"] is not None and r["u2_p"] != r["u1_p"] for r in report.rows
+    )
+
+
+def test_bench_fig4_schedule(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_fig4_schedule(b=2, segments=3, offset=1), rounds=1, iterations=1
+    )
+    save_report(report)
+    print(report.text)
+    ladder = [report.rows[0]["u1_p"], report.rows[2]["u1_p"], report.rows[4]["u1_p"]]
+    assert ladder == pytest.approx(
+        [math.log(3) / 3, math.log(4) / 4, math.log(5) / 5]
+    )

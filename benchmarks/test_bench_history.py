@@ -1,0 +1,99 @@
+"""Benchmarks ``static_constants`` and ``whp_validation``.
+
+* ``static_constants`` re-measures the classical constants the paper's
+  history section quotes (Massey's 2.8867k splitting tree, the GFL hybrid,
+  the sawtooth) and shows the CD algorithms breaking under asynchrony.
+* ``whp_validation`` turns the "with high probability" claims into
+  empirical failure rates with confidence intervals.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.static_constants_exp import run_static_constants
+from repro.experiments.whp_exp import run_whp_validation
+
+from benchmarks.conftest import save_report
+
+
+def test_bench_static_constants(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_static_constants(ks=(64, 256, 1024), reps=5, seed=1981),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report)
+    print(report.text)
+
+    static_rows = [r for r in report.rows if r["workload"] == "static"]
+    tree = [r for r in static_rows if r["algorithm"].startswith("SplittingTree")]
+    hybrid = [r for r in static_rows if r["algorithm"].startswith("Hybrid")]
+    sawtooth = [r for r in static_rows if r["algorithm"].startswith("Sawtooth")]
+
+    # Massey's constant: the tree sits near 2.89 rounds per station.
+    big_tree = max(tree, key=lambda r: r["k"])
+    assert 2.3 <= big_tree["rounds_over_k"] <= 3.6
+    # The hybrid beats the plain tree at scale (the GFL improvement).
+    big_hybrid = max(hybrid, key=lambda r: r["k"])
+    assert big_hybrid["rounds_over_k"] < big_tree["rounds_over_k"]
+    # Sawtooth is linear without CD (larger constant allowed).
+    assert all(r["rounds_over_k"] < 20 for r in sawtooth)
+    # Nothing fails under static starts.
+    assert all(r["failures"] == 0 for r in static_rows)
+
+
+def test_bench_lemma_validation(benchmark):
+    from repro.experiments.lemma_exp import run_lemma_validation
+
+    report = benchmark.pedantic(
+        lambda: run_lemma_validation(k=256, reps=5, seed=36),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report)
+    print(report.text)
+    by_lemma = {}
+    for row in report.rows:
+        by_lemma.setdefault(row["lemma"], []).append(row)
+    # Lemma 3.6: sigma < 1 in >= 99% of busy rounds, every adversary.
+    assert all(r["value"] >= 0.99 for r in by_lemma["3.6 sigma<1"])
+    # Lemma Fact2: conditional success rate of attempts >= 1/4.
+    assert by_lemma["Fact2 success>=1/4"][0]["value"] >= 0.25
+    # Fact 4.1: the cumulative schedule stays under its envelope.
+    assert by_lemma["Fact 4.1 s(i)<bound"][0]["value"] < 1.0
+
+
+def test_bench_adaptive_adversary_check(benchmark):
+    """The theorems' closing clauses: results hold even against an adaptive
+    adversary — the online pool costs at most a small constant over the
+    oblivious pool, and nothing ever fails."""
+    from repro.experiments.adaptive_adversary_exp import (
+        run_adaptive_adversary_check,
+    )
+
+    report = benchmark.pedantic(
+        lambda: run_adaptive_adversary_check(k=96, reps=3, seed=2222),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report)
+    print(report.text)
+    for row in report.rows:
+        assert row["failures"] == 0
+        assert row["ratio"] < 3.0
+
+
+def test_bench_whp_validation(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_whp_validation(k=128, runs=300, seed=9000),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report)
+    print(report.text)
+    for row in report.rows:
+        # The empirical failure rate must not exceed the analytic bound by
+        # more than sampling noise allows (Wilson upper bound comparison,
+        # with a floor since 300 runs cannot certify rates below ~1%).
+        assert row["empirical_rate"] <= max(row["analytic_bound"], 0.02)

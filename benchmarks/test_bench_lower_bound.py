@@ -1,0 +1,37 @@
+"""Benchmark ``fig3_lower_bound_instance``: the Section 4 lower-bound
+construction in action.
+
+Paper claims reproduced:
+* Lemma l:lower-gen-6: the oblivious instance J(k) keeps
+  sigma_hat[t] >= gamma log k over the whole blocked prefix
+  c* k log k/(loglog k)^2;
+* Lemma l:lower-gen-2: under that pump no transmission succeeds whp —
+  verified against a benign trickle control that delivers steadily.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.lower_bound_exp import run_lower_bound_instance
+
+from benchmarks.conftest import save_report
+
+
+def test_bench_lower_bound(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_lower_bound_instance(k=4096, b=4, reps=3, seed=1606),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report)
+    print(report.text)
+
+    adversarial = [r for r in report.rows if r["instance"] == "J(k) adversarial"]
+    benign = [r for r in report.rows if r["instance"] == "trickle benign"]
+    adv_total = sum(r["successes_in_prefix"] for r in adversarial)
+    ben_total = sum(r["successes_in_prefix"] for r in benign)
+
+    # Total blocking under the pump; steady delivery under the trickle.
+    assert adv_total <= len(adversarial)  # at most ~one stray per run
+    assert ben_total >= 10 * max(1, adv_total)
+    # The pump itself: the report notes record the saturated fraction.
+    assert "saturated=1.000" in report.notes or "saturated=0.9" in report.notes

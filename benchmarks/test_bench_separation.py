@@ -1,0 +1,32 @@
+"""Benchmark ``sep_known_unknown``: the dynamic-model separation.
+
+Paper claim (Section 1.1): in the dynamic model, non-adaptive k-oblivious
+protocols are provably slower (by ~polylog factors) than protocols that
+know k or are adaptive — a separation that does *not* exist in the static
+model.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.separation import run_separation
+
+from benchmarks.conftest import save_report
+
+KS = (64, 128, 256, 512, 1024)
+
+
+def test_bench_separation(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_separation(ks=KS, reps=3, seed=77),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report)
+    print(report.text)
+
+    first, last = report.rows[0], report.rows[-1]
+    # The unknown/known gap widens with k...
+    assert last["ratio_unknown/known"] > first["ratio_unknown/known"]
+    # ...while the adaptive protocol stays within a constant of known-k.
+    ratios = [row["ratio_adaptive/known"] for row in report.rows]
+    assert max(ratios) < 8.0

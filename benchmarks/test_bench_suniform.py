@@ -1,0 +1,35 @@
+"""Benchmark ``thm52_suniform``: sawtooth back-off under simultaneous starts.
+
+Paper claim (Theorem 5.2, quoting Gereb-Graus & Tsantilas): static
+contention among k stations resolves in T = O(k) rounds whp with
+O(log^2 T) transmissions per station.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.analysis.scaling import best_model
+from repro.experiments.suniform_exp import run_suniform_static
+
+from benchmarks.conftest import save_report
+
+KS = (16, 32, 64, 128, 256, 512)
+
+
+def test_bench_suniform(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_suniform_static(ks=KS, reps=5, seed=52),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report)
+    print(report.text)
+
+    ks = [row["k"] for row in report.rows]
+    latencies = [row["latency_mean"] for row in report.rows]
+    assert best_model(ks, latencies, models=("k", "k log k", "k log^2 k")).model == "k"
+    for row in report.rows:
+        assert row["latency_over_k"] < 20
+        # O(log^2 T) transmissions per station, constant <= 4.
+        assert row["max_tx_per_station"] <= 4 * row["log2^2(T)"]

@@ -1,0 +1,41 @@
+"""Benchmark ``table1_energy``: regenerate Table 1's energy column.
+
+Paper claims:
+  A  NonAdaptiveWithK   O(k log k)    total broadcast attempts (Thm 3.2)
+  B  SublinearDecrease  O(k log^2 k)  (Thm thm:energy-non-adaptive-unknown)
+  D  AdaptiveNoK        O(k log^2 k)  expected (Thm 5.4)
+
+Shape checks: per-station transmissions stay polylogarithmic (no linear
+blow-up), and the known-k ladder spends less energy per station than the
+universal code at every k.
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro.experiments.table1 import run_table1_energy
+
+from benchmarks.conftest import save_report
+
+KS = (32, 64, 128, 256, 512)
+
+
+def test_bench_table1_energy(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_table1_energy(ks=KS, reps=3, seed=4034),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report)
+    print(report.text)
+
+    for row in report.rows:
+        k = row["k"]
+        log2k = math.log2(k)
+        # Per-station energy polylog: generous constants over the bounds.
+        assert row["NonAdaptiveWithK"] / k <= 8 * log2k
+        assert row["SublinearDecrease(ack)"] / k <= 10 * log2k**2
+        assert row["AdaptiveNoK"] / k <= 30 * log2k**2
+        # The known-k ladder is the most frugal non-adaptive protocol.
+        assert row["NonAdaptiveWithK"] < row["SublinearDecrease(ack)"]

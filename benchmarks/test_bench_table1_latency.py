@@ -1,0 +1,46 @@
+"""Benchmark ``table1_latency``: regenerate Table 1's latency column.
+
+Paper claims (bold rows of Table 1):
+  A  NonAdaptiveWithK           O(k)                      (Theorem 3.1)
+  B  SublinearDecrease (ack)    O(k ln^2 k / lnln k)      (Theorem t:full-2)
+  B' SublinearDecrease (no ack) O(k ln^2 k)               (Theorem t:full-1)
+  D  AdaptiveNoK                O(k)                      (Theorem 5.3)
+
+Shape checks: the linear protocols' latency/k stays bounded across the
+sweep while the universal code's latency/k grows; model selection must not
+assign a polylog model to A or D.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.scaling import best_model
+from repro.experiments.table1 import run_table1_latency
+
+from benchmarks.conftest import save_report
+
+KS = (32, 64, 128, 256, 512)
+
+
+def test_bench_table1_latency(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_table1_latency(ks=KS, reps=3, seed=2017),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report)
+    print(report.text)
+
+    ks = [row["k"] for row in report.rows]
+    known = [row["NonAdaptiveWithK"] for row in report.rows]
+    unknown = [row["SublinearDecrease(ack)"] for row in report.rows]
+    adaptive = [row["AdaptiveNoK"] for row in report.rows]
+
+    # Rows A and D: latency/k bounded (linear shape).
+    assert max(l / k for l, k in zip(known, ks)) < 40
+    assert max(l / k for l, k in zip(adaptive, ks)) < 60
+    assert best_model(ks, known).model in ("k", "k log k")
+    assert best_model(ks, adaptive).model in ("k", "k log k")
+
+    # Row B: the universal code's latency/k grows across the sweep.
+    assert unknown[-1] / ks[-1] > unknown[0] / ks[0]
+    assert best_model(ks, unknown).model != "k"

@@ -1,0 +1,37 @@
+"""Benchmark ``thm51_wakeup``: DecreaseSlowly completes wake-up in O(k).
+
+Paper claim (Theorem 5.1): the first successful transmission happens within
+O(k) rounds whp (the proof's explicit ceiling is 32qk), even against an
+adaptive adversary.
+"""
+
+from __future__ import annotations
+
+from repro.analysis.scaling import best_model
+from repro.experiments.wakeup import run_wakeup
+
+from benchmarks.conftest import save_report
+
+KS = (32, 64, 128, 256, 512, 1024, 2048)
+
+
+def test_bench_wakeup(benchmark):
+    report = benchmark.pedantic(
+        lambda: run_wakeup(ks=KS, q=2.0, reps=10, seed=511),
+        rounds=1,
+        iterations=1,
+    )
+    save_report(report)
+    print(report.text)
+
+    # Worst-adversary wake-up per k.
+    worst = {}
+    for row in report.rows:
+        worst[row["k"]] = max(worst.get(row["k"], 0.0), row["wakeup_mean"])
+    ks = sorted(worst)
+    values = [worst[k] for k in ks]
+    # Linear shape, far below the proof ceiling 32qk = 64k.
+    assert all(v <= 64 * k for k, v in worst.items())
+    assert best_model(ks, values, models=("k", "k log k", "k log^2 k")).model == "k"
+    # No failures anywhere in the sweep.
+    assert all(row["failures"] == 0 for row in report.rows)

@@ -1,0 +1,105 @@
+#!/usr/bin/env python3
+"""Energy accounting: broadcast attempts across protocols and scales.
+
+The paper's second metric is energy — the total number of transmissions.
+This example sweeps contention sizes, prints per-station transmission
+counts for each protocol, and compares them with the theorems' ceilings:
+
+    NonAdaptiveWithK   O(log k)   per station (Theorem 3.2)
+    SublinearDecrease  O(log^2 k) per station (energy theorem)
+    AdaptiveNoK        O(log^2 k) per station expected (Theorem 5.4)
+
+Run:  python examples/energy_accounting.py
+"""
+
+from __future__ import annotations
+
+import math
+
+from repro import (
+    AdaptiveNoK,
+    NonAdaptiveWithK,
+    SlotSimulator,
+    SublinearDecrease,
+    UniformRandomSchedule,
+    VectorizedSimulator,
+)
+from repro.util.ascii_chart import render_table
+
+SEED = 23
+ADVERSARY = UniformRandomSchedule(span=lambda k: 2 * k)
+
+
+def energy_per_station(result) -> float:
+    return result.total_transmissions / result.k
+
+
+def main() -> None:
+    rows = []
+    for k in (64, 128, 256, 512):
+        ladder = VectorizedSimulator(
+            k, NonAdaptiveWithK(k, 6), ADVERSARY, max_rounds=30 * k, seed=SEED
+        ).run()
+        code = VectorizedSimulator(
+            k, SublinearDecrease(4), ADVERSARY,
+            max_rounds=SublinearDecrease.latency_bound_with_ack(k, 4) + 4 * k,
+            seed=SEED,
+        ).run()
+        adaptive = SlotSimulator(
+            k, lambda: AdaptiveNoK(), ADVERSARY, max_rounds=120 * k, seed=SEED
+        ).run()
+        log_k = math.log2(k)
+        rows.append(
+            [
+                k,
+                round(energy_per_station(ladder), 2),
+                round(log_k, 1),
+                round(energy_per_station(code), 2),
+                round(energy_per_station(adaptive), 2),
+                round(log_k**2, 1),
+            ]
+        )
+
+    print("Per-station broadcast attempts (compare with the log columns):\n")
+    print(
+        render_table(
+            [
+                "k",
+                "NonAdaptiveWithK",
+                "log2 k",
+                "SublinearDecrease",
+                "AdaptiveNoK",
+                "log2^2 k",
+            ],
+            rows,
+        )
+    )
+    print(
+        "\nReading: the ladder's energy tracks log k; the universal code and"
+        "\nthe adaptive protocol track log^2 k — the paper's energy column."
+        "\n(The adaptive figure includes the leaders' coordination bits; the"
+        "\nexpectation bound of Theorem 5.4 absorbs them.)"
+    )
+
+    # Energy/latency trade-off of the ladder constant c.
+    print("\nLadder constant c: reliability vs energy at k = 256")
+    sweep_rows = []
+    for c in (1, 2, 4, 6, 10):
+        failures = 0
+        energies = []
+        for seed in range(8):
+            result = VectorizedSimulator(
+                256, NonAdaptiveWithK(256, c), ADVERSARY,
+                max_rounds=4 * c * 256 + 2048, seed=seed,
+            ).run()
+            if not result.completed:
+                failures += 1
+            else:
+                energies.append(energy_per_station(result))
+        mean_energy = sum(energies) / len(energies) if energies else float("nan")
+        sweep_rows.append([c, failures, round(mean_energy, 2)])
+    print(render_table(["c", "incomplete runs (of 8)", "energy/station"], sweep_rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,85 @@
+#!/usr/bin/env python3
+"""Quickstart: resolve contention among 256 asynchronously woken stations.
+
+Runs the paper's three protocols on the same adversarial workload and
+prints the two metrics the paper is about — latency (rounds from a
+station's activation to its own successful transmission, max over
+stations) and energy (total broadcast attempts).
+
+Run:  python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    AdaptiveNoK,
+    NonAdaptiveWithK,
+    SlotSimulator,
+    SublinearDecrease,
+    UniformRandomSchedule,
+    VectorizedSimulator,
+)
+
+K = 256
+SEED = 7
+
+# The adversary: stations wake at arbitrary times (here: uniformly over a
+# 2k-round window, drawn once before the execution — an oblivious
+# adversary in the paper's terminology).
+adversary = UniformRandomSchedule(span=lambda k: 2 * k)
+
+
+def show(name: str, result) -> None:
+    status = "ok" if result.completed else "INCOMPLETE"
+    print(
+        f"{name:28s} {status:10s} latency={result.max_latency:>6} rounds"
+        f"  energy={result.total_transmissions:>6} transmissions"
+        f"  ({result.total_transmissions / K:.1f}/station)"
+    )
+
+
+def main() -> None:
+    print(f"k = {K} stations, adversarial wake-up, no collision detection\n")
+
+    # 1. Non-adaptive, contention size known (Algorithm 1): O(k) latency.
+    result = VectorizedSimulator(
+        K,
+        NonAdaptiveWithK(K, c=6),
+        adversary,
+        max_rounds=30 * K,
+        seed=SEED,
+    ).run()
+    show("NonAdaptiveWithK (knows k)", result)
+
+    # 2. Non-adaptive universal code (Algorithm 2): no knowledge of k,
+    #    pays the paper's provable polylog penalty.
+    result = VectorizedSimulator(
+        K,
+        SublinearDecrease(b=4),
+        adversary,
+        max_rounds=SublinearDecrease.latency_bound_with_ack(K, 4) + 4 * K,
+        seed=SEED,
+    ).run()
+    show("SublinearDecrease (k unknown)", result)
+
+    # 3. Adaptive protocol (Algorithm 3): no knowledge of k, O(k) latency
+    #    via leader election + coordinated dissemination.  Needs the
+    #    object engine (it reacts to channel feedback).
+    result = SlotSimulator(
+        K,
+        lambda: AdaptiveNoK(),
+        adversary,
+        max_rounds=120 * K,
+        seed=SEED,
+    ).run()
+    show("AdaptiveNoK (adaptive)", result)
+
+    print(
+        "\nReading: the known-k ladder and the adaptive protocol stay linear"
+        "\nin k; the universal code pays the polylog factor the paper proves"
+        "\nunavoidable for non-adaptive k-oblivious protocols."
+    )
+
+
+if __name__ == "__main__":
+    main()

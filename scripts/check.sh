@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# Contributor smoke check: install, tests, a quick suite pass, one example.
+# Usage: bash scripts/check.sh
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== install (editable) =="
+python3 setup.py develop >/dev/null
+
+echo "== unit/integration/property tests =="
+python3 -m pytest tests/ -q
+
+echo "== quick experiment wiring check =="
+python3 -m repro suite --scale quick \
+    --only fig1_clocks,fig4_sublinear_schedule,thm51_wakeup \
+    --out /tmp/repro-check
+
+echo "== quickstart example =="
+python3 examples/quickstart.py
+
+echo "All checks passed."

@@ -1,0 +1,114 @@
+"""repro — contention resolution on asynchronous shared channels.
+
+A full reproduction of *"Time and Energy Efficient Contention Resolution in
+Asynchronous Shared Channels"* (De Marco, Kowalski, Stachowiak; journal
+version of the PODC 2017 paper *"Asynchronous Shared Channel"*).
+
+Quick start::
+
+    from repro import (
+        NonAdaptiveWithK, UniformRandomSchedule, VectorizedSimulator,
+    )
+
+    k = 256
+    sim = VectorizedSimulator(
+        k,
+        NonAdaptiveWithK(k),
+        UniformRandomSchedule(span=lambda k: 2 * k),
+        max_rounds=40 * k,
+        seed=7,
+    )
+    result = sim.run()
+    print(result.max_latency, result.total_transmissions)
+
+See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
+table/figure reproductions indexed in DESIGN.md.
+"""
+
+from repro.adversary import (
+    AdaptiveAdversary,
+    AntiLeaderAdversary,
+    BatchSchedule,
+    BurstOnQuietAdversary,
+    DripFeedAdversary,
+    FixedSchedule,
+    PoissonSchedule,
+    StaggeredSchedule,
+    StaticSchedule,
+    TwoWavesSchedule,
+    UniformRandomSchedule,
+    WakeOnSuccessAdversary,
+    WakeSchedule,
+    blocked_prefix_length,
+    build_ik_instance,
+    build_jk_instance,
+)
+from repro.channel import (
+    FeedbackModel,
+    Observation,
+    RoundEvent,
+    RoundOutcome,
+    RunResult,
+    SlotSimulator,
+    StopCondition,
+    VectorizedSimulator,
+)
+from repro.core import (
+    ProbabilitySchedule,
+    Protocol,
+    ScheduleProtocol,
+    Station,
+    StationRecord,
+    Transmission,
+)
+from repro.core.protocols import (
+    AdaptiveNoK,
+    DecreaseSlowly,
+    NonAdaptiveWithK,
+    SublinearDecrease,
+    SUniform,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    # adversaries
+    "AdaptiveAdversary",
+    "AntiLeaderAdversary",
+    "BatchSchedule",
+    "BurstOnQuietAdversary",
+    "DripFeedAdversary",
+    "FixedSchedule",
+    "PoissonSchedule",
+    "StaggeredSchedule",
+    "StaticSchedule",
+    "TwoWavesSchedule",
+    "UniformRandomSchedule",
+    "WakeOnSuccessAdversary",
+    "WakeSchedule",
+    "blocked_prefix_length",
+    "build_ik_instance",
+    "build_jk_instance",
+    # channel
+    "FeedbackModel",
+    "Observation",
+    "RoundEvent",
+    "RoundOutcome",
+    "RunResult",
+    "SlotSimulator",
+    "StopCondition",
+    "VectorizedSimulator",
+    # core
+    "ProbabilitySchedule",
+    "Protocol",
+    "ScheduleProtocol",
+    "Station",
+    "StationRecord",
+    "Transmission",
+    # protocols
+    "AdaptiveNoK",
+    "DecreaseSlowly",
+    "NonAdaptiveWithK",
+    "SublinearDecrease",
+    "SUniform",
+]

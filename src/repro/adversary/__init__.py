@@ -1,0 +1,55 @@
+"""Adversaries: oblivious wake schedules, online adversaries, lower-bound instances."""
+
+from repro.adversary.adaptive import (
+    AntiLeaderAdversary,
+    BurstOnQuietAdversary,
+    DripFeedAdversary,
+    WakeOnSuccessAdversary,
+)
+from repro.adversary.base import AdaptiveAdversary, FixedSchedule, WakeSchedule
+from repro.adversary.lower_bound import (
+    blocked_prefix_length,
+    build_ik_instance,
+    build_jk_instance,
+    default_tau_small,
+    pump_rate,
+)
+from repro.adversary.oblivious import (
+    BatchSchedule,
+    PoissonSchedule,
+    StaggeredSchedule,
+    StaticSchedule,
+    TwoWavesSchedule,
+    UniformRandomSchedule,
+)
+from repro.adversary.search import (
+    SearchOutcome,
+    mutate_schedule,
+    random_schedule,
+    search_worst_schedule,
+)
+
+__all__ = [
+    "AdaptiveAdversary",
+    "FixedSchedule",
+    "WakeSchedule",
+    "AntiLeaderAdversary",
+    "BurstOnQuietAdversary",
+    "DripFeedAdversary",
+    "WakeOnSuccessAdversary",
+    "blocked_prefix_length",
+    "build_ik_instance",
+    "build_jk_instance",
+    "default_tau_small",
+    "pump_rate",
+    "BatchSchedule",
+    "PoissonSchedule",
+    "StaggeredSchedule",
+    "StaticSchedule",
+    "TwoWavesSchedule",
+    "UniformRandomSchedule",
+    "SearchOutcome",
+    "mutate_schedule",
+    "random_schedule",
+    "search_worst_schedule",
+]

@@ -1,0 +1,138 @@
+"""Adaptive (online) adversaries.
+
+The paper's upper bounds hold against an *adaptive* adversary: one that
+watches the computation history (channel outcomes) and decides online whom
+to wake.  A worst-case quantifier cannot be simulated directly, so we
+implement several concrete adversarial strategies that target the known
+weak points of contention-resolution protocols, and the harness reports the
+worst observed over them:
+
+* :class:`BurstOnQuietAdversary` — releases a burst whenever the channel has
+  been quiet, maximising the sudden jump of the probability sum sigma[t];
+* :class:`WakeOnSuccessAdversary` — injects fresh contenders immediately
+  after every success, so the contention never thins out;
+* :class:`AntiLeaderAdversary` — targets ``AdaptiveNoK``: holds stations
+  back until a success (= a leader election) is observed, then floods,
+  forcing maximal alternation between L and D modes;
+* :class:`DripFeedAdversary` — one station per fixed interval, the
+  classical latency-stretching pattern.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.adversary.base import AdaptiveAdversary
+from repro.channel.events import RoundEvent, RoundOutcome
+
+__all__ = [
+    "BurstOnQuietAdversary",
+    "WakeOnSuccessAdversary",
+    "AntiLeaderAdversary",
+    "DripFeedAdversary",
+]
+
+
+class BurstOnQuietAdversary(AdaptiveAdversary):
+    """Release ``burst`` stations after every ``quiet`` consecutive
+    non-success rounds; seeds one initial station so the clock starts."""
+
+    def __init__(self, burst: int = 8, quiet: int = 16):
+        if burst < 1 or quiet < 1:
+            raise ValueError("burst and quiet must be >= 1")
+        self.burst = burst
+        self.quiet = quiet
+        self.name = f"burst-on-quiet(burst={burst},quiet={quiet})"
+        self._quiet_run = 0
+
+    def begin(self, k: int, rng: np.random.Generator) -> None:
+        self._quiet_run = 0
+
+    def wake_now(self, round_index: int, history: Sequence[RoundEvent]) -> int:
+        if round_index == 0:
+            return 1
+        last = history[-1] if history else None
+        if last is not None and last.outcome is RoundOutcome.SUCCESS:
+            self._quiet_run = 0
+        else:
+            self._quiet_run += 1
+        if self._quiet_run >= self.quiet:
+            self._quiet_run = 0
+            return self.burst
+        return 0
+
+
+class WakeOnSuccessAdversary(AdaptiveAdversary):
+    """Wake ``refill`` stations right after each success, keeping the
+    contention alive; starts with an initial seed group."""
+
+    def __init__(self, seed_group: int = 4, refill: int = 2):
+        if seed_group < 1 or refill < 1:
+            raise ValueError("seed_group and refill must be >= 1")
+        self.seed_group = seed_group
+        self.refill = refill
+        self.name = f"wake-on-success(seed={seed_group},refill={refill})"
+
+    def begin(self, k: int, rng: np.random.Generator) -> None:
+        pass
+
+    def wake_now(self, round_index: int, history: Sequence[RoundEvent]) -> int:
+        if round_index == 0:
+            return self.seed_group
+        last = history[-1] if history else None
+        if last is not None and last.outcome is RoundOutcome.SUCCESS:
+            return self.refill
+        return 0
+
+
+class AntiLeaderAdversary(AdaptiveAdversary):
+    """Targets ``AdaptiveNoK``: floods right after the first success of each
+    quiet period (i.e. right after each leader election), so each freshly
+    elected leader inherits a full dissemination load and newcomers always
+    arrive mid-D-mode."""
+
+    def __init__(self, flood: int = 8):
+        if flood < 1:
+            raise ValueError("flood must be >= 1")
+        self.flood = flood
+        self.name = f"anti-leader(flood={flood})"
+        self._saw_quiet = True
+
+    def begin(self, k: int, rng: np.random.Generator) -> None:
+        self._saw_quiet = True
+
+    def wake_now(self, round_index: int, history: Sequence[RoundEvent]) -> int:
+        if round_index == 0:
+            return 1
+        last = history[-1] if history else None
+        if last is None or last.outcome is not RoundOutcome.SUCCESS:
+            self._saw_quiet = True
+            return 0
+        if self._saw_quiet:
+            # First success after a lull: a leader was (likely) just elected.
+            self._saw_quiet = False
+            return self.flood
+        return 0
+
+
+class DripFeedAdversary(AdaptiveAdversary):
+    """One station every ``interval`` rounds — oblivious in effect, but
+    implemented as an online adversary so it can be mixed into the adaptive
+    pool used by the worst-case harness."""
+
+    def __init__(self, interval: int = 4):
+        if interval < 1:
+            raise ValueError("interval must be >= 1")
+        self.interval = interval
+        self.name = f"drip(interval={interval})"
+
+    def begin(self, k: int, rng: np.random.Generator) -> None:
+        pass
+
+    def wake_now(self, round_index: int, history: Sequence[RoundEvent]) -> int:
+        return 1 if round_index % self.interval == 0 else 0
+
+    def deadline(self, k: int) -> int:
+        return self.interval * k + 1024

@@ -1,0 +1,101 @@
+"""Adversary interfaces: who wakes which station, and when.
+
+The paper's dynamic scenario hands the wake-up schedule to an adversary:
+
+* an **oblivious** adversary fixes the whole schedule before the execution —
+  modelled by :class:`WakeSchedule`, which produces a list of wake rounds;
+* an **adaptive** adversary decides online, knowing the algorithm's code and
+  the computation history (but not future randomness) — modelled by
+  :class:`AdaptiveAdversary`, queried once per round by the simulator.
+
+Conventions: global (reference-clock) rounds are numbered from 1; a station
+woken "at round ``w``" has local round 0 at reference time ``w`` and may
+first transmit at reference time ``w + 1``.  Wake rounds are >= 0 (round 0
+wakes are "present from the very beginning").
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+if TYPE_CHECKING:  # avoid a channel<->adversary import cycle at runtime
+    from repro.channel.events import RoundEvent
+
+__all__ = ["WakeSchedule", "AdaptiveAdversary", "FixedSchedule"]
+
+
+class WakeSchedule(abc.ABC):
+    """Oblivious adversary: a wake round for each of ``k`` stations."""
+
+    #: Human-readable name used in experiment tables.
+    name: str = "schedule"
+
+    @abc.abstractmethod
+    def wake_rounds(self, k: int, rng: np.random.Generator) -> list[int]:
+        """Return ``k`` wake rounds (each >= 0).  May be randomized, in which
+        case the schedule is drawn once before the execution (the oblivious
+        adversary commits to it without seeing the stations' coins)."""
+
+    def validate(self, rounds: Sequence[int], k: int) -> list[int]:
+        """Check and normalise a produced schedule (used by implementations)."""
+        rounds = [int(r) for r in rounds]
+        if len(rounds) != k:
+            raise ValueError(f"{self.name}: produced {len(rounds)} wake rounds for k={k}")
+        if any(r < 0 for r in rounds):
+            raise ValueError(f"{self.name}: wake rounds must be >= 0, got {min(rounds)}")
+        return rounds
+
+
+class AdaptiveAdversary(abc.ABC):
+    """Online adversary: decides per round how many stations to wake.
+
+    The simulator calls :meth:`begin` once, then :meth:`wake_now` at the
+    start of every reference round ``t`` (before transmissions), passing the
+    full channel history so far.  The returned count is clamped to the
+    remaining budget of ``k`` stations.  The simulator guarantees progress by
+    force-waking all remaining stations at ``deadline`` (see
+    :meth:`deadline`), since a contention-resolution instance must activate
+    exactly ``k`` stations in finite time for latency to be well defined.
+    """
+
+    name: str = "adaptive"
+
+    @abc.abstractmethod
+    def begin(self, k: int, rng: np.random.Generator) -> None:
+        """Reset internal state for an execution with ``k`` stations."""
+
+    @abc.abstractmethod
+    def wake_now(self, round_index: int, history: Sequence["RoundEvent"]) -> int:
+        """Number of stations to wake at the start of ``round_index``."""
+
+    def deadline(self, k: int) -> int:
+        """Latest round by which any still-unwoken stations are force-woken.
+
+        Defaults to ``64 * k + 1024``; subclasses with slower drips override.
+        """
+        return 64 * k + 1024
+
+
+class FixedSchedule(WakeSchedule):
+    """A concrete, explicitly given list of wake rounds (one per station).
+
+    This is the carrier for the lower-bound instance constructions: the
+    instance builders compute the exact rounds and wrap them here.
+    """
+
+    def __init__(self, rounds: Sequence[int], name: str = "fixed"):
+        self._rounds = [int(r) for r in rounds]
+        if any(r < 0 for r in self._rounds):
+            raise ValueError("wake rounds must be >= 0")
+        self.name = name
+
+    def wake_rounds(self, k: int, rng: np.random.Generator) -> list[int]:
+        if k != len(self._rounds):
+            raise ValueError(
+                f"FixedSchedule holds {len(self._rounds)} rounds but k={k} was requested"
+            )
+        return list(self._rounds)

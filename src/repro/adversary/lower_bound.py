@@ -1,0 +1,175 @@
+"""Lower-bound instance constructions (Section 4 of the paper).
+
+Theorem ``t:lower-gen`` shows no non-adaptive, ``k``-oblivious algorithm has
+latency ``o(k log k / (loglog k)^2)`` whp.  The proof is constructive: given
+the algorithm's probability sequence ``p(1), p(2), ...`` an *oblivious*
+adversary builds a wake-up instance on which the sum of transmission
+probabilities
+
+    sigma_hat[t] = sum over woken stations v of p(t - t_v)
+
+exceeds ``gamma * log k`` in every round of a long prefix, and by Lemma
+``l:lower-gen-2`` such a saturated channel produces **no successful
+transmission at all** during that prefix whp.
+
+Two builders are provided:
+
+* :func:`build_ik_instance` — the Lemma ``l:lower-gen-3`` instance ``I(k)``:
+  a dense per-round drip of ``gamma log k / p(1)`` stations over the prefix
+  ``[1, tau_small]``, then ``(c' loglog k)/2`` stations per round out to
+  ``k / (c' loglog k)``.
+
+* :func:`build_jk_instance` — the Lemma ``l:lower-gen-6`` instance ``J(k)``:
+  the same dense prefix, then the remaining ``k/2`` stations placed
+  *uniformly at random* over ``[1, c_star * k log k / (loglog k)^2]``.
+  The randomness is drawn once at build time — the adversary stays
+  oblivious.
+
+Because a concrete experiment cannot quantify over "any algorithm", the
+builders take the algorithm's actual ``p(1)`` and a prefix length
+``tau_small`` (in the paper, ``tau(k / log^2 k)``; in experiments, the
+measured or theoretical latency of the target protocol at that reduced
+contention).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional
+
+import numpy as np
+
+from repro.adversary.base import FixedSchedule
+from repro.core.protocol import ProbabilitySchedule
+
+__all__ = [
+    "blocked_prefix_length",
+    "pump_rate",
+    "build_ik_instance",
+    "build_jk_instance",
+]
+
+
+def blocked_prefix_length(k: int, c_star: float = 0.25) -> int:
+    """The Theorem ``t:lower-gen`` prefix: ``c* k log k / (loglog k)^2``.
+
+    For ``k < 16`` the ``loglog`` term degenerates; we floor it at 1.
+    """
+    if k < 2:
+        return 1
+    log_k = math.log2(k)
+    loglog_k = max(1.0, math.log2(max(2.0, log_k)))
+    return max(1, int(c_star * k * log_k / (loglog_k**2)))
+
+
+def pump_rate(k: int, p1: float, gamma: float = 1.0) -> int:
+    """Stations per round in the dense prefix: ``gamma log k / p(1)``.
+
+    This makes each prefix round contribute ``>= gamma log k`` to
+    ``sigma_hat`` through first-round transmissions alone.
+    """
+    if not 0.0 < p1 <= 1.0:
+        raise ValueError(f"p(1) must be in (0, 1], got {p1}")
+    if k < 2:
+        return 1
+    return max(1, math.ceil(gamma * math.log2(k) / p1))
+
+
+def build_ik_instance(
+    k: int,
+    p1: float,
+    *,
+    tau_small: int,
+    gamma: float = 1.0,
+    c_prime: float = 2.0,
+) -> FixedSchedule:
+    """The Lemma ``l:lower-gen-3`` instance ``I(k)`` (fully deterministic).
+
+    Args:
+        k: total number of stations to place.
+        p1: the target algorithm's first-round transmission probability.
+        tau_small: length of the dense prefix (the paper's
+            ``tau(k / log^2 k)``).
+        gamma: the saturation constant of Lemma ``l:lower-gen-2``.
+        c_prime: the spread constant; the sparse phase wakes
+            ``(c' loglog k)/2`` stations per round over
+            ``[1, k / (c' loglog k)]``.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if tau_small < 1:
+        raise ValueError(f"tau_small must be >= 1, got {tau_small}")
+    rounds: list[int] = []
+    per_round = pump_rate(k, p1, gamma)
+    # Phase 1: dense drip over the prefix, spending at most half the budget.
+    budget_dense = k // 2 if k > 1 else 1
+    t = 0
+    while len(rounds) < budget_dense and t < tau_small:
+        take = min(per_round, budget_dense - len(rounds))
+        rounds.extend([t] * take)
+        t += 1
+    # Phase 2: thin spread of the remainder.
+    remaining = k - len(rounds)
+    if remaining > 0:
+        loglog_k = max(1.0, math.log2(max(2.0, math.log2(max(2, k)))))
+        spread_per_round = max(1, math.ceil(c_prime * loglog_k / 2.0))
+        spread_horizon = max(1, int(k / (c_prime * loglog_k)))
+        t = 0
+        while remaining > 0:
+            take = min(spread_per_round, remaining)
+            rounds.extend([t % spread_horizon] * take)
+            remaining -= take
+            t += 1
+    return FixedSchedule(sorted(rounds), name=f"I(k={k})")
+
+
+def build_jk_instance(
+    k: int,
+    p1: float,
+    *,
+    tau_small: int,
+    gamma: float = 1.0,
+    c_star: float = 0.25,
+    seed: Optional[int] = None,
+) -> FixedSchedule:
+    """The Lemma ``l:lower-gen-6`` instance ``J(k)``.
+
+    Dense prefix as in ``I(k)``; the remaining ~``k/2`` stations are placed
+    uniformly at random over the full blocked prefix
+    ``[1, c* k log k / (loglog k)^2]``.  The draw happens *here*, before any
+    execution — the adversary is oblivious.
+    """
+    if k < 1:
+        raise ValueError(f"k must be >= 1, got {k}")
+    if tau_small < 1:
+        raise ValueError(f"tau_small must be >= 1, got {tau_small}")
+    rng = np.random.default_rng(seed)
+    rounds: list[int] = []
+    per_round = pump_rate(k, p1, gamma)
+    budget_dense = k // 2 if k > 1 else 1
+    t = 0
+    while len(rounds) < budget_dense and t < tau_small:
+        take = min(per_round, budget_dense - len(rounds))
+        rounds.extend([t] * take)
+        t += 1
+    remaining = k - len(rounds)
+    if remaining > 0:
+        horizon = max(tau_small + 1, blocked_prefix_length(k, c_star))
+        rounds.extend(rng.integers(0, horizon, size=remaining).tolist())
+    return FixedSchedule(sorted(rounds), name=f"J(k={k})")
+
+
+def default_tau_small(schedule: ProbabilitySchedule, k: int) -> int:
+    """A practical stand-in for the paper's ``tau(k / log^2 k)``.
+
+    Uses the target schedule's theoretical latency bound at the reduced
+    contention ``k / log^2 k`` when the schedule exposes one
+    (``latency_bound_no_ack``), falling back to ``4 k' ln^2 k'``.
+    """
+    log_k = max(1.0, math.log2(max(2, k)))
+    k_small = max(2, int(k / (log_k**2)))
+    bound = getattr(schedule, "latency_bound_no_ack", None)
+    if callable(bound):
+        b = getattr(schedule, "b", 1)
+        return max(1, int(bound(k_small, b)))
+    return max(1, int(4 * k_small * math.log(max(2, k_small)) ** 2))

@@ -1,0 +1,129 @@
+"""Oblivious wake-up schedules (fixed before the execution).
+
+These model the paper's oblivious adversary: the wake-up pattern is chosen
+knowing the algorithm's *code* but not its coin flips.  Randomized schedules
+draw once, up front, from the adversary's own stream.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.adversary.base import WakeSchedule
+
+__all__ = [
+    "StaticSchedule",
+    "UniformRandomSchedule",
+    "StaggeredSchedule",
+    "BatchSchedule",
+    "PoissonSchedule",
+    "TwoWavesSchedule",
+]
+
+
+class StaticSchedule(WakeSchedule):
+    """All ``k`` stations wake simultaneously at round 0 (the *static* model).
+
+    The degenerate baseline scenario: with simultaneous starts the dynamic
+    model collapses to the classical synchronized one (Section 1, "Timing").
+    """
+
+    name = "static"
+
+    def wake_rounds(self, k: int, rng: np.random.Generator) -> list[int]:
+        return self.validate([0] * k, k)
+
+
+class UniformRandomSchedule(WakeSchedule):
+    """Each station wakes uniformly at random within ``[0, span(k))``.
+
+    ``span`` may be an int or a callable of ``k`` (e.g. ``lambda k: 4 * k``);
+    this is the randomized-activation pattern used inside the paper's
+    lower-bound arguments (Lemmas 4.2 and 4.4).
+    """
+
+    def __init__(self, span=lambda k: 4 * k):
+        self._span = span
+        self.name = "uniform-random"
+
+    def wake_rounds(self, k: int, rng: np.random.Generator) -> list[int]:
+        span = self._span(k) if callable(self._span) else int(self._span)
+        if span < 1:
+            raise ValueError(f"span must be >= 1, got {span}")
+        return self.validate(rng.integers(0, span, size=k).tolist(), k)
+
+
+class StaggeredSchedule(WakeSchedule):
+    """Station ``i`` wakes at round ``i * gap`` — a maximally spread drip.
+
+    With ``gap`` larger than a protocol's per-station latency, every station
+    effectively runs alone; with small ``gap`` the actives pile up.  The
+    paper's Figure 1 clock-offset illustration uses such a drip.
+    """
+
+    def __init__(self, gap: int = 1):
+        if gap < 0:
+            raise ValueError(f"gap must be >= 0, got {gap}")
+        self.gap = gap
+        self.name = f"staggered(gap={gap})"
+
+    def wake_rounds(self, k: int, rng: np.random.Generator) -> list[int]:
+        return self.validate([i * self.gap for i in range(k)], k)
+
+
+class BatchSchedule(WakeSchedule):
+    """Wake stations in batches of ``batch`` every ``gap`` rounds.
+
+    Stress-tests the mode alternation of ``AdaptiveNoK`` (each batch arrives
+    mid-dissemination) and the ladder overlap of the non-adaptive protocols.
+    """
+
+    def __init__(self, batch: int, gap: int):
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        if gap < 0:
+            raise ValueError(f"gap must be >= 0, got {gap}")
+        self.batch = batch
+        self.gap = gap
+        self.name = f"batch(size={batch},gap={gap})"
+
+    def wake_rounds(self, k: int, rng: np.random.Generator) -> list[int]:
+        rounds = [(i // self.batch) * self.gap for i in range(k)]
+        return self.validate(rounds, k)
+
+
+class PoissonSchedule(WakeSchedule):
+    """Arrivals of a Poisson process with the given rate (stations/round).
+
+    The classical queueing-theoretic arrival model of the early ALOHA
+    literature (Section 1.1), included for the baseline comparisons.
+    """
+
+    def __init__(self, rate: float = 0.5):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        self.rate = rate
+        self.name = f"poisson(rate={rate})"
+
+    def wake_rounds(self, k: int, rng: np.random.Generator) -> list[int]:
+        gaps = rng.exponential(1.0 / self.rate, size=k)
+        rounds = np.floor(np.cumsum(gaps)).astype(np.int64)
+        return self.validate(rounds.tolist(), k)
+
+
+class TwoWavesSchedule(WakeSchedule):
+    """Half the stations at round 0, half at round ``delay(k)``.
+
+    The second wave lands while the first is deep into its schedule —
+    exactly the clock-misalignment the asynchronous model is about.
+    """
+
+    def __init__(self, delay=lambda k: k):
+        self._delay = delay
+        self.name = "two-waves"
+
+    def wake_rounds(self, k: int, rng: np.random.Generator) -> list[int]:
+        delay = self._delay(k) if callable(self._delay) else int(self._delay)
+        first = k // 2 + k % 2
+        rounds = [0] * first + [max(0, delay)] * (k - first)
+        return self.validate(rounds, k)

@@ -1,0 +1,135 @@
+"""Adversary search: empirically hunt for bad wake-up schedules.
+
+The paper's upper bounds quantify over *every* adversary.  Beyond the
+hand-crafted pool, this module searches the schedule space directly:
+random restarts over parametric families plus local mutations of the worst
+instance found (a (1+1)-style evolutionary loop).  The search itself plays
+the role of the adaptive adversary's offline optimisation; what it finds
+is a certified *lower* estimate of the true worst case.
+
+Usage::
+
+    from repro.adversary.search import search_worst_schedule
+
+    outcome = search_worst_schedule(
+        k=64,
+        evaluate=my_latency_fn,   # FixedSchedule -> float (higher = worse)
+        budget=60,
+        seed=3,
+    )
+    outcome.schedule, outcome.score
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.adversary.base import FixedSchedule
+
+__all__ = ["SearchOutcome", "random_schedule", "mutate_schedule", "search_worst_schedule"]
+
+
+@dataclass(slots=True)
+class SearchOutcome:
+    """Result of a schedule search."""
+
+    schedule: FixedSchedule
+    score: float
+    evaluations: int
+    history: list[float]
+
+
+def random_schedule(k: int, rng: np.random.Generator, *, span: int) -> FixedSchedule:
+    """Draw a random instance from a random structural family.
+
+    Families: uniform spread, front-loaded bursts, periodic batches,
+    geometric clusters — the shapes adversarial analyses gravitate to.
+    """
+    if k < 1 or span < 1:
+        raise ValueError("k and span must be >= 1")
+    family = rng.integers(0, 4)
+    if family == 0:  # uniform
+        rounds = rng.integers(0, span, size=k)
+    elif family == 1:  # front-loaded burst + tail
+        split = int(rng.integers(1, k + 1))
+        rounds = np.concatenate(
+            [np.zeros(split, dtype=np.int64), rng.integers(0, span, size=k - split)]
+        )
+    elif family == 2:  # periodic batches
+        batch = int(rng.integers(1, max(2, k // 2)))
+        gap = int(rng.integers(1, max(2, span // max(1, k // batch) + 1)))
+        rounds = np.array([(i // batch) * gap for i in range(k)], dtype=np.int64)
+    else:  # geometric clusters
+        n_clusters = int(rng.integers(1, 9))
+        centres = np.sort(rng.integers(0, span, size=n_clusters))
+        assignment = rng.integers(0, n_clusters, size=k)
+        jitter = rng.geometric(0.3, size=k) - 1
+        rounds = centres[assignment] + jitter
+    rounds = np.clip(rounds, 0, max(0, span - 1))
+    return FixedSchedule(sorted(int(r) for r in rounds), name="searched")
+
+
+def mutate_schedule(
+    schedule: FixedSchedule,
+    rng: np.random.Generator,
+    *,
+    span: int,
+    strength: float = 0.1,
+) -> FixedSchedule:
+    """Perturb a fraction of wake rounds (move to a random new round)."""
+    rounds = np.array(schedule.wake_rounds(len(schedule._rounds), rng), dtype=np.int64)
+    k = len(rounds)
+    n_moves = max(1, int(strength * k))
+    indices = rng.choice(k, size=n_moves, replace=False)
+    rounds[indices] = rng.integers(0, span, size=n_moves)
+    return FixedSchedule(sorted(int(r) for r in rounds), name="searched")
+
+
+def search_worst_schedule(
+    k: int,
+    evaluate: Callable[[FixedSchedule], float],
+    *,
+    budget: int = 50,
+    span: int | None = None,
+    restart_fraction: float = 0.4,
+    seed: int | None = None,
+) -> SearchOutcome:
+    """Maximise ``evaluate`` over wake schedules within an evaluation budget.
+
+    ``evaluate`` should return the metric to be *maximised* (e.g. mean
+    latency over a few seeded runs).  The loop alternates random restarts
+    (fraction ``restart_fraction`` of the budget) with mutations of the
+    incumbent.
+    """
+    if budget < 1:
+        raise ValueError(f"budget must be >= 1, got {budget}")
+    if not 0.0 <= restart_fraction <= 1.0:
+        raise ValueError(f"restart_fraction must be in [0,1], got {restart_fraction}")
+    rng = np.random.default_rng(seed)
+    span = span if span is not None else 4 * k
+
+    best_schedule = random_schedule(k, rng, span=span)
+    best_score = evaluate(best_schedule)
+    history = [best_score]
+    evaluations = 1
+
+    while evaluations < budget:
+        if rng.random() < restart_fraction:
+            candidate = random_schedule(k, rng, span=span)
+        else:
+            candidate = mutate_schedule(best_schedule, rng, span=span)
+        score = evaluate(candidate)
+        evaluations += 1
+        if score > best_score:
+            best_score = score
+            best_schedule = candidate
+        history.append(best_score)
+    return SearchOutcome(
+        schedule=best_schedule,
+        score=best_score,
+        evaluations=evaluations,
+        history=history,
+    )

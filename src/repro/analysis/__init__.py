@@ -1,0 +1,56 @@
+"""Metrics aggregation, scaling-law fitting, sigma/backlog traces."""
+
+from repro.analysis.backlog import backlog_statistics, backlog_trace
+from repro.analysis.metrics import MetricSample, collect
+from repro.analysis.reporting import report_markdown, suite_markdown
+from repro.analysis.scaling import (
+    GROWTH_MODELS,
+    ModelFit,
+    best_model,
+    fit_all,
+    fit_model,
+    log_slope,
+)
+from repro.analysis.sigma import (
+    sigma_hat_trace,
+    sigma_trace,
+    success_probability_bound,
+)
+from repro.analysis.stats import (
+    Summary,
+    bootstrap_ci,
+    geometric_sweep,
+    proportion_ci,
+    summarize,
+)
+from repro.analysis.throughput import (
+    ThroughputSummary,
+    summarize_throughput,
+    throughput_timeline,
+)
+
+__all__ = [
+    "backlog_statistics",
+    "backlog_trace",
+    "MetricSample",
+    "collect",
+    "report_markdown",
+    "suite_markdown",
+    "GROWTH_MODELS",
+    "ModelFit",
+    "best_model",
+    "fit_all",
+    "fit_model",
+    "log_slope",
+    "sigma_hat_trace",
+    "sigma_trace",
+    "success_probability_bound",
+    "Summary",
+    "bootstrap_ci",
+    "geometric_sweep",
+    "proportion_ci",
+    "summarize",
+    "ThroughputSummary",
+    "summarize_throughput",
+    "throughput_timeline",
+]

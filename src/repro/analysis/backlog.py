@@ -1,0 +1,62 @@
+"""Backlog traces: how many stations are live over time.
+
+The classical instability story of Section 1.1 (Abramson/Roberts ALOHA:
+"the number of stations involved in retransmissions tends to infinity,
+while the throughput tends to zero") is a statement about the *backlog* —
+the count of stations that have arrived but not yet delivered.  These
+helpers compute it from run records, so stability experiments can chart
+backlog growth without touching engine internals.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.core.station import StationRecord
+
+__all__ = ["backlog_trace", "backlog_statistics"]
+
+
+def backlog_trace(records: Sequence[StationRecord], horizon: int) -> np.ndarray:
+    """``backlog[t-1]`` = stations with ``wake < t`` and no success ``< t``.
+
+    A station contributes from the round after its wake (when it can first
+    act) through the round of its first success inclusive; never-successful
+    stations contribute to the end of the horizon.
+    """
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    delta = np.zeros(horizon + 2, dtype=np.int64)
+    for record in records:
+        start = record.wake_round + 1
+        if start > horizon:
+            continue
+        end = record.first_success_round
+        if end is None or end > horizon:
+            end = horizon
+        delta[start] += 1
+        delta[end + 1] -= 1
+    return np.cumsum(delta)[1 : horizon + 1]
+
+
+def backlog_statistics(
+    records: Sequence[StationRecord], horizon: int
+) -> dict[str, float]:
+    """Summary of a backlog trace: mean, peak, final, and the slope of the
+    last-half linear fit (positive slope over a long window = divergence,
+    the instability signature)."""
+    trace = backlog_trace(records, horizon)
+    half = trace[len(trace) // 2 :]
+    if len(half) >= 2:
+        xs = np.arange(len(half), dtype=float)
+        slope = float(np.polyfit(xs, half.astype(float), 1)[0])
+    else:
+        slope = 0.0
+    return {
+        "mean": float(trace.mean()),
+        "peak": float(trace.max()),
+        "final": float(trace[-1]),
+        "late_slope": slope,
+    }

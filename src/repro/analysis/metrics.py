@@ -1,0 +1,92 @@
+"""Aggregation of run results into the paper's two metrics.
+
+Latency: max over stations of (first-success round - wake round).
+Energy: total broadcast attempts across all stations.
+
+Experiments repeat runs over seeds; :class:`MetricSample` collects the
+per-run values and exposes summary statistics (mean, quantiles, bootstrap
+confidence intervals via :mod:`repro.analysis.stats`).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.channel.results import RunResult
+
+__all__ = ["MetricSample", "collect"]
+
+
+@dataclass(slots=True)
+class MetricSample:
+    """Per-run metric values collected over repetitions."""
+
+    label: str
+    k: int
+    max_latency: list[float] = field(default_factory=list)
+    mean_latency: list[float] = field(default_factory=list)
+    energy: list[float] = field(default_factory=list)
+    energy_per_station: list[float] = field(default_factory=list)
+    first_success: list[float] = field(default_factory=list)
+    rounds: list[float] = field(default_factory=list)
+    failures: int = 0
+    runs: int = 0
+
+    def add(self, result: RunResult) -> None:
+        """Fold one run in.  Runs that failed to complete count as failures
+        and contribute no latency sample (their latency is right-censored)."""
+        self.runs += 1
+        if not result.completed or result.success_count < result.k:
+            # FIRST_SUCCESS runs complete with a single success; treat any
+            # completed run as a valid sample for the metrics it defines.
+            if not result.completed:
+                self.failures += 1
+                return
+        if result.max_latency is not None:
+            self.max_latency.append(float(result.max_latency))
+        latencies = result.latencies
+        if latencies:
+            self.mean_latency.append(float(np.mean(latencies)))
+        self.energy.append(float(result.total_transmissions))
+        self.energy_per_station.append(result.total_transmissions / result.k)
+        if result.first_success_round is not None:
+            self.first_success.append(float(result.first_success_round))
+        self.rounds.append(float(result.rounds_executed))
+
+    @property
+    def failure_rate(self) -> float:
+        return self.failures / self.runs if self.runs else 0.0
+
+    @staticmethod
+    def _mean(values: Sequence[float]) -> float:
+        return float(np.mean(values)) if values else float("nan")
+
+    @staticmethod
+    def _quantile(values: Sequence[float], q: float) -> float:
+        return float(np.quantile(values, q)) if values else float("nan")
+
+    def row(self) -> dict[str, object]:
+        """A flat summary row for tables/CSV."""
+        return {
+            "label": self.label,
+            "k": self.k,
+            "runs": self.runs,
+            "failures": self.failures,
+            "latency_mean": self._mean(self.max_latency),
+            "latency_p95": self._quantile(self.max_latency, 0.95),
+            "latency_over_k": self._mean(self.max_latency) / self.k if self.k else float("nan"),
+            "energy_mean": self._mean(self.energy),
+            "energy_per_station": self._mean(self.energy_per_station),
+            "first_success_mean": self._mean(self.first_success),
+        }
+
+
+def collect(label: str, k: int, results: Iterable[RunResult]) -> MetricSample:
+    """Fold an iterable of run results into one sample."""
+    sample = MetricSample(label=label, k=k)
+    for result in results:
+        sample.add(result)
+    return sample

@@ -1,0 +1,81 @@
+"""Throughput analysis: successes per round over time windows.
+
+The dynamic-arrival literature the paper builds on (Bender et al.)
+evaluates protocols by *throughput* — the fraction of slots carrying a
+successful transmission while work is pending.  These helpers turn a run
+trace into a throughput timeline and summary, used by the throughput
+experiment and by robustness studies under jamming.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.channel.events import RoundEvent, RoundOutcome
+
+__all__ = ["throughput_timeline", "ThroughputSummary", "summarize_throughput"]
+
+
+def throughput_timeline(
+    trace: Sequence[RoundEvent], *, window: int = 64
+) -> tuple[np.ndarray, np.ndarray]:
+    """Rolling success rate over the trace.
+
+    Returns ``(round_centres, rates)`` where ``rates[i]`` is the fraction
+    of SUCCESS rounds inside the ``i``-th non-overlapping window.
+    """
+    if window < 1:
+        raise ValueError(f"window must be >= 1, got {window}")
+    if not trace:
+        return np.empty(0), np.empty(0)
+    successes = np.fromiter(
+        (1 if e.outcome is RoundOutcome.SUCCESS else 0 for e in trace),
+        dtype=float,
+        count=len(trace),
+    )
+    n_windows = len(trace) // window
+    if n_windows == 0:
+        return (
+            np.array([len(trace) / 2.0]),
+            np.array([float(successes.mean())]),
+        )
+    trimmed = successes[: n_windows * window].reshape(n_windows, window)
+    rates = trimmed.mean(axis=1)
+    centres = np.arange(n_windows) * window + window / 2.0
+    return centres, rates
+
+
+@dataclass(frozen=True, slots=True)
+class ThroughputSummary:
+    """Aggregate throughput figures for one run."""
+
+    rounds: int
+    successes: int
+    overall: float  # successes / rounds
+    peak_window: float  # best windowed rate
+    silent_fraction: float  # fraction of SILENCE rounds
+    collision_fraction: float  # fraction of COLLISION rounds (incl. jammed)
+
+
+def summarize_throughput(
+    trace: Sequence[RoundEvent], *, window: int = 64
+) -> ThroughputSummary:
+    """Summarise a trace's channel utilisation."""
+    if not trace:
+        return ThroughputSummary(0, 0, 0.0, 0.0, 0.0, 0.0)
+    total = len(trace)
+    successes = sum(1 for e in trace if e.outcome is RoundOutcome.SUCCESS)
+    silences = sum(1 for e in trace if e.outcome is RoundOutcome.SILENCE)
+    collisions = total - successes - silences
+    _, rates = throughput_timeline(trace, window=window)
+    return ThroughputSummary(
+        rounds=total,
+        successes=successes,
+        overall=successes / total,
+        peak_window=float(rates.max()) if rates.size else 0.0,
+        silent_fraction=silences / total,
+        collision_fraction=collisions / total,
+    )

@@ -1,0 +1,22 @@
+"""Baseline protocols: ALOHA, back-off families, TDMA, splitting trees."""
+
+from repro.baselines.aloha import SlottedAlohaFixed, SlottedAlohaKnownK
+from repro.baselines.backoff import BinaryExponentialBackoff, PolynomialBackoff
+from repro.baselines.cd_adaptive import CdAimdProtocol
+from repro.baselines.hybrid_gfl import HybridEstimateSplit
+from repro.baselines.splitting import SplittingTree
+from repro.baselines.tdma import AlignedTDMA, tdma_factory
+from repro.baselines.willard import WillardSelection
+
+__all__ = [
+    "SlottedAlohaFixed",
+    "SlottedAlohaKnownK",
+    "BinaryExponentialBackoff",
+    "PolynomialBackoff",
+    "CdAimdProtocol",
+    "HybridEstimateSplit",
+    "SplittingTree",
+    "AlignedTDMA",
+    "tdma_factory",
+    "WillardSelection",
+]

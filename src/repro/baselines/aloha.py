@@ -1,0 +1,74 @@
+"""Slotted ALOHA baselines (Abramson 1970 / Roberts 1972; Section 1.1).
+
+The historical starting point of the field: every active station transmits
+each slot with a fixed probability, retrying until its ack arrives.
+
+* :class:`SlottedAlohaKnownK` — probability ``1/k`` (the throughput-optimal
+  choice when the contention size is known).  Expected latency
+  ``Theta(k log k)`` under simultaneous starts: each round is a success with
+  probability ``~1/e``, and collecting all ``k`` coupons costs the log
+  factor.  This is the natural "known k" comparator for Algorithm 1, which
+  removes the log factor by its slow ladder.
+
+* :class:`SlottedAlohaFixed` — a constant probability independent of ``k``;
+  without knowledge of the contention this is the naive universal code, and
+  it degrades catastrophically once ``k p >> 1`` (the classical ALOHA
+  instability), which is exactly the behaviour the paper's lower bound
+  formalises for non-adaptive ``k``-oblivious protocols.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.protocol import ProbabilitySchedule
+from repro.util.intmath import clamp_probability
+
+__all__ = ["SlottedAlohaKnownK", "SlottedAlohaFixed"]
+
+
+class SlottedAlohaKnownK(ProbabilitySchedule):
+    """Transmit with probability ``1/k`` every round until acknowledged."""
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.name = f"SlottedAloha(1/k, k={k})"
+        self._p = clamp_probability(1.0 / k)
+
+    def probability(self, local_round: int) -> float:
+        if local_round < 1:
+            raise ValueError(f"local_round must be >= 1, got {local_round}")
+        return self._p
+
+    def horizon(self) -> None:
+        return None
+
+    def probabilities(self, up_to: int) -> np.ndarray:
+        if up_to < 0:
+            raise ValueError(f"up_to must be non-negative, got {up_to}")
+        return np.full(up_to, self._p, dtype=float)
+
+
+class SlottedAlohaFixed(ProbabilitySchedule):
+    """Transmit with a constant probability ``p`` (no knowledge of ``k``)."""
+
+    def __init__(self, p: float = 0.1):
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"p must be in (0, 1], got {p}")
+        self.p = float(p)
+        self.name = f"SlottedAloha(p={p})"
+
+    def probability(self, local_round: int) -> float:
+        if local_round < 1:
+            raise ValueError(f"local_round must be >= 1, got {local_round}")
+        return self.p
+
+    def horizon(self) -> None:
+        return None
+
+    def probabilities(self, up_to: int) -> np.ndarray:
+        if up_to < 0:
+            raise ValueError(f"up_to must be non-negative, got {up_to}")
+        return np.full(up_to, self.p, dtype=float)

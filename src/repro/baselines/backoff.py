@@ -1,0 +1,94 @@
+"""Back-off baselines: binary exponential and polynomial back-off.
+
+These exploit the one feedback channel the paper's model *does* give a
+transmitter: the acknowledgement.  A station that transmits and receives no
+ack knows its attempt failed (collided), so classical back-off works without
+collision detection:
+
+* :class:`BinaryExponentialBackoff` — after each failed attempt, double the
+  contention window (up to ``max_window``) and re-draw a uniform slot in it.
+  The textbook Ethernet strategy; known to have superlinear makespan for
+  batch arrivals (Bender et al. 2005), which the baseline benchmark shows
+  against the paper's linear protocols.
+
+* :class:`PolynomialBackoff` — window grows as ``(attempt + 1)^degree``;
+  more stable than BEB for batches, still superlinear.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.feedback import Observation
+from repro.channel.messages import DataPacket
+from repro.core.protocol import Protocol, Transmission
+
+__all__ = ["BinaryExponentialBackoff", "PolynomialBackoff"]
+
+
+class _WindowedBackoff(Protocol):
+    """Common machinery: wait a uniformly drawn number of slots inside the
+    current window, transmit, then grow the window on failure."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._attempt = 0
+        self._countdown: Optional[int] = None
+
+    def _window(self) -> int:
+        """Current window size (subclasses define the growth law)."""
+        raise NotImplementedError
+
+    def begin(self, station_id: int, rng: np.random.Generator) -> None:
+        super().begin(station_id, rng)
+        self._draw()
+
+    def _draw(self) -> None:
+        self._countdown = int(self.rng.integers(0, self._window()))
+
+    def decide(self, local_round: int) -> Optional[Transmission]:
+        assert self._countdown is not None
+        if self._countdown > 0:
+            self._countdown -= 1
+            return None
+        return Transmission(DataPacket(origin=self.station_id))
+
+    def observe(self, observation: Observation) -> None:
+        if not observation.transmitted:
+            return
+        if observation.acked:
+            self.switch_off()
+            return
+        # Transmitted without ack: the attempt failed; back off.
+        self._attempt += 1
+        self._draw()
+
+
+class BinaryExponentialBackoff(_WindowedBackoff):
+    """Window ``min(2^attempt, max_window)``; retransmit until acked."""
+
+    def __init__(self, max_window: int = 1 << 16):
+        super().__init__()
+        if max_window < 1:
+            raise ValueError(f"max_window must be >= 1, got {max_window}")
+        self.max_window = max_window
+        self.name = "BEB"
+
+    def _window(self) -> int:
+        return min(1 << min(self._attempt, 62), self.max_window)
+
+
+class PolynomialBackoff(_WindowedBackoff):
+    """Window ``(attempt + 1)^degree``; retransmit until acked."""
+
+    def __init__(self, degree: int = 2):
+        super().__init__()
+        if degree < 1:
+            raise ValueError(f"degree must be >= 1, got {degree}")
+        self.degree = degree
+        self.name = f"PolyBackoff(d={degree})"
+
+    def _window(self) -> int:
+        return (self._attempt + 1) ** self.degree

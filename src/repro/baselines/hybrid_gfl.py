@@ -1,0 +1,125 @@
+"""Hybrid estimate-then-resolve algorithm (Greenberg-Flajolet-Ladner style).
+
+Section 1.1 of the paper recounts the static-model history: Massey showed
+the splitting algorithm resolves known contention in ``2.8867k`` expected
+slots, and Greenberg, Flajolet and Ladner's *hybrid* algorithm reached
+``2.134k + O(log k)`` without prior knowledge by first *estimating* the
+contention and then running a splitting resolution tuned to the estimate.
+
+This module implements the scheme's two phases (with collision detection,
+static starts, as in the original):
+
+* **Estimate phase** — a geometrically decreasing probe: in probe round
+  ``j`` every station transmits with probability ``2^-j``.  While the
+  channel still collides the contention exceeds ``~2^j``; the first
+  non-collision round yields the estimate ``k_hat = 2^j``.
+* **Resolution phase** — *gated splitting*: each station draws a uniform
+  gate ``g in [0, k_hat)`` and joins the classical stack splitting tree
+  with initial stack level ``g``.  Levels decrement on every non-collision
+  (the head group is resolved) and the usual fair-coin split handles
+  collisions, so the gates are served in order with tree repair — the
+  textbook mechanism behind the GFL constant.
+
+It is a *static-model* baseline: under asynchronous starts the estimate
+phases of different stations misalign and the algorithm loses its
+guarantee (which is the paper's motivation in a nutshell — shown in the
+``static_constants`` experiment).
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.events import RoundOutcome
+from repro.channel.feedback import Observation
+from repro.channel.messages import DataPacket
+from repro.core.protocol import Protocol, Transmission
+
+__all__ = ["HybridEstimateSplit"]
+
+
+class _Phase(enum.Enum):
+    ESTIMATE = "estimate"
+    RESOLVE = "resolve"
+
+
+class HybridEstimateSplit(Protocol):
+    """GFL-style hybrid: probe the contention, then gated splitting.
+
+    Requires ``FeedbackModel.COLLISION_DETECTION`` and simultaneous starts
+    (each station runs its own phase clock; only under static starts do the
+    clocks agree).
+
+    Args:
+        max_estimate_rounds: cap on the probe phase (safety for the
+            misaligned/dynamic misuse case).
+    """
+
+    def __init__(self, max_estimate_rounds: int = 64):
+        super().__init__()
+        if max_estimate_rounds < 1:
+            raise ValueError(
+                f"max_estimate_rounds must be >= 1, got {max_estimate_rounds}"
+            )
+        self.max_estimate_rounds = max_estimate_rounds
+        self.phase = _Phase.ESTIMATE
+        self.probe_index = 0  # j: probe probability is 2^-j
+        self.estimate: Optional[int] = None
+        self.level = 0  # stack level once resolving
+        self._transmitted_last = False
+
+    def _enter_resolution(self) -> None:
+        self.phase = _Phase.RESOLVE
+        k_hat = self.estimate if self.estimate is not None else 1
+        self.level = int(self.rng.integers(0, max(1, k_hat)))
+
+    def decide(self, local_round: int) -> Optional[Transmission]:
+        if self.phase is _Phase.ESTIMATE:
+            p = 2.0 ** (-self.probe_index)
+            self._transmitted_last = bool(self.rng.random() < p)
+            if self._transmitted_last:
+                return Transmission(DataPacket(origin=self.station_id))
+            return None
+        self._transmitted_last = self.level == 0
+        if self._transmitted_last:
+            return Transmission(DataPacket(origin=self.station_id))
+        return None
+
+    def observe(self, observation: Observation) -> None:
+        if observation.acked and self.phase is _Phase.RESOLVE:
+            self.switch_off()
+            return
+        if observation.channel is None:
+            raise RuntimeError(
+                "HybridEstimateSplit requires FeedbackModel.COLLISION_DETECTION"
+            )
+        outcome = observation.channel
+        if self.phase is _Phase.ESTIMATE:
+            if observation.acked:
+                # Sole transmitter during the probe: contention is tiny and
+                # this station's packet is already through.
+                self.switch_off()
+                return
+            if outcome is RoundOutcome.COLLISION:
+                self.probe_index += 1
+                if self.probe_index >= self.max_estimate_rounds:
+                    self.estimate = 2**self.probe_index
+                    self._enter_resolution()
+                return
+            # First non-collision: the probe probability ~1/contention.
+            self.estimate = 2**self.probe_index
+            self._enter_resolution()
+            return
+        # Resolution phase: classical stack dynamics.
+        if outcome is RoundOutcome.COLLISION:
+            if self._transmitted_last:
+                if self.rng.random() < 0.5:
+                    self.level = 1
+                # else stay at 0 and retransmit next round
+            else:
+                self.level += 1
+        else:
+            self.level = max(0, self.level - 1)

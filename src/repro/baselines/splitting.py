@@ -1,0 +1,71 @@
+"""Splitting (tree) algorithm baseline — requires collision detection.
+
+The collision-resolution approach of Capetanakis, Hayes, and
+Tsybakov-Mikhailov (Section 1.1): when a collision occurs, the colliding
+set splits by fair coins into two subsets resolved one after the other.
+This is the classical stack ("free access") formulation:
+
+* every station keeps a stack level ``L``; stations at ``L == 0`` transmit;
+* on COLLISION: each transmitter stays at 0 with probability 1/2 or moves
+  to 1; every non-transmitting active station increments ``L`` (making room
+  for the split);
+* on SUCCESS or SILENCE: the level-0 group is resolved; everyone decrements
+  ``L`` (the winner switches off);
+* a newly woken station joins at ``L == 0`` (the *free access* variant,
+  which tolerates dynamic arrivals).
+
+It needs the ternary SILENCE/SUCCESS/COLLISION feedback, i.e. the
+``COLLISION_DETECTION`` model — the capability the paper's protocols do
+without.  The baseline benchmark runs it under CD and shows the paper's
+CD-free protocols matching its linear-latency shape, reproducing the
+"no collision detection needed" headline of Theorems 3.1/5.3.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.events import RoundOutcome
+from repro.channel.feedback import Observation
+from repro.channel.messages import DataPacket
+from repro.core.protocol import Protocol, Transmission
+
+__all__ = ["SplittingTree"]
+
+
+class SplittingTree(Protocol):
+    """Free-access stack splitting algorithm (needs collision detection)."""
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.level = 0
+        self._transmitted_last = False
+        self.name = "SplittingTree"
+
+    def decide(self, local_round: int) -> Optional[Transmission]:
+        self._transmitted_last = self.level == 0
+        if self._transmitted_last:
+            return Transmission(DataPacket(origin=self.station_id))
+        return None
+
+    def observe(self, observation: Observation) -> None:
+        if observation.acked:
+            self.switch_off()
+            return
+        if observation.channel is None:
+            raise RuntimeError(
+                "SplittingTree requires FeedbackModel.COLLISION_DETECTION"
+            )
+        outcome = observation.channel
+        if outcome is RoundOutcome.COLLISION:
+            if self._transmitted_last:
+                # Split the colliding set by a fair coin.
+                if self.rng.random() < 0.5:
+                    self.level = 1
+            else:
+                self.level += 1
+        else:
+            # SUCCESS (by someone else) or SILENCE: level-0 group resolved.
+            self.level = max(0, self.level - 1)

@@ -1,0 +1,105 @@
+"""Willard's expected O(log log n) selection (CD wake-up baseline).
+
+Willard (1986) showed that with ternary collision-detection feedback, a
+single transmission can be isolated among an unknown number of contenders
+in ``O(log log n)`` expected rounds — exponentially faster than the
+harmonic schedule's O(k), at the price of the CD capability the paper's
+model denies.  Including it calibrates the wake-up experiments: the gap
+between ``DecreaseSlowly`` (no CD) and Willard (CD) is the price of the
+paper's severe feedback model for the *first* success.
+
+The implemented strategy is the classical doubling-then-binary-search:
+
+* **Phase 1 (doubling probe)**: try probabilities ``2^-1, 2^-2, 2^-4,
+  2^-8, ...`` (squares of the exponent) until a round is *not* a
+  collision.  This brackets ``log2 n`` within a factor of 2 in
+  ``O(log log n)`` rounds.
+* **Phase 2 (binary search)**: binary-search the exponent inside the
+  bracket: a collision means the probability is still too high, silence
+  means too low, success ends everything.
+
+Every station runs the same deterministic exponent sequence driven by the
+common CD feedback, so the group stays synchronized under static starts
+(the setting of the wake-up comparison; like the other CD baselines it has
+no asynchronous guarantee).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.events import RoundOutcome
+from repro.channel.feedback import Observation
+from repro.channel.messages import DataPacket
+from repro.core.protocol import Protocol, Transmission
+
+__all__ = ["WillardSelection"]
+
+
+class WillardSelection(Protocol):
+    """Doubling + binary-search selection over CD feedback.
+
+    The protocol targets the *wake-up* task (first success); after a
+    success every station that is not the winner goes quiet by design
+    (run it with ``StopCondition.FIRST_SUCCESS``).
+    """
+
+    def __init__(self, max_exponent: int = 64):
+        super().__init__()
+        if max_exponent < 1:
+            raise ValueError(f"max_exponent must be >= 1, got {max_exponent}")
+        self.max_exponent = max_exponent
+        # Phase 1 state: exponent doubles 1, 2, 4, 8, ...
+        self.exponent = 1
+        self.doubling = True
+        # Phase 2 state: binary-search bracket [low, high].
+        self.low = 0
+        self.high = 0
+
+    def _probability(self) -> float:
+        return 2.0 ** (-min(self.exponent, self.max_exponent))
+
+    def decide(self, local_round: int) -> Optional[Transmission]:
+        if self.rng.random() < self._probability():
+            return Transmission(DataPacket(origin=self.station_id))
+        return None
+
+    def observe(self, observation: Observation) -> None:
+        if observation.acked:
+            self.switch_off()
+            return
+        if observation.channel is None:
+            raise RuntimeError(
+                "WillardSelection requires FeedbackModel.COLLISION_DETECTION"
+            )
+        outcome = observation.channel
+        if outcome is RoundOutcome.SUCCESS:
+            # Someone was isolated: the task is done; go quiet.
+            self.switch_off()
+            return
+        if self.doubling:
+            if outcome is RoundOutcome.COLLISION:
+                # Still too crowded: square the step (exponent doubles).
+                if self.exponent >= self.max_exponent:
+                    self.doubling = False
+                    self.low, self.high = self.exponent // 2, self.exponent
+                else:
+                    self.exponent *= 2
+            else:  # SILENCE: overshot; bracket found.
+                self.doubling = False
+                self.low, self.high = self.exponent // 2, self.exponent
+                self.exponent = (self.low + self.high) // 2
+            return
+        # Binary search on the exponent.
+        if self.high - self.low <= 1:
+            # Bracket exhausted without isolation (rare): restart the
+            # search one octave wider — keeps the chain ergodic.
+            self.low = max(0, self.low - 1)
+            self.high = self.high + 1
+        if outcome is RoundOutcome.COLLISION:
+            self.low = self.exponent  # too high a probability
+        else:
+            self.high = self.exponent  # silence: too low
+        self.exponent = max(1, (self.low + self.high) // 2)

@@ -1,0 +1,83 @@
+"""Channel round outcomes and per-round event records.
+
+The multiple-access channel of the paper has exactly three per-round
+outcomes, determined by the number ``m`` of simultaneous transmitters:
+
+* ``m == 0`` — SILENCE: nothing is heard;
+* ``m == 1`` — SUCCESS: the message is delivered to every listening active
+  station and the transmitter receives an acknowledgement;
+* ``m > 1`` — COLLISION: no message is delivered.  Without collision
+  detection a listener cannot distinguish COLLISION from SILENCE.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["RoundOutcome", "RoundEvent"]
+
+
+class RoundOutcome(enum.Enum):
+    """What happened on the channel in one slot."""
+
+    SILENCE = "silence"
+    SUCCESS = "success"
+    COLLISION = "collision"
+
+    @staticmethod
+    def from_transmitter_count(m: int) -> "RoundOutcome":
+        """Map a transmitter count to the channel outcome.
+
+        >>> RoundOutcome.from_transmitter_count(0)
+        <RoundOutcome.SILENCE: 'silence'>
+        >>> RoundOutcome.from_transmitter_count(1)
+        <RoundOutcome.SUCCESS: 'success'>
+        >>> RoundOutcome.from_transmitter_count(5)
+        <RoundOutcome.COLLISION: 'collision'>
+        """
+        if m < 0:
+            raise ValueError(f"transmitter count cannot be negative, got {m}")
+        if m == 0:
+            return RoundOutcome.SILENCE
+        if m == 1:
+            return RoundOutcome.SUCCESS
+        return RoundOutcome.COLLISION
+
+
+@dataclass(frozen=True, slots=True)
+class RoundEvent:
+    """Immutable record of one channel round (reference-clock time ``t``).
+
+    Attributes:
+        round_index: global (reference-clock) round number, starting at 1.
+        outcome: the channel outcome of the round.
+        transmitter_count: how many stations transmitted.
+        winner: station id of the unique transmitter on SUCCESS, else None.
+        message: the delivered message payload on SUCCESS, else None.
+        jammed: True iff an adversarial jammer destroyed the round; a
+            jammed round is always a COLLISION regardless of how many
+            stations transmitted (possibly zero).
+    """
+
+    round_index: int
+    outcome: RoundOutcome
+    transmitter_count: int
+    winner: Optional[int] = None
+    message: Optional[object] = None
+    jammed: bool = False
+
+    def __post_init__(self) -> None:
+        if self.jammed:
+            if self.outcome is not RoundOutcome.COLLISION:
+                raise ValueError("a jammed round must be recorded as COLLISION")
+        else:
+            expected = RoundOutcome.from_transmitter_count(self.transmitter_count)
+            if expected is not self.outcome:
+                raise ValueError(
+                    f"outcome {self.outcome} inconsistent with "
+                    f"{self.transmitter_count} transmitters"
+                )
+        if (self.outcome is RoundOutcome.SUCCESS) != (self.winner is not None):
+            raise ValueError("winner must be set exactly on SUCCESS rounds")

@@ -1,0 +1,86 @@
+"""Channel feedback models.
+
+The paper's setting is **no collision detection**: a listener cannot tell a
+collision from silence, and the only transmitter feedback is an
+acknowledgement on success.  The splitting-tree baseline (Section 1.1
+history) requires collision detection, so a CD model is provided too — used
+*only* by that baseline, never by the paper's protocols.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Optional
+
+from repro.channel.events import RoundOutcome
+
+__all__ = ["FeedbackModel", "Observation"]
+
+
+class FeedbackModel(enum.Enum):
+    """How much of the channel outcome stations can perceive."""
+
+    #: Paper model: transmitters get an ack iff successful; listeners receive
+    #: the message on success and hear nothing otherwise (silence and
+    #: collision are indistinguishable).
+    ACK_ONLY = "ack_only"
+
+    #: Ternary feedback: every active station learns SILENCE / SUCCESS /
+    #: COLLISION each round.  Used only by baselines that need it.
+    COLLISION_DETECTION = "collision_detection"
+
+
+@dataclass(frozen=True, slots=True)
+class Observation:
+    """What one station perceives at the end of one round.
+
+    Attributes:
+        local_round: the round index on the station's *local* clock.
+        transmitted: whether this station transmitted this round.
+        acked: True iff this station transmitted and was the sole transmitter.
+        message: the delivered payload if this station was listening and the
+            round was a SUCCESS by *another* station; None otherwise.
+        channel: the true channel outcome — populated only under
+            COLLISION_DETECTION; None under ACK_ONLY (listeners must not be
+            able to branch on collision vs silence).
+    """
+
+    local_round: int
+    transmitted: bool
+    acked: bool
+    message: Optional[object] = None
+    channel: Optional[RoundOutcome] = None
+
+    def __post_init__(self) -> None:
+        if self.acked and not self.transmitted:
+            raise ValueError("a station cannot be acked without transmitting")
+        if self.transmitted and self.message is not None:
+            raise ValueError("a transmitting station does not receive messages")
+
+
+def make_observation(
+    *,
+    local_round: int,
+    transmitted: bool,
+    outcome: RoundOutcome,
+    is_winner: bool,
+    delivered: Optional[object],
+    model: FeedbackModel,
+) -> Observation:
+    """Build the per-station observation for a resolved round.
+
+    ``delivered`` is the successful message (if any); it is only exposed to
+    listeners.  Under ACK_ONLY the true outcome is withheld.
+    """
+    message = None
+    if not transmitted and outcome is RoundOutcome.SUCCESS:
+        message = delivered
+    channel = outcome if model is FeedbackModel.COLLISION_DETECTION else None
+    return Observation(
+        local_round=local_round,
+        transmitted=transmitted,
+        acked=is_winner,
+        message=message,
+        channel=channel,
+    )

@@ -1,0 +1,121 @@
+"""Adversarial jamming models (the related-work setting of Section 1.2).
+
+The paper's related-work section surveys contention resolution under
+jamming (Awerbuch et al., Richa et al., Bender et al.), including the
+result that *without collision detection no constant-throughput algorithm
+survives jamming*.  The reproduction includes a jamming substrate so that
+robustness experiments can probe the paper's protocols outside their
+guarantee envelope.
+
+A jammed round can never carry a successful transmission: transmitters get
+no ack and listeners receive nothing (under the no-CD model a jammed round
+is indistinguishable from a collision, i.e. from silence).  Jammers are
+budget-free here; rate-bounding is expressed by the concrete strategy.
+"""
+
+from __future__ import annotations
+
+import abc
+from collections.abc import Sequence
+
+import numpy as np
+
+__all__ = ["Jammer", "RandomJammer", "PeriodicJammer", "ReactiveJammer"]
+
+
+class Jammer(abc.ABC):
+    """Decides, per round, whether the channel is jammed."""
+
+    name: str = "jammer"
+
+    def begin(self, rng: np.random.Generator) -> None:
+        """Reset state for one execution; default: keep the generator."""
+        self._rng = rng
+
+    @abc.abstractmethod
+    def jams(self, round_index: int, history: Sequence) -> bool:
+        """True iff round ``round_index`` is jammed.  ``history`` is the
+        channel event log so far (adaptive jammers may inspect it)."""
+
+
+class RandomJammer(Jammer):
+    """Jam each round independently with probability ``rate``.
+
+    The simplest bounded-fraction jammer: over any long window roughly a
+    ``rate`` fraction of slots is destroyed.
+    """
+
+    def __init__(self, rate: float):
+        if not 0.0 <= rate < 1.0:
+            raise ValueError(f"rate must be in [0, 1), got {rate}")
+        self.rate = rate
+        self.name = f"random-jammer(rate={rate})"
+
+    def jams(self, round_index: int, history: Sequence) -> bool:
+        return self.rate > 0.0 and self._rng.random() < self.rate
+
+
+class PeriodicJammer(Jammer):
+    """Jam ``burst`` consecutive rounds out of every ``period``.
+
+    A deterministic duty-cycle jammer; stresses schedules whose critical
+    rounds could be phase-locked to the jam window.
+    """
+
+    def __init__(self, period: int, burst: int):
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        if not 0 <= burst <= period:
+            raise ValueError(f"burst must be in [0, {period}], got {burst}")
+        self.period = period
+        self.burst = burst
+        self.name = f"periodic-jammer({burst}/{period})"
+
+    def jams(self, round_index: int, history: Sequence) -> bool:
+        return round_index % self.period < self.burst
+
+
+class ReactiveJammer(Jammer):
+    """Jam the rounds immediately following a success (adaptive).
+
+    Tries to break any momentum a protocol builds from coordination
+    messages — the strategy that hurts ``AdaptiveNoK``'s leader bits most.
+    """
+
+    def __init__(self, cooldown: int = 2):
+        if cooldown < 1:
+            raise ValueError(f"cooldown must be >= 1, got {cooldown}")
+        self.cooldown = cooldown
+        self.name = f"reactive-jammer(cooldown={cooldown})"
+        self._remaining = 0
+
+    def begin(self, rng: np.random.Generator) -> None:
+        super().begin(rng)
+        self._remaining = 0
+
+    def jams(self, round_index: int, history: Sequence) -> bool:
+        from repro.channel.events import RoundOutcome
+
+        if history and history[-1].outcome is RoundOutcome.SUCCESS:
+            self._remaining = self.cooldown
+        if self._remaining > 0:
+            self._remaining -= 1
+            return True
+        return False
+
+
+def draw_jam_rounds(
+    rate: float, horizon: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Pre-draw an oblivious random-jam schedule for the vectorised engine.
+
+    Returns the sorted jammed round indices in ``[1, horizon]``.
+    """
+    if not 0.0 <= rate < 1.0:
+        raise ValueError(f"rate must be in [0, 1), got {rate}")
+    if horizon < 1:
+        raise ValueError(f"horizon must be >= 1, got {horizon}")
+    if rate == 0.0:
+        return np.empty(0, dtype=np.int64)
+    mask = rng.random(horizon) < rate
+    return np.flatnonzero(mask).astype(np.int64) + 1

@@ -1,0 +1,66 @@
+"""Message payloads carried on the channel.
+
+Non-adaptive protocols only ever transmit the station's own data packet.
+The adaptive protocol of Section 5 (``AdaptiveNoK``) additionally sends
+one-bit control messages, encoded per the paper:
+
+* bit 0 — ``<D mode>``: the leader announces the dissemination mode;
+* bit 1 — ``<is there anybody out there?>``: probe whether any synchronized
+  station is still alive.
+
+These are modelled as distinct frozen dataclasses so listening stations can
+dispatch on the message type without string parsing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "DataPacket",
+    "DModeAnnouncement",
+    "AnybodyOutThereProbe",
+    "control_bit",
+]
+
+
+@dataclass(frozen=True, slots=True)
+class DataPacket:
+    """The payload each station must deliver (the contention-resolution goal).
+
+    Packets are *not* usable as identifiers by the protocols (stations are
+    anonymous); ``origin`` exists purely for bookkeeping by the simulator and
+    test assertions.
+    """
+
+    origin: int
+
+
+@dataclass(frozen=True, slots=True)
+class DModeAnnouncement:
+    """``<D mode>`` control message (bit 0), sent by the leader in black rounds."""
+
+
+@dataclass(frozen=True, slots=True)
+class AnybodyOutThereProbe:
+    """``<is there anybody out there?>`` control message (bit 1).
+
+    Sent jointly in white rounds (``tc == 2**x``) by the leader and all
+    still-alive synchronized stations; the leader interprets an ack on this
+    probe as "everyone else is done".
+    """
+
+
+def control_bit(message: object) -> int | None:
+    """Return the one-bit encoding of a control message, or None for data.
+
+    >>> control_bit(DModeAnnouncement()), control_bit(AnybodyOutThereProbe())
+    (0, 1)
+    >>> control_bit(DataPacket(origin=3)) is None
+    True
+    """
+    if isinstance(message, DModeAnnouncement):
+        return 0
+    if isinstance(message, AnybodyOutThereProbe):
+        return 1
+    return None

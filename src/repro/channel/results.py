@@ -1,0 +1,106 @@
+"""Run results shared by both simulation engines."""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.channel.events import RoundEvent
+from repro.core.station import StationRecord
+
+__all__ = ["StopCondition", "RunResult"]
+
+
+class StopCondition(enum.Enum):
+    """When a simulation run is considered complete."""
+
+    #: Every station has switched off (the paper's definition of the task
+    #: being accomplished: all packets delivered, all stations disabled).
+    ALL_SWITCHED_OFF = "all_switched_off"
+
+    #: Every station has transmitted successfully at least once (used for
+    #: the no-acknowledgement variant, where stations never switch off).
+    ALL_SUCCEEDED = "all_succeeded"
+
+    #: The first successful transmission (the *wake-up* problem, used to
+    #: evaluate ``DecreaseSlowly`` / Theorem 5.1).
+    FIRST_SUCCESS = "first_success"
+
+
+@dataclass(slots=True)
+class RunResult:
+    """Outcome of one simulated execution.
+
+    Attributes:
+        records: one :class:`StationRecord` per station, in station-id order.
+        rounds_executed: number of reference-clock rounds simulated.
+        completed: whether the stop condition was met before ``max_rounds``.
+        stop: the stop condition the run was checked against.
+        trace: full per-round event log if tracing was enabled, else None.
+        seed: the seed the run was started with (None = OS entropy).
+        protocol_name / adversary_name: labels for reporting.
+    """
+
+    records: list[StationRecord]
+    rounds_executed: int
+    completed: bool
+    stop: StopCondition
+    trace: Optional[list[RoundEvent]] = None
+    seed: Optional[int] = None
+    protocol_name: str = ""
+    adversary_name: str = ""
+
+    @property
+    def k(self) -> int:
+        return len(self.records)
+
+    @property
+    def success_count(self) -> int:
+        """How many stations delivered their packet."""
+        return sum(1 for r in self.records if r.succeeded)
+
+    @property
+    def total_transmissions(self) -> int:
+        """The paper's energy metric: total broadcast attempts, all stations."""
+        return sum(r.transmissions for r in self.records)
+
+    @property
+    def total_listening_slots(self) -> int:
+        """Total receiving rounds across stations (Discussion-section cost).
+
+        Zero for non-adaptive protocols, which never need to receive.
+        """
+        return sum(r.listening_slots for r in self.records)
+
+    @property
+    def latencies(self) -> list[int]:
+        """Per-station latencies, only for stations that succeeded."""
+        return [r.latency for r in self.records if r.latency is not None]
+
+    @property
+    def max_latency(self) -> Optional[int]:
+        """The paper's latency metric: max over stations, None if nobody
+        succeeded (or, for incomplete runs, max over those who did)."""
+        latencies = self.latencies
+        return max(latencies) if latencies else None
+
+    @property
+    def first_success_round(self) -> Optional[int]:
+        """Earliest successful round (the wake-up completion time)."""
+        rounds = [r.first_success_round for r in self.records if r.succeeded]
+        return min(rounds) if rounds else None
+
+    def summary(self) -> dict[str, object]:
+        """Flat dict for table rows / CSV export."""
+        return {
+            "protocol": self.protocol_name,
+            "adversary": self.adversary_name,
+            "k": self.k,
+            "completed": self.completed,
+            "rounds": self.rounds_executed,
+            "successes": self.success_count,
+            "max_latency": self.max_latency,
+            "energy": self.total_transmissions,
+            "listening": self.total_listening_slots,
+        }

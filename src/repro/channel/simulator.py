@@ -1,0 +1,224 @@
+"""The object engine: a slot-exact multiple-access channel simulator.
+
+This engine executes the paper's model literally (Section 1): discrete
+synchronous rounds, anonymous stations woken by an adversary, success iff
+exactly one transmitter, acknowledgement-only feedback, no global clock
+(each protocol only ever sees its *local* round index).
+
+It supports arbitrary :class:`~repro.core.protocol.Protocol` implementations
+— including the adaptive ``AdaptiveNoK`` with its control messages — and
+both oblivious and adaptive adversaries.  For large sweeps of *non-adaptive*
+schedules prefer :mod:`repro.channel.vectorized`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from typing import Optional, Union
+
+from repro.adversary.base import AdaptiveAdversary, WakeSchedule
+from repro.channel.events import RoundEvent, RoundOutcome
+from repro.channel.feedback import FeedbackModel, make_observation
+from repro.channel.results import RunResult, StopCondition
+from repro.core.protocol import Protocol
+from repro.core.station import Station
+from repro.util.rng import RngFactory
+
+__all__ = ["SlotSimulator", "default_max_rounds"]
+
+ProtocolFactory = Callable[[], Protocol]
+Adversary = Union[WakeSchedule, AdaptiveAdversary]
+
+
+def default_max_rounds(k: int) -> int:
+    """A generous default horizon: enough for every paper protocol at any
+    realistic constant, while still bounding runaway executions."""
+    return 400 * k + 20_000
+
+
+class SlotSimulator:
+    """Simulate one execution of a protocol under an adversary.
+
+    Args:
+        k: number of contending stations.
+        protocol_factory: zero-argument callable producing a fresh
+            :class:`Protocol` per station (stations are identical copies, as
+            the paper's anonymity demands).
+        adversary: a :class:`WakeSchedule` (oblivious) or
+            :class:`AdaptiveAdversary` (online).
+        feedback: channel feedback model; the paper's protocols use ACK_ONLY.
+        stop: when the run counts as complete.
+        max_rounds: hard horizon; None picks :func:`default_max_rounds`.
+        seed: base seed for all randomness (adversary + stations).
+        record_trace: keep the full per-round event log on the result.
+        jammer: optional :class:`~repro.channel.jamming.Jammer`; a jammed
+            round carries no successful transmission.
+    """
+
+    def __init__(
+        self,
+        k: int,
+        protocol_factory: ProtocolFactory,
+        adversary: Adversary,
+        *,
+        feedback: FeedbackModel = FeedbackModel.ACK_ONLY,
+        stop: StopCondition = StopCondition.ALL_SWITCHED_OFF,
+        max_rounds: Optional[int] = None,
+        seed: Optional[int] = None,
+        record_trace: bool = False,
+        jammer=None,
+    ):
+        if k < 1:
+            raise ValueError(f"need at least one station, got k={k}")
+        self.k = k
+        self.protocol_factory = protocol_factory
+        self.adversary = adversary
+        self.feedback = feedback
+        self.stop = stop
+        self.max_rounds = max_rounds if max_rounds is not None else default_max_rounds(k)
+        self.seed = seed
+        self.record_trace = record_trace
+        self.jammer = jammer
+
+    def run(self) -> RunResult:
+        rng_factory = RngFactory(self.seed)
+        adversary_rng = rng_factory.next_generator()
+        if self.jammer is not None:
+            self.jammer.begin(rng_factory.next_generator())
+
+        adaptive = isinstance(self.adversary, AdaptiveAdversary)
+        if adaptive:
+            self.adversary.begin(self.k, adversary_rng)
+            wake_deadline = self.adversary.deadline(self.k)
+            pending_by_round: dict[int, int] = {}
+        else:
+            rounds = self.adversary.wake_rounds(self.k, adversary_rng)
+            if len(rounds) != self.k:
+                raise ValueError(
+                    f"adversary produced {len(rounds)} wake rounds for k={self.k}"
+                )
+            pending_by_round = {}
+            for r in rounds:
+                pending_by_round[int(r)] = pending_by_round.get(int(r), 0) + 1
+            wake_deadline = max(rounds) if rounds else 0
+
+        stations: list[Station] = []
+        active: list[Station] = []
+        history: list[RoundEvent] = []
+        woken = 0
+        succeeded = 0
+        switched_off = 0
+
+        def wake(count: int, at_round: int) -> None:
+            nonlocal woken
+            count = min(count, self.k - woken)
+            for _ in range(count):
+                station = Station(
+                    station_id=len(stations),
+                    wake_round=at_round,
+                    protocol=self.protocol_factory(),
+                    rng=rng_factory.next_generator(),
+                )
+                stations.append(station)
+                active.append(station)
+                woken += 1
+
+        def stop_met() -> bool:
+            if self.stop is StopCondition.FIRST_SUCCESS:
+                return succeeded >= 1
+            if woken < self.k:
+                return False
+            if self.stop is StopCondition.ALL_SUCCEEDED:
+                return succeeded >= self.k
+            return switched_off >= self.k
+
+        # Round 0 wakes (stations present "from the very beginning").
+        if adaptive:
+            wake(self.adversary.wake_now(0, history), 0)
+        elif 0 in pending_by_round:
+            wake(pending_by_round.pop(0), 0)
+
+        t = 0
+        while t < self.max_rounds:
+            t += 1
+            # 1. Adversary wakes stations at the start of round t.
+            if woken < self.k:
+                if adaptive:
+                    want = self.adversary.wake_now(t, history)
+                    if t >= wake_deadline:
+                        want = self.k - woken
+                    if want > 0:
+                        wake(want, t)
+                elif t in pending_by_round:
+                    wake(pending_by_round.pop(t), t)
+
+            # 2. Collect decisions from stations with local round >= 1.
+            transmitters: list[tuple[Station, object]] = []
+            for station in active:
+                if station.local_round(t) < 1:
+                    continue
+                decision = station.decide(t)
+                if decision is not None:
+                    transmitters.append((station, decision.payload))
+
+            # 3. Resolve the channel.
+            m = len(transmitters)
+            jammed = self.jammer is not None and self.jammer.jams(t, history)
+            if jammed:
+                outcome = RoundOutcome.COLLISION
+            else:
+                outcome = RoundOutcome.from_transmitter_count(m)
+            winner: Optional[Station] = None
+            delivered: Optional[object] = None
+            if outcome is RoundOutcome.SUCCESS:
+                winner, delivered = transmitters[0]
+
+            event = RoundEvent(
+                round_index=t,
+                outcome=outcome,
+                transmitter_count=m,
+                winner=winner.station_id if winner is not None else None,
+                message=delivered,
+                jammed=jammed,
+            )
+            history.append(event)
+
+            # 4. Deliver observations to every station active this round.
+            transmitted_ids = {station.station_id for station, _ in transmitters}
+            for station in active:
+                local = station.local_round(t)
+                if local < 1:
+                    continue
+                did_transmit = station.station_id in transmitted_ids
+                obs = make_observation(
+                    local_round=local,
+                    transmitted=did_transmit,
+                    outcome=outcome,
+                    is_winner=winner is not None and station is winner,
+                    delivered=delivered,
+                    model=self.feedback,
+                )
+                was_succeeded = station.first_success_round is not None
+                station.observe(obs, t)
+                if station.first_success_round is not None and not was_succeeded:
+                    succeeded += 1
+
+            # 5. Retire switched-off stations.
+            still_active = [s for s in active if s.active]
+            switched_off += len(active) - len(still_active)
+            active = still_active
+
+            if stop_met():
+                break
+
+        completed = stop_met()
+        return RunResult(
+            records=[s.record() for s in stations],
+            rounds_executed=t,
+            completed=completed,
+            stop=self.stop,
+            trace=history if self.record_trace else None,
+            seed=self.seed,
+            protocol_name=getattr(self.protocol_factory, "protocol_name", ""),
+            adversary_name=getattr(self.adversary, "name", ""),
+        )

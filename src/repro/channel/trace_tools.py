@@ -1,0 +1,136 @@
+"""Trace tooling: timelines, gap statistics, run serialisation.
+
+Utilities for inspecting individual executions: render a channel trace as
+a one-character-per-round ASCII strip, extract success-gap statistics, and
+serialise a :class:`~repro.channel.results.RunResult` to plain dicts /
+JSON for archiving or offline plotting.
+"""
+
+from __future__ import annotations
+
+import json
+from collections.abc import Sequence
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.events import RoundEvent, RoundOutcome
+from repro.channel.results import RunResult, StopCondition
+from repro.core.station import StationRecord
+
+__all__ = [
+    "render_timeline",
+    "success_gaps",
+    "run_result_to_dict",
+    "run_result_from_dict",
+    "dump_run_result",
+    "load_run_result",
+]
+
+_GLYPHS = {
+    RoundOutcome.SILENCE: ".",
+    RoundOutcome.SUCCESS: "S",
+    RoundOutcome.COLLISION: "x",
+}
+
+
+def render_timeline(
+    trace: Sequence[RoundEvent], *, width: int = 80, max_rows: int = 40
+) -> str:
+    """One character per round: ``.`` silence, ``S`` success, ``x``
+    collision, ``#`` jammed.  Wrapped at ``width`` with round labels."""
+    if width < 1:
+        raise ValueError(f"width must be >= 1, got {width}")
+    glyphs = []
+    for event in trace:
+        glyphs.append("#" if event.jammed else _GLYPHS[event.outcome])
+    lines = []
+    for start in range(0, len(glyphs), width):
+        if len(lines) >= max_rows:
+            lines.append(f"... ({len(glyphs) - start} more rounds)")
+            break
+        chunk = "".join(glyphs[start : start + width])
+        lines.append(f"{start + 1:>8} | {chunk}")
+    return "\n".join(lines)
+
+
+def success_gaps(trace: Sequence[RoundEvent]) -> np.ndarray:
+    """Gaps (in rounds) between consecutive SUCCESS events.
+
+    The gap distribution is the fine-grained view of throughput: constant
+    throughput = bounded gaps; a stalled protocol shows a heavy tail.
+    """
+    success_rounds = [
+        e.round_index for e in trace if e.outcome is RoundOutcome.SUCCESS
+    ]
+    if len(success_rounds) < 2:
+        return np.empty(0, dtype=np.int64)
+    return np.diff(np.asarray(success_rounds, dtype=np.int64))
+
+
+def run_result_to_dict(result: RunResult) -> dict:
+    """Serialise a run (records + aggregates; the trace is summarised, not
+    embedded — traces can be huge and carry non-JSON payload objects)."""
+    return {
+        "schema": 1,
+        "k": result.k,
+        "rounds_executed": result.rounds_executed,
+        "completed": result.completed,
+        "stop": result.stop.value,
+        "seed": result.seed,
+        "protocol_name": result.protocol_name,
+        "adversary_name": result.adversary_name,
+        "max_latency": result.max_latency,
+        "total_transmissions": result.total_transmissions,
+        "total_listening_slots": result.total_listening_slots,
+        "records": [
+            {
+                "station_id": r.station_id,
+                "wake_round": r.wake_round,
+                "first_success_round": r.first_success_round,
+                "switch_off_round": r.switch_off_round,
+                "transmissions": r.transmissions,
+                "listening_slots": r.listening_slots,
+            }
+            for r in result.records
+        ],
+    }
+
+
+def run_result_from_dict(data: dict) -> RunResult:
+    """Inverse of :func:`run_result_to_dict` (trace is not restored)."""
+    if data.get("schema") != 1:
+        raise ValueError(f"unsupported run-result schema: {data.get('schema')!r}")
+    records = [
+        StationRecord(
+            station_id=r["station_id"],
+            wake_round=r["wake_round"],
+            first_success_round=r["first_success_round"],
+            switch_off_round=r["switch_off_round"],
+            transmissions=r["transmissions"],
+            listening_slots=r.get("listening_slots", 0),
+        )
+        for r in data["records"]
+    ]
+    return RunResult(
+        records=records,
+        rounds_executed=data["rounds_executed"],
+        completed=data["completed"],
+        stop=StopCondition(data["stop"]),
+        trace=None,
+        seed=data["seed"],
+        protocol_name=data["protocol_name"],
+        adversary_name=data["adversary_name"],
+    )
+
+
+def dump_run_result(result: RunResult, path) -> None:
+    """Write a run result as JSON to ``path``."""
+    with open(path, "w") as handle:
+        json.dump(run_result_to_dict(result), handle, indent=1)
+
+
+def load_run_result(path) -> RunResult:
+    """Read a run result previously written by :func:`dump_run_result`."""
+    with open(path) as handle:
+        return run_result_from_dict(json.load(handle))

@@ -1,0 +1,120 @@
+"""Run validation: check a finished execution against the model's invariants.
+
+``validate_run`` inspects a :class:`~repro.channel.results.RunResult` (and
+its trace, when recorded) and raises :class:`InvariantViolation` on the
+first broken rule.  The property-based tests funnel every randomly
+generated execution through it, and downstream users can apply it to their
+own runs as a cheap sanity harness when extending the library.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.channel.events import RoundOutcome
+from repro.channel.results import RunResult, StopCondition
+
+__all__ = ["InvariantViolation", "validate_run"]
+
+
+class InvariantViolation(AssertionError):
+    """A model invariant failed for a concrete execution."""
+
+
+def _fail(message: str) -> None:
+    raise InvariantViolation(message)
+
+
+def validate_run(result: RunResult, *, k: Optional[int] = None) -> None:
+    """Check all model invariants that are decidable from the result.
+
+    Args:
+        result: the execution to validate.
+        k: expected number of stations (defaults to ``result.k``).
+
+    Raises:
+        InvariantViolation: with a description of the first broken rule.
+    """
+    expected_k = k if k is not None else result.k
+    if result.k != expected_k:
+        _fail(f"expected {expected_k} stations, found {result.k}")
+
+    seen_ids = set()
+    for record in result.records:
+        rid = record.station_id
+        if rid in seen_ids:
+            _fail(f"duplicate station id {rid}")
+        seen_ids.add(rid)
+
+        if record.wake_round < 0:
+            _fail(f"station {rid}: negative wake round {record.wake_round}")
+        if record.transmissions < 0 or record.listening_slots < 0:
+            _fail(f"station {rid}: negative activity counters")
+
+        if record.first_success_round is not None:
+            if record.first_success_round <= record.wake_round:
+                _fail(
+                    f"station {rid}: success at {record.first_success_round} "
+                    f"not after wake {record.wake_round} (local round 0 "
+                    f"cannot transmit)"
+                )
+            if record.transmissions < 1:
+                _fail(f"station {rid}: succeeded without transmitting")
+            if record.first_success_round > result.rounds_executed:
+                _fail(f"station {rid}: success beyond the executed horizon")
+
+        if record.switch_off_round is not None:
+            if record.switch_off_round < record.wake_round:
+                _fail(f"station {rid}: switched off before waking")
+            if (
+                record.first_success_round is not None
+                and record.switch_off_round < record.first_success_round
+            ):
+                _fail(f"station {rid}: switched off before its own success")
+
+    # Stop-condition consistency.
+    if result.completed:
+        if result.stop is StopCondition.FIRST_SUCCESS:
+            if result.success_count < 1:
+                _fail("completed FIRST_SUCCESS run without a success")
+        elif result.stop is StopCondition.ALL_SUCCEEDED:
+            if result.success_count != result.k:
+                _fail("completed ALL_SUCCEEDED run with missing successes")
+        else:
+            if any(r.switch_off_round is None for r in result.records):
+                _fail("completed ALL_SWITCHED_OFF run with live stations")
+
+    if result.trace is None:
+        return
+
+    # Trace-level invariants.
+    last_round = 0
+    success_rounds: dict[int, int] = {}
+    for event in result.trace:
+        if event.round_index <= last_round:
+            _fail(f"trace rounds not strictly increasing at {event.round_index}")
+        last_round = event.round_index
+        if event.jammed and event.outcome is not RoundOutcome.COLLISION:
+            _fail(f"round {event.round_index}: jammed round not a collision")
+        if event.outcome is RoundOutcome.SUCCESS:
+            if event.winner is None:
+                _fail(f"round {event.round_index}: success without a winner")
+            if event.winner in success_rounds and result.stop is not None:
+                # A station may only win repeatedly if it outlives success
+                # (leaders, no-ack variants); record but don't fail here.
+                pass
+            success_rounds.setdefault(event.winner, event.round_index)
+    if last_round > result.rounds_executed:
+        _fail("trace extends beyond rounds_executed")
+
+    # Cross-check: each station's first recorded success appears in the
+    # trace at the same round.
+    for record in result.records:
+        if record.first_success_round is None:
+            continue
+        traced = success_rounds.get(record.station_id)
+        if traced is not None and traced != record.first_success_round:
+            _fail(
+                f"station {record.station_id}: record says first success at "
+                f"{record.first_success_round}, trace says {traced}"
+            )

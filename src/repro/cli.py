@@ -1,0 +1,118 @@
+"""Command-line interface: run the paper's experiments from a shell.
+
+Usage::
+
+    python -m repro list
+    python -m repro run thm51_wakeup
+    python -m repro run table1_latency --reps 3 --seed 7 --csv out/
+    python -m repro run fig3_lower_bound_instance --k 2048
+
+Arbitrary driver keyword overrides are passed as ``--key value`` pairs;
+integers, floats and comma-separated integer tuples are auto-coerced
+(``--ks 32,64,128``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.experiments import EXPERIMENTS, run_experiment
+from repro.experiments.export import write_report_csv
+
+__all__ = ["main"]
+
+
+def _coerce(value: str):
+    """Best-effort string -> python value for driver overrides."""
+    if "," in value:
+        parts = [p for p in value.split(",") if p]
+        return tuple(_coerce(p) for p in parts)
+    for converter in (int, float):
+        try:
+            return converter(value)
+        except ValueError:
+            continue
+    if value.lower() in ("true", "false"):
+        return value.lower() == "true"
+    return value
+
+
+def _parse_overrides(pairs: list[str]) -> dict[str, object]:
+    if len(pairs) % 2 != 0:
+        raise SystemExit("overrides must come in --key value pairs")
+    overrides = {}
+    for key, value in zip(pairs[::2], pairs[1::2]):
+        if not key.startswith("--"):
+            raise SystemExit(f"expected an option starting with --, got {key!r}")
+        overrides[key[2:].replace("-", "_")] = _coerce(value)
+    return overrides
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Contention resolution on asynchronous shared channels "
+        "(paper reproduction experiments)",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    subparsers.add_parser("list", help="list experiment ids")
+
+    run_parser = subparsers.add_parser("run", help="run one experiment")
+    run_parser.add_argument("experiment", help="experiment id (see `list`)")
+    run_parser.add_argument(
+        "--csv", metavar="DIR", default=None,
+        help="also write the raw rows as CSV into DIR",
+    )
+
+    suite_parser = subparsers.add_parser(
+        "suite", help="run every experiment at a chosen scale"
+    )
+    suite_parser.add_argument(
+        "--scale", choices=("quick", "paper"), default="quick",
+        help="quick = minutes, paper = the benchmark configurations",
+    )
+    suite_parser.add_argument(
+        "--out", metavar="DIR", default=None,
+        help="write each report (txt + csv) into DIR",
+    )
+    suite_parser.add_argument(
+        "--only", metavar="IDS", default=None,
+        help="comma-separated subset of experiment ids",
+    )
+
+    args, extra = parser.parse_known_args(argv)
+
+    if args.command == "list":
+        for experiment_id in sorted(EXPERIMENTS):
+            print(experiment_id)
+        return 0
+
+    if args.command == "suite":
+        from repro.experiments.suite import run_suite
+
+        only = args.only.split(",") if args.only else None
+        try:
+            run_suite(args.scale, out_dir=args.out, only=only)
+        except KeyError as error:
+            print(error.args[0], file=sys.stderr)
+            return 2
+        return 0
+
+    overrides = _parse_overrides(extra)
+    csv_dir = args.csv
+    try:
+        report = run_experiment(args.experiment, **overrides)
+    except KeyError as error:
+        print(error.args[0], file=sys.stderr)
+        return 2
+    print(report.text)
+    if csv_dir is not None:
+        path = write_report_csv(report, csv_dir)
+        print(f"\n[rows written to {path}]")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,18 @@
+"""Core protocol framework and the paper's algorithms."""
+
+from repro.core.protocol import (
+    ProbabilitySchedule,
+    Protocol,
+    ScheduleProtocol,
+    Transmission,
+)
+from repro.core.station import Station, StationRecord
+
+__all__ = [
+    "ProbabilitySchedule",
+    "Protocol",
+    "ScheduleProtocol",
+    "Transmission",
+    "Station",
+    "StationRecord",
+]

@@ -1,0 +1,29 @@
+"""The paper's protocols: Algorithms 1-4, the SUniform black box, and the
+Discussion-section extensions (global clock, wake-up variants)."""
+
+from repro.core.protocols.adaptive_no_k import AdaptiveNoK, Mode
+from repro.core.protocols.decrease_slowly import DecreaseSlowly
+from repro.core.protocols.global_clock import GlobalClockBeacon, GlobalClockUFR
+from repro.core.protocols.non_adaptive_with_k import NonAdaptiveWithK
+from repro.core.protocols.sawtooth_schedule import SawtoothSchedule
+from repro.core.protocols.sublinear_decrease import SublinearDecrease
+from repro.core.protocols.suniform import SawtoothState, SUniform
+from repro.core.protocols.wakeup_variants import (
+    FixedRateWakeup,
+    GeometricDecayWakeup,
+)
+
+__all__ = [
+    "AdaptiveNoK",
+    "Mode",
+    "DecreaseSlowly",
+    "GlobalClockBeacon",
+    "GlobalClockUFR",
+    "NonAdaptiveWithK",
+    "SawtoothSchedule",
+    "SublinearDecrease",
+    "SawtoothState",
+    "SUniform",
+    "FixedRateWakeup",
+    "GeometricDecayWakeup",
+]

@@ -1,0 +1,251 @@
+"""``AdaptiveNoK`` — Algorithm 3 of the paper (Section 5).
+
+The adaptive protocol achieving ``O(k)`` latency whp with *no* knowledge of
+the contention size and *no* collision detection (Theorem 5.3), with
+``O(k log^2 k)`` expected total transmissions (Theorem 5.4).
+
+The system alternates between two modes:
+
+* **L mode (leader election)** — stations run ``DecreaseSlowly``; the first
+  station to transmit alone becomes the *leader* (its own packet is thereby
+  delivered).  All stations active at that round become the synchronized
+  set ``C`` and share a virtual clock ``tc`` starting at 0.
+
+* **D mode (dissemination)** — coordinated by the leader:
+
+  - odd ``tc``: the members of ``C`` run the static sawtooth protocol
+    ``SUniform`` (switching off at their own success);
+  - even ``tc`` that is a *white round* (``tc = 2^x``): the leader and all
+    still-alive members jointly transmit the one-bit probe
+    ``<is there anybody out there?>``.  The probe succeeds iff the leader is
+    alone — i.e. every member has finished — in which case the leader
+    switches off and the D mode ends;
+  - every other even ``tc`` (*black rounds*): the leader alone transmits the
+    one-bit ``<D mode>`` announcement, telling newly woken stations to wait.
+
+Newly woken stations listen in windows of 4 rounds (line 3 of the
+pseudocode) and join a leader election only when a window contains either
+no message at all or the probe message — both of which certify that no D
+mode is currently running.
+
+**White-round convention.**  The pseudocode writes ``tc = 2^x, x >= 1``,
+which would make both ``tc = 2`` and ``tc = 4`` probe rounds and leave a
+5-round prefix of the D mode with no ``<D mode>`` bit — newcomers waking
+then would erroneously join an election mid-D-mode, contradicting the
+paper's own claim that "two consecutive black rounds are at most 4 rounds
+apart" and the prose that only "a power of 2 *larger than 2*" may be
+skipped.  We therefore use ``x >= 2`` (white rounds 4, 8, 16, ...), which
+makes every 4 consecutive rounds contain a black round, exactly as the
+analysis in Theorem 5.3 requires.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.feedback import Observation
+from repro.channel.messages import AnybodyOutThereProbe, DataPacket, DModeAnnouncement
+from repro.core.protocol import Protocol, Transmission
+from repro.core.protocols.suniform import SawtoothState
+from repro.util.intmath import clamp_probability, is_power_of_two
+
+__all__ = ["AdaptiveNoK", "Mode"]
+
+#: Length of the listening window of the initial while loop (pseudocode line 3).
+LISTEN_WINDOW = 4
+
+
+class Mode(enum.Enum):
+    """Which part of Algorithm 3 the station is currently executing."""
+
+    WAITING = "waiting"  # initial while loop: listening in windows of 4
+    ELECTION = "election"  # L mode: running DecreaseSlowly
+    MEMBER = "member"  # D mode, synchronized non-leader (set C)
+    LEADER = "leader"  # D mode, the elected leader
+
+
+def is_white_round(tc: int) -> bool:
+    """White rounds are ``tc = 2^x`` with ``x >= 2`` (see module docstring).
+
+    >>> [tc for tc in range(1, 20) if is_white_round(tc)]
+    [4, 8, 16]
+    """
+    return tc >= 4 and is_power_of_two(tc)
+
+
+class AdaptiveNoK(Protocol):
+    """One station's Algorithm 3 state machine.
+
+    Args:
+        q: the ``DecreaseSlowly`` constant used in L mode (> 0).
+    """
+
+    def __init__(self, q: float = 2.0):
+        super().__init__()
+        if q <= 0:
+            raise ValueError(f"q must be > 0, got {q}")
+        self.q = float(q)
+        self.mode = Mode.WAITING
+        # WAITING-window state.
+        self._window_rounds = 0
+        self._window_saw_message = False
+        self._window_saw_probe = False
+        # ELECTION state: DecreaseSlowly's i counter.
+        self._election_i = 0
+        # D-mode state.
+        self._tc = 0
+        self._sawtooth: Optional[SawtoothState] = None
+        self._last_payload: Optional[object] = None
+
+    def begin(self, station_id: int, rng: np.random.Generator) -> None:
+        super().begin(station_id, rng)
+
+    # ------------------------------------------------------------------ decide
+
+    def decide(self, local_round: int) -> Optional[Transmission]:
+        if self.mode is Mode.WAITING:
+            self._last_payload = None
+            return None
+        if self.mode is Mode.ELECTION:
+            return self._decide_election()
+        # D mode: advance the shared virtual clock first; tc was 0 in the
+        # election round, so the first dissemination round has tc == 1.
+        self._tc += 1
+        if self.mode is Mode.MEMBER:
+            return self._decide_member()
+        return self._decide_leader()
+
+    def _decide_election(self) -> Optional[Transmission]:
+        p = clamp_probability(self.q / (2.0 * self.q + self._election_i))
+        self._election_i += 1
+        if self.rng.random() < p:
+            self._last_payload = DataPacket(origin=self.station_id)
+            return Transmission(self._last_payload)
+        self._last_payload = None
+        return None
+
+    def _decide_member(self) -> Optional[Transmission]:
+        assert self._sawtooth is not None
+        if self._tc % 2 == 1:
+            # Odd tc: one virtual SUniform round.
+            if self._sawtooth.step():
+                self._last_payload = DataPacket(origin=self.station_id)
+                return Transmission(self._last_payload)
+            self._last_payload = None
+            return None
+        if is_white_round(self._tc):
+            self._last_payload = AnybodyOutThereProbe()
+            return Transmission(self._last_payload)
+        self._last_payload = None
+        return None  # black round: the leader is speaking
+
+    def _decide_leader(self) -> Optional[Transmission]:
+        if self._tc % 2 == 1:
+            self._last_payload = None
+            return None  # odd rounds belong to SUniform
+        if is_white_round(self._tc):
+            self._last_payload = AnybodyOutThereProbe()
+        else:
+            self._last_payload = DModeAnnouncement()
+        return Transmission(self._last_payload)
+
+    # ----------------------------------------------------------------- observe
+
+    def observe(self, observation: Observation) -> None:
+        if self.mode is Mode.WAITING:
+            self._observe_waiting(observation)
+        elif self.mode is Mode.ELECTION:
+            self._observe_election(observation)
+        elif self.mode is Mode.MEMBER:
+            self._observe_member(observation)
+        else:
+            self._observe_leader(observation)
+
+    def _observe_waiting(self, observation: Observation) -> None:
+        self._window_rounds += 1
+        if observation.message is not None:
+            self._window_saw_message = True
+            if isinstance(observation.message, AnybodyOutThereProbe):
+                self._window_saw_probe = True
+        if self._window_rounds < LISTEN_WINDOW:
+            return
+        # Pseudocode line 4: leave the loop iff the window contained no
+        # message at all, or contained the end-of-D-mode probe.
+        if not self._window_saw_message or self._window_saw_probe:
+            self.mode = Mode.ELECTION
+            self._election_i = 0
+        self._window_rounds = 0
+        self._window_saw_message = False
+        self._window_saw_probe = False
+
+    def _observe_election(self, observation: Observation) -> None:
+        if observation.acked:
+            # This station's packet went through alone: it is the leader.
+            self.mode = Mode.LEADER
+            self._tc = 0
+            return
+        message = observation.message
+        if message is None:
+            return
+        if isinstance(message, DataPacket):
+            # Someone else won the election; synchronize as a member of C.
+            self.mode = Mode.MEMBER
+            self._tc = 0
+            self._sawtooth = SawtoothState(self.rng)
+        else:
+            # Defensive: a control message means a D mode is running after
+            # all (cannot happen under the x >= 2 white-round convention,
+            # but a custom adversary could contrive it); re-enter the
+            # waiting loop rather than disrupt the dissemination.
+            self.mode = Mode.WAITING
+            self._window_rounds = 0
+            self._window_saw_message = False
+            self._window_saw_probe = False
+
+    def _observe_member(self, observation: Observation) -> None:
+        if observation.acked and isinstance(self._last_payload, DataPacket):
+            # Pseudocode line 14: switch off at the first successful
+            # transmission of the station's own packet.
+            self.switch_off()
+            return
+        message = observation.message
+        if (
+            self._tc % 2 == 1
+            and message is not None
+            and not isinstance(message, DataPacket)
+        ):
+            # Clock-desync resolution (companion to the leader's duplicate
+            # detection): odd rounds of a clean dissemination mode carry only
+            # data, so a control bit heard on this member's odd round proves
+            # its tc is out of phase with the live leader — its sawtooth
+            # slots would collide with that leader's control bits forever.
+            # Re-enter the waiting loop and rejoin after this D mode ends.
+            self.mode = Mode.WAITING
+            self._window_rounds = 0
+            self._window_saw_message = False
+            self._window_saw_probe = False
+            self._sawtooth = None
+
+    def _observe_leader(self, observation: Observation) -> None:
+        if observation.acked and isinstance(self._last_payload, AnybodyOutThereProbe):
+            # Pseudocode line 17: probe acked => no member left; the
+            # dissemination mode terminates and the leader switches off.
+            self.switch_off()
+            return
+        message = observation.message
+        if message is not None and not isinstance(message, DataPacket):
+            # Duplicate-leader resolution (a deviation the pseudocode needs):
+            # in a single-leader execution the leader is the *only* sender of
+            # control bits, so receiving one proves a second leader exists —
+            # possible when a waiter's 4-round window straddles the previous
+            # D mode's final probe and the next election, joins that election
+            # mid-D-mode, and wins a slot on the opposite round parity.  Two
+            # such leaders alternate successful control bits forever and
+            # deadlock the system.  They necessarily sit on opposite
+            # parities (a win is impossible on a parity a leader occupies),
+            # so each hears the other; this leader's own packet was already
+            # delivered at its election, and ceding breaks the livelock.
+            self.switch_off()

@@ -1,0 +1,66 @@
+"""``DecreaseSlowly(q)`` — Algorithm 4 of the paper (wake-up / leader election).
+
+Introduced by Jurdzinski and Stachowiak [JS05]; the paper improves its
+analysis to show the *wake-up problem* (achieving the first successful
+transmission) completes in ``O(k)`` rounds whp, even against an adaptive
+adversary (Theorem 5.1).  Each station, from its activation, transmits with
+probability
+
+    q / (2q + i)        in the i-th round of its local clock (i = 0, 1, ...)
+
+so the probability decays harmonically from 1/2.  ``AdaptiveNoK`` uses it as
+the leader-election mode: the first station to transmit alone becomes the
+leader.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.protocol import ProbabilitySchedule
+from repro.util.intmath import clamp_probability
+
+__all__ = ["DecreaseSlowly"]
+
+
+class DecreaseSlowly(ProbabilitySchedule):
+    """The harmonic-decay wake-up schedule ``q / (2q + i)``.
+
+    Our local rounds are 1-based (first possible transmission at local round
+    1), mapping to the paper's ``i = local_round - 1``; so
+    ``p(1) = q/(2q) = 1/2`` for every ``q``.
+
+    Args:
+        q: the decay constant (> 0).  Larger ``q`` keeps probabilities high
+            for longer, improving the success exponent at the cost of more
+            collisions early on.  Defaults to 2.
+    """
+
+    def __init__(self, q: float = 2.0):
+        if q <= 0:
+            raise ValueError(f"q must be > 0, got {q}")
+        self.q = float(q)
+        self.name = f"DecreaseSlowly(q={q})"
+
+    def probability(self, local_round: int) -> float:
+        if local_round < 1:
+            raise ValueError(f"local_round must be >= 1, got {local_round}")
+        i = local_round - 1  # paper's round index
+        return clamp_probability(self.q / (2.0 * self.q + i))
+
+    def horizon(self) -> None:
+        """Unbounded; the wake-up run stops at the first success."""
+        return None
+
+    def probabilities(self, up_to: int) -> np.ndarray:
+        """Vectorised schedule table (overrides the generic Python loop)."""
+        if up_to < 0:
+            raise ValueError(f"up_to must be non-negative, got {up_to}")
+        if up_to == 0:
+            return np.empty(0, dtype=float)
+        i = np.arange(up_to, dtype=float)
+        return np.minimum(1.0, self.q / (2.0 * self.q + i))
+
+    def theoretical_wakeup_bound(self, k: int) -> int:
+        """Theorem 5.1's horizon: the proof works within ``32 q k`` rounds."""
+        return int(32 * self.q * k)

@@ -1,0 +1,124 @@
+"""``GlobalClockUFR`` — the Discussion section's global-clock sketch.
+
+The paper's closing discussion asks whether a global clock helps, and
+sketches an O(k)-latency solution for the model where (a) a global clock
+is available and (b) *all* stations receive acknowledgements of all
+transmissions:
+
+    "Wakeup is performed in odd rounds and in even rounds all stations
+    transmit with the probability from the last successful wakeup round.
+    Every station switches off after transmitting its message
+    successfully.  This approach should assure maintaining optimal
+    transmission probabilities of stations for a constant fraction of
+    active time."
+
+This module implements that sketch as a model *extension* (it deliberately
+uses two capabilities the paper's base model denies: global time via
+:meth:`~repro.core.protocol.Protocol.on_wake_round`, and learning from
+others' successes via the beacon's payload):
+
+* odd global rounds run the ``DecreaseSlowly`` wake-up schedule; a wake-up
+  transmission is a *beacon* carrying both the station's data packet and
+  the probability it used;
+* on hearing a beacon, every station adopts the announced probability as
+  its data-round probability (the "last successful wakeup round" rule);
+* even global rounds transmit the data packet with the adopted
+  probability; a station switches off when its own packet goes through
+  (either as a beacon or in a data round).
+
+The wake-up success happens at probability ~1/(number of contenders), so
+the adopted probability tracks the live contention — the load-estimation
+trick the conjecture relies on.  The ``global_clock`` experiment checks
+the conjectured O(k) latency empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.feedback import Observation
+from repro.channel.messages import DataPacket
+from repro.core.protocol import Protocol, Transmission
+from repro.util.intmath import clamp_probability
+
+__all__ = ["GlobalClockBeacon", "GlobalClockUFR"]
+
+
+@dataclass(frozen=True, slots=True)
+class GlobalClockBeacon:
+    """A wake-up transmission: the packet plus the probability used.
+
+    Appending O(log) bits of control information to a packet is the same
+    relaxation the paper cites for adaptive settings ([ICPADS20], [AMM13]).
+    """
+
+    payload: DataPacket
+    probability: float
+
+
+class GlobalClockUFR(Protocol):
+    """The Discussion sketch: wake-up on odd global rounds, load-matched
+    data transmissions on even global rounds.
+
+    Args:
+        q: the ``DecreaseSlowly`` constant for the odd-round wake-up.
+    """
+
+    def __init__(self, q: float = 2.0):
+        super().__init__()
+        if q <= 0:
+            raise ValueError(f"q must be > 0, got {q}")
+        self.q = float(q)
+        self._wake_round: Optional[int] = None
+        self._wakeup_i = 0  # DecreaseSlowly counter over odd rounds
+        self._data_probability: Optional[float] = None
+        self._last_payload: Optional[object] = None
+
+    def on_wake_round(self, wake_round: int) -> None:
+        self._wake_round = wake_round
+
+    def _global_round(self, local_round: int) -> int:
+        if self._wake_round is None:
+            raise RuntimeError(
+                "GlobalClockUFR needs the global clock: run it on the object "
+                "engine, which delivers wake rounds via on_wake_round()"
+            )
+        return self._wake_round + local_round
+
+    def decide(self, local_round: int) -> Optional[Transmission]:
+        global_round = self._global_round(local_round)
+        if global_round % 2 == 1:
+            # Odd: one step of the DecreaseSlowly wake-up, as a beacon.
+            p = clamp_probability(self.q / (2.0 * self.q + self._wakeup_i))
+            self._wakeup_i += 1
+            if self.rng.random() < p:
+                self._last_payload = GlobalClockBeacon(
+                    payload=DataPacket(origin=self.station_id), probability=p
+                )
+                return Transmission(self._last_payload)
+            self._last_payload = None
+            return None
+        # Even: data round at the adopted probability (silent until the
+        # first beacon has been heard or sent).
+        p = self._data_probability
+        if p is not None and self.rng.random() < p:
+            self._last_payload = DataPacket(origin=self.station_id)
+            return Transmission(self._last_payload)
+        self._last_payload = None
+        return None
+
+    def observe(self, observation: Observation) -> None:
+        if observation.acked:
+            # Own success: beacon or data round — either way the packet is
+            # delivered (the beacon carries it); adopt own probability
+            # first so the metrics of the final round stay consistent.
+            self.switch_off()
+            return
+        message = observation.message
+        if isinstance(message, GlobalClockBeacon):
+            # The "last successful wakeup round" rule: adopt the winner's
+            # probability as the data-round probability.
+            self._data_probability = clamp_probability(message.probability)

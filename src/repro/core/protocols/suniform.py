@@ -1,0 +1,121 @@
+"""``SUniform`` — sawtooth back-off for *static* (synchronized) contention.
+
+The paper uses, as a black box, any protocol resolving contention among
+``k`` *simultaneously started* stations in ``O(k)`` rounds whp with
+``O(log^2 T)`` transmissions per station (Theorem 5.2, quoting
+Gereb-Graus and Tsantilas [sawtooth1]; also [sawtooth2], [AMM13]).  The
+classical realisation is the **sawtooth (Back-on/Back-off) strategy**:
+
+* an outer loop doubles a contention window ``T = 1, 2, 4, 8, ...``
+  ("guessing" the contention size);
+* for each outer ``T``, an inner loop sweeps window sizes
+  ``T, T/2, T/4, ..., 1`` — as successful stations drop out, the shrinking
+  window keeps the transmission density near the optimum;
+* in each window of size ``W`` the station picks one slot uniformly at
+  random and transmits only in that slot.
+
+Once the outer window reaches ``Theta(k)``, each inner sweep halves the
+survivors with constant probability per window, so everything finishes
+within ``O(k)`` rounds whp; a station transmits once per window and there
+are ``O(log^2 T)`` windows.
+
+``AdaptiveNoK`` runs this protocol on the odd rounds of its dissemination
+mode; it is also exposed standalone for the Theorem 5.2 benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.feedback import Observation
+from repro.channel.messages import DataPacket
+from repro.core.protocol import Protocol, Transmission
+
+__all__ = ["SawtoothState", "SUniform"]
+
+
+class SawtoothState:
+    """The sawtooth window iterator, decoupled from channel mechanics.
+
+    ``step()`` consumes one virtual round and reports whether the station
+    transmits in it.  ``AdaptiveNoK`` feeds it only the odd dissemination
+    rounds; the standalone :class:`SUniform` feeds it every round.
+    """
+
+    __slots__ = ("_rng", "outer", "window", "position", "slot", "rounds_consumed")
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+        self.outer = 1  # current outer window size T
+        self.window = 1  # current inner window size W
+        self.position = 0  # 0-based position inside the current window
+        self.slot = 0  # chosen transmission slot in the current window
+        self.rounds_consumed = 0
+        self._choose_slot()
+
+    def _choose_slot(self) -> None:
+        self.slot = int(self._rng.integers(0, self.window))
+
+    def _advance_window(self) -> None:
+        self.position = 0
+        if self.window > 1:
+            self.window //= 2
+        else:
+            self.outer *= 2
+            self.window = self.outer
+        self._choose_slot()
+
+    def step(self) -> bool:
+        """Consume one virtual round; return True iff transmitting in it."""
+        transmit = self.position == self.slot
+        self.position += 1
+        self.rounds_consumed += 1
+        if self.position >= self.window:
+            self._advance_window()
+        return transmit
+
+    @staticmethod
+    def rounds_until_outer(target: int) -> int:
+        """Virtual rounds consumed before the outer window first reaches
+        ``target`` (a power of two): ``sum_{T=1,2,4..<target} (2T - 1)``.
+
+        Useful for horizon estimates: contention ``k`` is typically resolved
+        while ``outer`` is ``Theta(k)``, i.e. within ``O(k)`` rounds.
+        """
+        if target < 1:
+            raise ValueError(f"target must be >= 1, got {target}")
+        rounds = 0
+        size = 1
+        while size < target:
+            rounds += 2 * size - 1
+            size *= 2
+        return rounds
+
+
+class SUniform(Protocol):
+    """Standalone sawtooth back-off protocol (switches off on own ack).
+
+    Matches the black-box contract of Theorem 5.2 when all stations start
+    simultaneously; under asynchronous starts it has no guarantees (that
+    gap is exactly why the paper wraps it in ``AdaptiveNoK``).
+    """
+
+    def __init__(self) -> None:
+        super().__init__()
+        self._state: Optional[SawtoothState] = None
+
+    def begin(self, station_id: int, rng: np.random.Generator) -> None:
+        super().begin(station_id, rng)
+        self._state = SawtoothState(rng)
+
+    def decide(self, local_round: int) -> Optional[Transmission]:
+        assert self._state is not None
+        if self._state.step():
+            return Transmission(DataPacket(origin=self.station_id))
+        return None
+
+    def observe(self, observation: Observation) -> None:
+        if observation.acked:
+            self.switch_off()

@@ -1,0 +1,88 @@
+"""Wake-up schedule variants: why ``DecreaseSlowly``'s harmonic decay wins.
+
+The wake-up problem (achieve *one* successful transmission) is the inner
+engine of ``AdaptiveNoK``'s leader election.  The paper uses [JS05]'s
+harmonic schedule; these comparison schedules make the design space
+visible:
+
+* :class:`FixedRateWakeup` — transmit forever with constant ``p``.  Optimal
+  when ``p ~ 1/k``, but requires knowing ``k``, and a fixed ``p`` is either
+  too hot (many contenders -> permanent collisions) or too cold (lonely
+  station waits ``1/p``).
+* :class:`GeometricDecayWakeup` — ``p(i) = p0 * factor^(i-1)``.  Decays to
+  the right level *fast*, but the cumulative probability is finite
+  (``sum p(i) = p0/(1-factor)``), so a station that never got lucky early
+  effectively goes silent: against staggered wake-ups it can fail outright.
+* ``DecreaseSlowly`` — ``q/(2q+i)``: decays slowly enough that the
+  cumulative sum diverges (every station stays persistent: it never goes
+  silent) yet fast enough that a late crowd's combined rate stays bounded.
+  This divergent-sum-with-vanishing-rate combination is exactly what the
+  asynchronous setting requires, and the ``wakeup_variants`` experiment
+  shows both alternatives failing where it succeeds.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.protocol import ProbabilitySchedule
+from repro.util.intmath import clamp_probability
+
+__all__ = ["FixedRateWakeup", "GeometricDecayWakeup"]
+
+
+class FixedRateWakeup(ProbabilitySchedule):
+    """Constant transmission probability ``p`` every round."""
+
+    def __init__(self, p: float):
+        if not 0.0 < p <= 1.0:
+            raise ValueError(f"p must be in (0, 1], got {p}")
+        self.p = float(p)
+        self.name = f"FixedRateWakeup(p={p})"
+
+    def probability(self, local_round: int) -> float:
+        if local_round < 1:
+            raise ValueError(f"local_round must be >= 1, got {local_round}")
+        return self.p
+
+    def probabilities(self, up_to: int) -> np.ndarray:
+        if up_to < 0:
+            raise ValueError(f"up_to must be non-negative, got {up_to}")
+        return np.full(up_to, self.p, dtype=float)
+
+
+class GeometricDecayWakeup(ProbabilitySchedule):
+    """``p(i) = p0 * factor^(i-1)`` — decays too fast to stay persistent.
+
+    The cumulative transmission probability converges to
+    ``p0 / (1 - factor)``, so by Borel-Cantelli a station's total expected
+    number of transmissions is finite: if its early attempts collide (e.g.
+    it woke inside a crowd), it may *never* transmit again — the failure
+    mode the harmonic schedule is designed to avoid.
+    """
+
+    def __init__(self, p0: float = 0.5, factor: float = 0.9):
+        if not 0.0 < p0 <= 1.0:
+            raise ValueError(f"p0 must be in (0, 1], got {p0}")
+        if not 0.0 < factor < 1.0:
+            raise ValueError(f"factor must be in (0, 1), got {factor}")
+        self.p0 = float(p0)
+        self.factor = float(factor)
+        self.name = f"GeometricDecayWakeup(p0={p0},factor={factor})"
+
+    def probability(self, local_round: int) -> float:
+        if local_round < 1:
+            raise ValueError(f"local_round must be >= 1, got {local_round}")
+        return clamp_probability(self.p0 * self.factor ** (local_round - 1))
+
+    def probabilities(self, up_to: int) -> np.ndarray:
+        if up_to < 0:
+            raise ValueError(f"up_to must be non-negative, got {up_to}")
+        if up_to == 0:
+            return np.empty(0, dtype=float)
+        exponents = np.arange(up_to, dtype=float)
+        return np.minimum(1.0, self.p0 * self.factor**exponents)
+
+    def total_mass(self) -> float:
+        """The convergent cumulative sum ``p0 / (1 - factor)``."""
+        return self.p0 / (1.0 - self.factor)

@@ -1,0 +1,22 @@
+"""Experiment drivers regenerating every table and figure (see DESIGN.md)."""
+
+from repro.experiments.harness import (
+    ExperimentReport,
+    repeat_protocol_runs,
+    repeat_schedule_runs,
+    sweep_protocol,
+    sweep_schedule,
+    worst_sample,
+)
+from repro.experiments.registry import EXPERIMENTS, run_experiment
+
+__all__ = [
+    "ExperimentReport",
+    "repeat_protocol_runs",
+    "repeat_schedule_runs",
+    "sweep_protocol",
+    "sweep_schedule",
+    "worst_sample",
+    "EXPERIMENTS",
+    "run_experiment",
+]

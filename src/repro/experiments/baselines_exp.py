@@ -1,0 +1,122 @@
+"""Experiment ``baseline_compare`` — the paper's protocols vs the classics.
+
+Runs slotted ALOHA (known/unknown k), binary-exponential and polynomial
+back-off, the splitting tree (with collision detection) and TDMA against
+the paper's three protocols on identical workloads, and reports latency and
+energy.  What the paper's history section predicts:
+
+* with ``k`` known, ALOHA(1/k) pays a ``log k`` latency factor that
+  ``NonAdaptiveWithK`` avoids;
+* BEB's makespan on batch arrivals is superlinear — the paper protocols are
+  linear / near-linear;
+* the splitting tree is linear but *needs collision detection*;
+  ``AdaptiveNoK`` matches its shape without CD (the headline of Section 5);
+* TDMA is collision-free when aligned (static) and breaks under offsets.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.adversary.oblivious import StaticSchedule, UniformRandomSchedule
+from repro.baselines.aloha import SlottedAlohaFixed, SlottedAlohaKnownK
+from repro.baselines.backoff import BinaryExponentialBackoff, PolynomialBackoff
+from repro.baselines.splitting import SplittingTree
+from repro.baselines.tdma import tdma_factory
+from repro.channel.feedback import FeedbackModel
+from repro.channel.results import StopCondition
+from repro.core.protocols.adaptive_no_k import AdaptiveNoK
+from repro.core.protocols.non_adaptive_with_k import NonAdaptiveWithK
+from repro.core.protocols.sublinear_decrease import SublinearDecrease
+from repro.experiments.harness import (
+    ExperimentReport,
+    repeat_protocol_runs,
+    repeat_schedule_runs,
+)
+from repro.experiments.table1 import _known_k_rounds, _sublinear_rounds_factory
+from repro.util.ascii_chart import render_table
+
+__all__ = ["run_baseline_compare"]
+
+
+def run_baseline_compare(
+    k: int = 256,
+    *,
+    reps: int = 5,
+    seed: int = 1970,
+    b: int = 4,
+    c: int = 6,
+) -> ExperimentReport:
+    """Head-to-head at one contention size, static and dynamic workloads."""
+    dynamic = UniformRandomSchedule(span=lambda kk: 2 * kk)
+    static = StaticSchedule()
+    generous = lambda kk: 600 * kk + 20_000
+    rows = []
+
+    def add(label, workload, sample):
+        r = sample.row()
+        rows.append(
+            {
+                "protocol": label,
+                "workload": workload,
+                "latency": r["latency_mean"],
+                "energy": r["energy_mean"],
+                "failures": sample.failures,
+            }
+        )
+
+    for workload_name, adversary in (("static", static), ("dynamic", dynamic)):
+        add("NonAdaptiveWithK", workload_name, repeat_schedule_runs(
+            k, lambda kk: NonAdaptiveWithK(kk, c), adversary,
+            reps=reps, seed=seed, max_rounds=_known_k_rounds))
+        add("SublinearDecrease", workload_name, repeat_schedule_runs(
+            k, lambda kk: SublinearDecrease(b), adversary,
+            reps=reps, seed=seed + 1,
+            max_rounds=_sublinear_rounds_factory(b, with_ack=True)))
+        add("Aloha(1/k)", workload_name, repeat_schedule_runs(
+            k, lambda kk: SlottedAlohaKnownK(kk), adversary,
+            reps=reps, seed=seed + 2, max_rounds=generous))
+        add("Aloha(p=0.05)", workload_name, repeat_schedule_runs(
+            k, lambda kk: SlottedAlohaFixed(0.05), adversary,
+            reps=reps, seed=seed + 3, max_rounds=generous))
+        add("AdaptiveNoK", workload_name, repeat_protocol_runs(
+            k, lambda: AdaptiveNoK(), adversary,
+            reps=max(2, reps // 2), seed=seed + 4,
+            max_rounds=lambda kk: 120 * kk + 8192))
+        add("BEB", workload_name, repeat_protocol_runs(
+            k, lambda: BinaryExponentialBackoff(), adversary,
+            reps=max(2, reps // 2), seed=seed + 5, max_rounds=generous))
+        add("PolyBackoff(2)", workload_name, repeat_protocol_runs(
+            k, lambda: PolynomialBackoff(2), adversary,
+            reps=max(2, reps // 2), seed=seed + 6, max_rounds=generous))
+        add("SplittingTree(CD)", workload_name, repeat_protocol_runs(
+            k, lambda: SplittingTree(), adversary,
+            reps=max(2, reps // 2), seed=seed + 7,
+            max_rounds=generous, feedback=FeedbackModel.COLLISION_DETECTION))
+
+    # TDMA: aligned under static starts, breaks under offsets.
+    add("TDMA", "static", repeat_protocol_runs(
+        k, tdma_factory(k), static,
+        reps=1, seed=seed + 8, max_rounds=lambda kk: 4 * kk + 64))
+    tdma_dynamic = repeat_protocol_runs(
+        k, tdma_factory(k), UniformRandomSchedule(span=lambda kk: kk // 2),
+        reps=1, seed=seed + 9, max_rounds=lambda kk: 16 * kk + 64)
+    add("TDMA", "dynamic(misaligned)", tdma_dynamic)
+
+    table = render_table(
+        ["protocol", "workload", "latency", "energy", "failures"],
+        [[r["protocol"], r["workload"], r["latency"], r["energy"], r["failures"]]
+         for r in rows],
+    )
+    text = "\n".join(
+        [
+            f"== baseline_compare at k={k} ==",
+            table,
+            "",
+            "Read: NonAdaptiveWithK beats Aloha(1/k) by ~log k in latency;",
+            "fixed-p Aloha and TDMA fail off their design point; AdaptiveNoK",
+            "matches the CD splitting tree's linear shape without collision",
+            "detection.",
+        ]
+    )
+    return ExperimentReport("baseline_compare", "Baseline comparison", rows, text)

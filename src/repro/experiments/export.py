@@ -1,0 +1,44 @@
+"""CSV export for experiment reports.
+
+Every :class:`~repro.experiments.harness.ExperimentReport` carries its raw
+rows as dicts; this module flattens them to CSV so results can leave the
+terminal (the offline environment has no plotting stack — downstream
+plotting happens elsewhere).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+from pathlib import Path
+
+from repro.experiments.harness import ExperimentReport
+
+__all__ = ["rows_to_csv", "write_report_csv"]
+
+
+def rows_to_csv(rows: list[dict[str, object]]) -> str:
+    """Render a list of row dicts as CSV text (union of keys, row order
+    of first appearance)."""
+    if not rows:
+        return ""
+    fieldnames: list[str] = []
+    for row in rows:
+        for key in row:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames)
+    writer.writeheader()
+    for row in rows:
+        writer.writerow({key: row.get(key, "") for key in fieldnames})
+    return buffer.getvalue()
+
+
+def write_report_csv(report: ExperimentReport, directory: str | Path) -> Path:
+    """Write ``<directory>/<experiment_id>.csv``; returns the path."""
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    path = directory / f"{report.experiment_id}.csv"
+    path.write_text(rows_to_csv(report.rows))
+    return path

@@ -1,0 +1,179 @@
+"""Experiment harness: repeated runs, sweeps over ``k``, worst-case pools.
+
+All experiment drivers in this package are deterministic functions of their
+``seed`` argument: repetition ``r`` of configuration ``i`` uses seed
+``seed + 1000 * i + r``, so any reported number can be regenerated exactly.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Iterable, Sequence
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.adversary.base import AdaptiveAdversary, WakeSchedule
+from repro.analysis.metrics import MetricSample
+from repro.channel.feedback import FeedbackModel
+from repro.channel.results import RunResult, StopCondition
+from repro.channel.simulator import SlotSimulator
+from repro.channel.vectorized import VectorizedSimulator
+from repro.core.protocol import ProbabilitySchedule, Protocol
+
+__all__ = [
+    "ExperimentReport",
+    "repeat_schedule_runs",
+    "repeat_protocol_runs",
+    "sweep_schedule",
+    "sweep_protocol",
+    "worst_sample",
+]
+
+
+@dataclass(slots=True)
+class ExperimentReport:
+    """What every experiment driver returns: printable text + raw rows."""
+
+    experiment_id: str
+    title: str
+    rows: list[dict[str, object]] = field(default_factory=list)
+    text: str = ""
+    notes: str = ""
+
+    def __str__(self) -> str:
+        return self.text
+
+
+def repeat_schedule_runs(
+    k: int,
+    schedule_factory: Callable[[int], ProbabilitySchedule],
+    adversary: WakeSchedule,
+    *,
+    reps: int,
+    seed: int,
+    max_rounds: Callable[[int], int],
+    switch_off_on_ack: bool = True,
+    stop: StopCondition = StopCondition.ALL_SWITCHED_OFF,
+    label: Optional[str] = None,
+) -> MetricSample:
+    """Run a non-adaptive schedule ``reps`` times on the fast engine."""
+    schedule = schedule_factory(k)
+    horizon = max_rounds(k)
+    prob_table = schedule.probabilities(horizon)
+    sample = MetricSample(label=label or schedule.name, k=k)
+    for r in range(reps):
+        result = VectorizedSimulator(
+            k,
+            schedule,
+            adversary,
+            switch_off_on_ack=switch_off_on_ack,
+            stop=stop,
+            max_rounds=horizon,
+            seed=seed + r,
+            prob_table=prob_table,
+        ).run()
+        sample.add(result)
+    return sample
+
+
+def repeat_protocol_runs(
+    k: int,
+    protocol_factory: Callable[[], Protocol],
+    adversary: WakeSchedule | AdaptiveAdversary,
+    *,
+    reps: int,
+    seed: int,
+    max_rounds: Callable[[int], int],
+    feedback: FeedbackModel = FeedbackModel.ACK_ONLY,
+    stop: StopCondition = StopCondition.ALL_SWITCHED_OFF,
+    label: str = "",
+) -> MetricSample:
+    """Run an arbitrary protocol ``reps`` times on the object engine."""
+    sample = MetricSample(label=label or getattr(protocol_factory, "protocol_name", "protocol"), k=k)
+    for r in range(reps):
+        result = SlotSimulator(
+            k,
+            protocol_factory,
+            adversary,
+            feedback=feedback,
+            stop=stop,
+            max_rounds=max_rounds(k),
+            seed=seed + r,
+        ).run()
+        sample.add(result)
+    return sample
+
+
+def sweep_schedule(
+    ks: Sequence[int],
+    schedule_factory: Callable[[int], ProbabilitySchedule],
+    adversary: WakeSchedule,
+    *,
+    reps: int,
+    seed: int,
+    max_rounds: Callable[[int], int],
+    switch_off_on_ack: bool = True,
+    stop: StopCondition = StopCondition.ALL_SWITCHED_OFF,
+    label: Optional[str] = None,
+) -> list[MetricSample]:
+    """One :func:`repeat_schedule_runs` per contention size."""
+    return [
+        repeat_schedule_runs(
+            k,
+            schedule_factory,
+            adversary,
+            reps=reps,
+            seed=seed + 1000 * i,
+            max_rounds=max_rounds,
+            switch_off_on_ack=switch_off_on_ack,
+            stop=stop,
+            label=label,
+        )
+        for i, k in enumerate(ks)
+    ]
+
+
+def sweep_protocol(
+    ks: Sequence[int],
+    protocol_factory: Callable[[], Protocol],
+    adversary: WakeSchedule | AdaptiveAdversary,
+    *,
+    reps: int,
+    seed: int,
+    max_rounds: Callable[[int], int],
+    feedback: FeedbackModel = FeedbackModel.ACK_ONLY,
+    stop: StopCondition = StopCondition.ALL_SWITCHED_OFF,
+    label: str = "",
+) -> list[MetricSample]:
+    """One :func:`repeat_protocol_runs` per contention size."""
+    return [
+        repeat_protocol_runs(
+            k,
+            protocol_factory,
+            adversary,
+            reps=reps,
+            seed=seed + 1000 * i,
+            max_rounds=max_rounds,
+            feedback=feedback,
+            stop=stop,
+            label=label,
+        )
+        for i, k in enumerate(ks)
+    ]
+
+
+def worst_sample(samples: Iterable[MetricSample], metric: str = "latency_mean") -> MetricSample:
+    """The worst (largest-``metric``) sample over an adversary pool.
+
+    The paper's upper bounds quantify over *every* adversary strategy; the
+    empirical analogue runs a pool of concrete strategies and reports the
+    worst observed.
+    """
+    samples = list(samples)
+    if not samples:
+        raise ValueError("worst_sample needs at least one sample")
+
+    def key(sample: MetricSample) -> float:
+        value = sample.row().get(metric)
+        return float("-inf") if value is None or value != value else float(value)
+
+    return max(samples, key=key)

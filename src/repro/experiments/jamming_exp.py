@@ -1,0 +1,124 @@
+"""Experiment ``ext_jamming`` — robustness outside the guarantee envelope.
+
+The related-work section (Section 1.2) surveys contention resolution under
+adversarial jamming, including Bender et al.'s separation: *without
+collision detection no constant-throughput algorithm survives jamming*.
+The paper's own protocols make no jamming claims; this experiment measures
+how gracefully they actually degrade:
+
+* sweep the jam rate for the three paper protocols at fixed ``k``;
+* report latency inflation relative to the jam-free run and the failure
+  rate within a fixed horizon budget.
+
+Expected shape: the non-adaptive protocols degrade smoothly (a jammed slot
+only wastes that slot — their schedule carries no state to corrupt), while
+``AdaptiveNoK`` is more fragile (a jammed control bit desynchronises the
+waiting machinery), mirroring the CD-vs-no-CD fragility the literature
+describes.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.adversary.oblivious import UniformRandomSchedule
+from repro.channel.jamming import RandomJammer, draw_jam_rounds
+from repro.channel.simulator import SlotSimulator
+from repro.channel.vectorized import VectorizedSimulator
+from repro.core.protocols.adaptive_no_k import AdaptiveNoK
+from repro.core.protocols.non_adaptive_with_k import NonAdaptiveWithK
+from repro.core.protocols.sublinear_decrease import SublinearDecrease
+from repro.experiments.harness import ExperimentReport
+from repro.util.ascii_chart import render_table
+
+__all__ = ["run_jamming"]
+
+
+def run_jamming(
+    k: int = 128,
+    *,
+    rates: Sequence[float] = (0.0, 0.1, 0.25, 0.5),
+    reps: int = 4,
+    seed: int = 666,
+) -> ExperimentReport:
+    """Latency and completion under random jamming at several rates."""
+    adversary = UniformRandomSchedule(span=lambda kk: 2 * kk)
+    rows = []
+    baseline: dict[str, float] = {}
+
+    for rate in rates:
+        # --- non-adaptive protocols on the fast engine -------------------
+        for name, schedule, horizon in (
+            ("NonAdaptiveWithK", NonAdaptiveWithK(k, 6), 40 * k),
+            (
+                "SublinearDecrease",
+                SublinearDecrease(4),
+                SublinearDecrease.latency_bound_no_ack(k, 4) + 4 * k,
+            ),
+        ):
+            latencies, failures = [], 0
+            for r in range(reps):
+                rng = np.random.default_rng(seed + 13 * r)
+                jam = draw_jam_rounds(rate, horizon, rng)
+                result = VectorizedSimulator(
+                    k, schedule, adversary, max_rounds=horizon,
+                    seed=seed + r, jam_rounds=jam,
+                ).run()
+                if result.completed:
+                    latencies.append(result.max_latency)
+                else:
+                    failures += 1
+            mean = float(np.mean(latencies)) if latencies else float("nan")
+            if rate == 0.0:
+                baseline[name] = mean
+            rows.append(
+                {
+                    "protocol": name, "jam_rate": rate, "latency": mean,
+                    "inflation": mean / baseline[name] if baseline.get(name) else float("nan"),
+                    "failures": failures, "runs": reps,
+                }
+            )
+
+        # --- the adaptive protocol on the object engine -------------------
+        latencies, failures = [], 0
+        for r in range(max(2, reps // 2)):
+            result = SlotSimulator(
+                k, lambda: AdaptiveNoK(), adversary,
+                max_rounds=600 * k + 8192, seed=seed + r,
+                jammer=RandomJammer(rate),
+            ).run()
+            if result.completed:
+                latencies.append(result.max_latency)
+            else:
+                failures += 1
+        mean = float(np.mean(latencies)) if latencies else float("nan")
+        if rate == 0.0:
+            baseline["AdaptiveNoK"] = mean
+        rows.append(
+            {
+                "protocol": "AdaptiveNoK", "jam_rate": rate, "latency": mean,
+                "inflation": mean / baseline["AdaptiveNoK"]
+                if baseline.get("AdaptiveNoK") else float("nan"),
+                "failures": failures, "runs": max(2, reps // 2),
+            }
+        )
+
+    table = render_table(
+        ["protocol", "jam rate", "latency", "x jam-free", "failures", "runs"],
+        [[r["protocol"], r["jam_rate"], r["latency"], r["inflation"],
+          r["failures"], r["runs"]] for r in rows],
+    )
+    text = "\n".join(
+        [
+            f"== ext_jamming: random jamming at k={k} ==",
+            "(outside the paper's guarantees; related-work Section 1.2)",
+            table,
+            "",
+            "Reading: the memoryless non-adaptive schedules degrade smoothly"
+            " (~1/(1-rate)); the adaptive protocol's coordination is the"
+            " fragile part, as the no-CD jamming literature predicts.",
+        ]
+    )
+    return ExperimentReport("ext_jamming", "Jamming robustness", rows, text)

@@ -1,0 +1,83 @@
+"""Experiment registry: id -> driver, matching the DESIGN.md index.
+
+Usage::
+
+    from repro.experiments import run_experiment, EXPERIMENTS
+    report = run_experiment("thm51_wakeup")
+    print(report.text)
+
+Every driver accepts keyword overrides (``ks``, ``reps``, ``seed``, ...)
+and returns an :class:`~repro.experiments.harness.ExperimentReport`.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+from repro.experiments.ablation import run_ablation
+from repro.experiments.adaptive_adversary_exp import run_adaptive_adversary_check
+from repro.experiments.anatomy_exp import run_adaptive_anatomy
+from repro.experiments.baselines_exp import run_baseline_compare
+from repro.experiments.cd_row_exp import run_cd_row
+from repro.experiments.estimate_exp import run_estimate_robustness
+from repro.experiments.figures import (
+    run_fig1_clocks,
+    run_fig2_schedule,
+    run_fig4_schedule,
+)
+from repro.experiments.global_clock_exp import run_global_clock
+from repro.experiments.harness import ExperimentReport
+from repro.experiments.instability_exp import run_aloha_instability
+from repro.experiments.jamming_exp import run_jamming
+from repro.experiments.lemma_exp import run_lemma_validation
+from repro.experiments.lower_bound_exp import run_lower_bound_instance
+from repro.experiments.search_exp import run_adversary_search
+from repro.experiments.static_constants_exp import run_static_constants
+from repro.experiments.separation import run_separation
+from repro.experiments.suniform_exp import run_suniform_static
+from repro.experiments.table1 import run_table1_energy, run_table1_latency
+from repro.experiments.throughput_exp import run_throughput
+from repro.experiments.tradeoff_exp import run_tradeoff
+from repro.experiments.wakeup import run_wakeup
+from repro.experiments.wakeup_variants_exp import run_wakeup_variants
+from repro.experiments.whp_exp import run_whp_validation
+
+__all__ = ["EXPERIMENTS", "run_experiment"]
+
+EXPERIMENTS: dict[str, Callable[..., ExperimentReport]] = {
+    "table1_latency": run_table1_latency,
+    "table1_energy": run_table1_energy,
+    "table1_cd_row": run_cd_row,
+    "fig1_clocks": run_fig1_clocks,
+    "fig2_probability_schedule": run_fig2_schedule,
+    "fig3_lower_bound_instance": run_lower_bound_instance,
+    "fig4_sublinear_schedule": run_fig4_schedule,
+    "thm51_wakeup": run_wakeup,
+    "thm52_suniform": run_suniform_static,
+    "sep_known_unknown": run_separation,
+    "baseline_compare": run_baseline_compare,
+    "ablation_constants": run_ablation,
+    "estimate_robustness": run_estimate_robustness,
+    "static_constants": run_static_constants,
+    "whp_validation": run_whp_validation,
+    "lemma_validation": run_lemma_validation,
+    "adaptive_anatomy": run_adaptive_anatomy,
+    "adaptive_adversary_check": run_adaptive_adversary_check,
+    # Model extensions beyond the paper's main results (Discussion /
+    # related-work sections); prefixed ext_.
+    "ext_global_clock": run_global_clock,
+    "ext_jamming": run_jamming,
+    "ext_throughput": run_throughput,
+    "ext_wakeup_variants": run_wakeup_variants,
+    "ext_adversary_search": run_adversary_search,
+    "ext_tradeoff": run_tradeoff,
+    "ext_aloha_instability": run_aloha_instability,
+}
+
+
+def run_experiment(experiment_id: str, **overrides) -> ExperimentReport:
+    """Run one experiment from the registry by its DESIGN.md id."""
+    if experiment_id not in EXPERIMENTS:
+        known = ", ".join(sorted(EXPERIMENTS))
+        raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    return EXPERIMENTS[experiment_id](**overrides)

@@ -1,0 +1,124 @@
+"""Experiment ``thm52_suniform`` — Theorem 5.2: sawtooth back-off resolves
+*static* contention in O(k) rounds with O(log^2 T) transmissions/station.
+
+Runs ``SUniform`` under simultaneous starts over a sweep of ``k``; checks
+latency linear in ``k`` and the per-station transmission count polylog.
+"""
+
+from __future__ import annotations
+
+import math
+from collections.abc import Sequence
+
+import numpy as np
+
+from repro.adversary.oblivious import StaticSchedule
+from repro.analysis.scaling import fit_all
+from repro.channel.simulator import SlotSimulator
+from repro.core.protocols.suniform import SUniform
+from repro.experiments.harness import ExperimentReport
+from repro.util.ascii_chart import render_table
+
+__all__ = ["run_suniform_static"]
+
+
+def run_suniform_static(
+    ks: Sequence[int] = (16, 32, 64, 128, 256),
+    *,
+    reps: int = 5,
+    seed: int = 52,
+    large_ks: Sequence[int] = (1024, 4096),
+) -> ExperimentReport:
+    """Static-start sawtooth sweep: latency and max tx/station vs ``k``.
+
+    Small ``ks`` run the stateful ``SUniform`` on the object engine; the
+    ``large_ks`` extension runs the equivalent non-adaptive
+    ``SawtoothSchedule`` on the vectorised engine's dependent-round
+    sampler, extending the linear-shape evidence well past what the
+    object engine can reach.
+    """
+    from repro.channel.vectorized import VectorizedSimulator
+    from repro.core.protocols.sawtooth_schedule import SawtoothSchedule
+
+    rows = []
+    latencies = []
+    for i, k in enumerate(ks):
+        lat, tx_max, rounds = [], [], []
+        for r in range(reps):
+            result = SlotSimulator(
+                k,
+                lambda: SUniform(),
+                StaticSchedule(),
+                max_rounds=64 * k + 4096,
+                seed=seed + 1000 * i + r,
+            ).run()
+            if not result.completed:
+                continue
+            lat.append(result.max_latency)
+            tx_max.append(max(rec.transmissions for rec in result.records))
+            rounds.append(result.rounds_executed)
+        mean_latency = float(np.mean(lat)) if lat else float("nan")
+        mean_tx = float(np.mean(tx_max)) if tx_max else float("nan")
+        latencies.append(mean_latency)
+        t = float(np.mean(rounds)) if rounds else float("nan")
+        rows.append(
+            {
+                "k": k,
+                "latency_mean": mean_latency,
+                "latency_over_k": mean_latency / k,
+                "max_tx_per_station": mean_tx,
+                "log2^2(T)": math.log2(max(2.0, t)) ** 2,
+            }
+        )
+
+    # Large-k extension via the vectorised dependent-round sampler.
+    for j, k in enumerate(large_ks):
+        lat, tx_max, rounds = [], [], []
+        for r in range(max(2, reps // 2)):
+            result = VectorizedSimulator(
+                k, SawtoothSchedule(), StaticSchedule(),
+                max_rounds=64 * k + 4096, seed=seed + 5000 * (j + 1) + r,
+            ).run()
+            if not result.completed:
+                continue
+            lat.append(result.max_latency)
+            tx_max.append(max(rec.transmissions for rec in result.records))
+            rounds.append(result.rounds_executed)
+        mean_latency = float(np.mean(lat)) if lat else float("nan")
+        latencies.append(mean_latency)
+        t = float(np.mean(rounds)) if rounds else float("nan")
+        rows.append(
+            {
+                "k": k,
+                "latency_mean": mean_latency,
+                "latency_over_k": mean_latency / k,
+                "max_tx_per_station": float(np.mean(tx_max)) if tx_max else float("nan"),
+                "log2^2(T)": math.log2(max(2.0, t)) ** 2,
+            }
+        )
+
+    all_ks = list(ks) + list(large_ks)
+    fits = fit_all(all_ks, latencies, models=("k", "k log k", "k log^2 k"))
+    table = render_table(
+        ["k", "latency", "latency/k", "max tx/station", "log2^2(T)"],
+        [
+            [r["k"], r["latency_mean"], r["latency_over_k"],
+             r["max_tx_per_station"], r["log2^2(T)"]]
+            for r in rows
+        ],
+    )
+    text = "\n".join(
+        [
+            "== thm52_suniform: sawtooth back-off under simultaneous starts ==",
+            f"(k <= {max(ks)}: SUniform on the object engine; larger k: the"
+            " equivalent non-adaptive SawtoothSchedule on the vectorised"
+            " dependent-round sampler)",
+            table,
+            "",
+            f"latency best fit: ~ {fits[0].constant:.3g} * {fits[0].model}"
+            f" (rel. RMSE {fits[0].relative_rmse:.3f}); paper: O(k)",
+            "per-station transmissions should track O(log^2 T) "
+            "(compare the last two columns).",
+        ]
+    )
+    return ExperimentReport("thm52_suniform", "Theorem 5.2 sawtooth", rows, text)

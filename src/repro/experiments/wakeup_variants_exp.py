@@ -1,0 +1,171 @@
+"""Experiment ``ext_wakeup_variants`` — why harmonic decay is the right
+wake-up schedule for asynchronous channels.
+
+Compares three wake-up schedules on the *wake-up problem* (time to first
+success) across workloads chosen to expose their failure modes:
+
+* ``FixedRateWakeup(1/k)`` — optimal when the static contention matches
+  ``k``, helpless when it does not (and requires knowing ``k``);
+* ``GeometricDecayWakeup`` — its convergent probability mass means a
+  station that misses its early window goes silent: staggered wake-ups
+  starve it;
+* ``DecreaseSlowly`` — divergent mass with vanishing rate: persistent for
+  a lonely station, bounded in a crowd; the only one that works across
+  the board, as Theorem 5.1's O(k) analysis explains.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.adversary.oblivious import (
+    StaggeredSchedule,
+    StaticSchedule,
+    UniformRandomSchedule,
+)
+from repro.channel.results import StopCondition
+from repro.core.protocols.decrease_slowly import DecreaseSlowly
+from repro.core.protocols.wakeup_variants import (
+    FixedRateWakeup,
+    GeometricDecayWakeup,
+)
+from repro.experiments.harness import ExperimentReport, repeat_schedule_runs
+from repro.util.ascii_chart import render_table
+
+__all__ = ["run_wakeup_variants"]
+
+
+def run_wakeup_variants(
+    k: int = 256,
+    *,
+    reps: int = 10,
+    seed: int = 505,
+) -> ExperimentReport:
+    """First-success time of three wake-up schedules across workloads."""
+    workloads = [
+        ("static crowd", StaticSchedule()),
+        ("uniform", UniformRandomSchedule(span=lambda kk: 2 * kk)),
+        ("staggered drip", StaggeredSchedule(gap=8)),
+    ]
+    schedules = [
+        ("DecreaseSlowly(q=2)", DecreaseSlowly(2)),
+        ("FixedRate(1/k)", FixedRateWakeup(1.0 / k)),
+        ("GeometricDecay(.5,.5)", GeometricDecayWakeup(0.5, 0.5)),
+    ]
+    rows = []
+    for workload_name, adversary in workloads:
+        for schedule_name, schedule in schedules:
+            sample = repeat_schedule_runs(
+                k,
+                lambda kk: schedule,
+                adversary,
+                reps=reps,
+                seed=seed,
+                max_rounds=lambda kk: 64 * kk + 8192,
+                stop=StopCondition.FIRST_SUCCESS,
+                switch_off_on_ack=False,
+                label=schedule_name,
+            )
+            row = sample.row()
+            rows.append(
+                {
+                    "schedule": schedule_name,
+                    "workload": workload_name,
+                    "task": "wake-up",
+                    "wakeup_mean": row["first_success_mean"],
+                    "failures": sample.failures,
+                    "runs": sample.runs,
+                }
+            )
+
+    # CD reference row: Willard's doubling+binary-search selection achieves
+    # expected O(log log k) wake-up — the price of the paper's no-CD model
+    # is the gap between this row and DecreaseSlowly's O(k).
+    from repro.baselines.willard import WillardSelection
+    from repro.channel.feedback import FeedbackModel
+    from repro.channel.simulator import SlotSimulator
+
+    willard_times = []
+    for r in range(reps):
+        result = SlotSimulator(
+            k, lambda: WillardSelection(), StaticSchedule(),
+            feedback=FeedbackModel.COLLISION_DETECTION,
+            stop=StopCondition.FIRST_SUCCESS,
+            max_rounds=8192, seed=seed + 77 + r,
+        ).run()
+        if result.completed:
+            willard_times.append(result.first_success_round)
+    rows.append(
+        {
+            "schedule": "Willard (CD reference)",
+            "workload": "static crowd",
+            "task": "wake-up",
+            "wakeup_mean": (
+                sum(willard_times) / len(willard_times)
+                if willard_times else float("nan")
+            ),
+            "failures": reps - len(willard_times),
+            "runs": reps,
+        }
+    )
+
+    # The starvation column: *full* contention resolution.  Geometric decay
+    # has finite probability mass per station (Borel-Cantelli), so under a
+    # crowd most stations spend it during the collision phase and then go
+    # silent forever; the divergent harmonic schedule never does.
+    starvation_rows = []
+    from repro.channel.vectorized import VectorizedSimulator
+
+    for schedule_name, schedule in (
+        ("DecreaseSlowly(q=2)", DecreaseSlowly(2)),
+        ("GeometricDecay(.5,.9)", GeometricDecayWakeup(0.5, 0.9)),
+    ):
+        counts = []
+        for r in range(max(3, reps // 2)):
+            result = VectorizedSimulator(
+                k, schedule, StaticSchedule(),
+                max_rounds=400 * k, seed=seed + 99 + r,
+            ).run()
+            counts.append(result.success_count)
+        starvation_rows.append(
+            {
+                "schedule": schedule_name,
+                "workload": "static crowd",
+                "task": "full resolution",
+                "delivered_mean": sum(counts) / len(counts),
+                "delivered_fraction": sum(counts) / (len(counts) * k),
+            }
+        )
+    rows.extend(starvation_rows)
+
+    table = render_table(
+        ["schedule", "workload", "mean wake-up", "failures", "runs"],
+        [[r["schedule"], r["workload"], r["wakeup_mean"], r["failures"],
+          r["runs"]] for r in rows if r["task"] == "wake-up"],
+    )
+    starvation_table = render_table(
+        ["schedule", "packets delivered (of k)", "fraction"],
+        [[r["schedule"], r["delivered_mean"], r["delivered_fraction"]]
+         for r in starvation_rows],
+    )
+    text = "\n".join(
+        [
+            f"== ext_wakeup_variants: wake-up schedules at k={k} ==",
+            table,
+            "",
+            "Full contention resolution under a static crowd (the"
+            " starvation test — geometric decay's probability mass is"
+            " finite, so most stations go silent before ever succeeding):",
+            starvation_table,
+            "",
+            "Reading: only the harmonic schedule is robust — fixed-rate"
+            " needs the right k (slow under a drip), fast geometric decay"
+            " can fail even the wake-up task, and any geometric decay"
+            " starves most of a crowd in full resolution.  The Willard row"
+            " (collision detection, expected O(log log k)) calibrates the"
+            " price of the paper's feedback model for the wake-up task.",
+        ]
+    )
+    return ExperimentReport(
+        "ext_wakeup_variants", "Wake-up schedule comparison", rows, text
+    )

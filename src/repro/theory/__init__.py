@@ -1,0 +1,49 @@
+"""Executable theory: the paper's bound formulas and proof inequalities."""
+
+from repro.theory.bounds import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    fact2_success_lower_bound,
+    fact41_cumulative_bound,
+    lower_bound_latency,
+    lower_gen2_success_ceiling,
+    paper_bounds_table,
+    theorem31_c_for_eta,
+    theorem31_failure_exponent,
+    theorem31_latency_bound,
+    theorem51_horizon,
+    theorem51_light_failure_bound,
+    theorem_full1_failure_bound,
+    theorem_full1_horizon,
+    theorem_full2_horizon,
+)
+from repro.theory.inequalities import (
+    fact2_base_inequality_margin,
+    fact41_margin,
+    harmonic_sandwich_margin,
+    success_ceiling_margin,
+    x4x_monotonicity_margin,
+)
+
+__all__ = [
+    "chernoff_lower_tail",
+    "chernoff_upper_tail",
+    "fact2_success_lower_bound",
+    "fact41_cumulative_bound",
+    "lower_bound_latency",
+    "lower_gen2_success_ceiling",
+    "paper_bounds_table",
+    "theorem31_c_for_eta",
+    "theorem31_failure_exponent",
+    "theorem31_latency_bound",
+    "theorem51_horizon",
+    "theorem51_light_failure_bound",
+    "theorem_full1_failure_bound",
+    "theorem_full1_horizon",
+    "theorem_full2_horizon",
+    "fact2_base_inequality_margin",
+    "fact41_margin",
+    "harmonic_sandwich_margin",
+    "success_ceiling_margin",
+    "x4x_monotonicity_margin",
+]

@@ -1,0 +1,83 @@
+"""Numeric verification of the elementary inequalities the proofs lean on.
+
+The paper's analysis repeatedly uses a handful of calculus facts without
+proof.  Each function here checks one of them over a grid and returns the
+worst margin found (negative margin = violation), so the test suite can
+certify the analytic backbone of every theorem:
+
+* ``(1 - q)^(1/q) >= 1/4`` for ``0 < q <= 1/2``            (Lemma Fact2)
+* ``x * 4^(-x)`` is decreasing for ``x >= 1``              (Lemma f:full-7)
+* ``x * e^(1-x) <= 1``                                      (Lemma l:lower-gen-2)
+* ``ln(1+n) <= H_n <= 1 + ln n``                            (Eq. 14, wake-up)
+* ``sum ln(j)/j over a segment <= integral bound``          (Fact 4.1)
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+
+from repro.util.intmath import harmonic
+
+__all__ = [
+    "fact2_base_inequality_margin",
+    "x4x_monotonicity_margin",
+    "success_ceiling_margin",
+    "harmonic_sandwich_margin",
+    "fact41_margin",
+]
+
+
+def fact2_base_inequality_margin(samples: int = 1000) -> float:
+    """min over ``q in (0, 1/2]`` of ``(1-q)^(1/q) - 1/4``.
+
+    Lemma Fact2 needs this to be >= 0; the infimum is attained at q = 1/2
+    where ``(1/2)^2 = 1/4`` exactly, so the margin approaches 0 from above.
+    """
+    qs = np.linspace(1e-9, 0.5, samples)
+    values = (1.0 - qs) ** (1.0 / qs)
+    return float(np.min(values - 0.25))
+
+
+def x4x_monotonicity_margin(x_max: float = 50.0, samples: int = 2000) -> float:
+    """min over consecutive grid points of ``f(x) - f(x + dx)`` for
+    ``f(x) = x 4^(-x)`` on ``[1, x_max]`` — must be >= 0 (decreasing)."""
+    xs = np.linspace(1.0, x_max, samples)
+    f = xs * np.power(4.0, -xs)
+    return float(np.min(f[:-1] - f[1:]))
+
+
+def success_ceiling_margin(x_max: float = 100.0, samples: int = 5000) -> float:
+    """min of ``1 - x e^(1-x)`` over ``x >= 0`` (grid) — must be >= 0,
+    with equality only at x = 1 (the ceiling of Lemma l:lower-gen-2 is a
+    genuine probability bound)."""
+    xs = np.linspace(0.0, x_max, samples)
+    return float(np.min(1.0 - xs * np.exp(1.0 - xs)))
+
+
+def harmonic_sandwich_margin(n_max: int = 5000) -> float:
+    """min over ``n <= n_max`` of both gaps of
+    ``ln(1+n) <= H_n <= 1 + ln n`` — must be >= 0."""
+    worst = math.inf
+    h = 0.0
+    for n in range(1, n_max + 1):
+        h += 1.0 / n
+        lower_gap = h - math.log(1 + n)
+        upper_gap = 1.0 + math.log(n) - h
+        worst = min(worst, lower_gap, upper_gap)
+    return worst
+
+
+def fact41_margin(b: int, i: int) -> float:
+    """``b ln^2(i/b) - s(i)`` for the SublinearDecrease ladder — Fact 4.1
+    asserts this is > 0 for ``i >= 3b`` (measured crossover ``~2.6 b``)."""
+    if b < 1:
+        raise ValueError(f"b must be >= 1, got {b}")
+    if i < 3 * b:
+        raise ValueError(f"Fact 4.1 needs i >= 3b, got i={i}, b={b}")
+    s = 0.0
+    for local_round in range(1, i + 1):
+        j = 3 + (local_round - 1) // b
+        s += min(1.0, math.log(j) / j)
+    return b * math.log(i / b) ** 2 - s

@@ -1,0 +1,27 @@
+"""Shared utilities: integer logarithms, harmonic sums, RNG fan-out, ASCII charts.
+
+These helpers centralise the small numeric conventions the paper's protocols
+rely on (``log log k`` for small ``k``, harmonic-series bounds, probability
+clamping) so that every protocol module uses exactly the same definitions.
+"""
+
+from repro.util.intmath import (
+    ceil_log2,
+    clamp_probability,
+    floor_log2,
+    harmonic,
+    is_power_of_two,
+    loglog2,
+)
+from repro.util.rng import RngFactory, spawn_generators
+
+__all__ = [
+    "ceil_log2",
+    "clamp_probability",
+    "floor_log2",
+    "harmonic",
+    "is_power_of_two",
+    "loglog2",
+    "RngFactory",
+    "spawn_generators",
+]

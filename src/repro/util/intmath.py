@@ -1,0 +1,116 @@
+"""Integer math helpers shared across protocols and analysis.
+
+The paper's pseudo-code uses ``log log k``, powers of two and harmonic sums.
+For small ``k`` these expressions degenerate (``log log 2 = 0``,
+``log log 1`` undefined), so the conventions are fixed here once:
+
+* logarithms are base 2 and defined on positive integers;
+* ``loglog2(k)`` is ``0`` for ``k <= 2`` (a single phase), matching the
+  convention that a protocol for trivially small contention runs exactly one
+  probability level.
+"""
+
+from __future__ import annotations
+
+import math
+
+__all__ = [
+    "ceil_log2",
+    "clamp_probability",
+    "floor_log2",
+    "harmonic",
+    "harmonic_bounds",
+    "is_power_of_two",
+    "loglog2",
+]
+
+
+def floor_log2(n: int) -> int:
+    """Return ``floor(log2(n))`` for a positive integer ``n``.
+
+    >>> floor_log2(1), floor_log2(2), floor_log2(3), floor_log2(8)
+    (0, 1, 1, 3)
+    """
+    if n < 1:
+        raise ValueError(f"floor_log2 requires n >= 1, got {n}")
+    return n.bit_length() - 1
+
+
+def ceil_log2(n: int) -> int:
+    """Return ``ceil(log2(n))`` for a positive integer ``n``.
+
+    >>> ceil_log2(1), ceil_log2(2), ceil_log2(3), ceil_log2(8)
+    (0, 1, 2, 3)
+    """
+    if n < 1:
+        raise ValueError(f"ceil_log2 requires n >= 1, got {n}")
+    return (n - 1).bit_length()
+
+
+def loglog2(k: int) -> int:
+    """Return ``ceil(log2(log2(k)))`` with the small-``k`` convention.
+
+    The outer ``for`` loop of ``NonAdaptiveWithK`` iterates over phases
+    ``l = 0, 1, ..., loglog2(k)``.  For ``k <= 2`` there is a single phase
+    (``loglog2 == 0``); for ``k in (2, 4]`` two phases, and so on.
+
+    >>> [loglog2(k) for k in (1, 2, 3, 4, 5, 16, 17, 256)]
+    [0, 0, 1, 1, 2, 2, 3, 3]
+    """
+    if k < 1:
+        raise ValueError(f"loglog2 requires k >= 1, got {k}")
+    if k <= 2:
+        return 0
+    return ceil_log2(ceil_log2(k))
+
+
+def is_power_of_two(n: int) -> bool:
+    """Return True iff ``n`` is a positive power of two (1 counts).
+
+    >>> [is_power_of_two(n) for n in (0, 1, 2, 3, 4, 6, 8)]
+    [False, True, True, False, True, False, True]
+    """
+    return n >= 1 and (n & (n - 1)) == 0
+
+
+def harmonic(n: int) -> float:
+    """Return the ``n``-th harmonic number ``H_n = sum_{i=1}^{n} 1/i``.
+
+    Exact summation for small ``n``; the asymptotic expansion
+    ``ln n + gamma + 1/(2n) - 1/(12 n^2)`` beyond 10^6 terms (error < 1e-18).
+    """
+    if n < 0:
+        raise ValueError(f"harmonic requires n >= 0, got {n}")
+    if n == 0:
+        return 0.0
+    if n <= 1_000_000:
+        return float(sum(1.0 / i for i in range(1, n + 1)))
+    gamma = 0.577_215_664_901_532_9
+    return math.log(n) + gamma + 1.0 / (2 * n) - 1.0 / (12 * n * n)
+
+
+def harmonic_bounds(n: int) -> tuple[float, float]:
+    """Return the classical sandwich ``ln(1+n) <= H_n <= 1 + ln n``.
+
+    This is inequality (14) of the paper (used in the wake-up analysis).
+    Returns ``(lower, upper)``; for ``n == 0`` both are 0.
+    """
+    if n < 0:
+        raise ValueError(f"harmonic_bounds requires n >= 0, got {n}")
+    if n == 0:
+        return (0.0, 0.0)
+    return (math.log(1 + n), 1.0 + math.log(n))
+
+
+def clamp_probability(p: float) -> float:
+    """Clamp ``p`` into the closed interval [0, 1].
+
+    Protocol formulas such as ``ln j / j`` can exceed 1 for tiny ``j`` or go
+    negative through floating error; every schedule funnels its output
+    through this single clamp.
+    """
+    if p < 0.0:
+        return 0.0
+    if p > 1.0:
+        return 1.0
+    return p

@@ -1,0 +1,22 @@
+"""Shared test fixtures and helpers."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    """A deterministic generator for tests that need raw randomness."""
+    return np.random.default_rng(12345)
+
+
+def make_factory(cls, *args, **kwargs):
+    """Zero-argument protocol factory from a class and constructor args."""
+
+    def factory():
+        return cls(*args, **kwargs)
+
+    factory.protocol_name = cls.__name__
+    return factory

@@ -1,0 +1,278 @@
+"""Tests for AdaptiveNoK (Algorithm 3): unit-level state machine drives and
+integration runs."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversary.oblivious import (
+    BatchSchedule,
+    StaticSchedule,
+    TwoWavesSchedule,
+    UniformRandomSchedule,
+)
+from repro.channel.feedback import Observation
+from repro.channel.messages import (
+    AnybodyOutThereProbe,
+    DataPacket,
+    DModeAnnouncement,
+)
+from repro.channel.simulator import SlotSimulator
+from repro.core.protocols.adaptive_no_k import (
+    LISTEN_WINDOW,
+    AdaptiveNoK,
+    Mode,
+    is_white_round,
+)
+
+
+def started(seed=0) -> AdaptiveNoK:
+    protocol = AdaptiveNoK()
+    protocol.begin(0, np.random.default_rng(seed))
+    return protocol
+
+
+def listen_round(protocol, local_round, message=None):
+    """Drive one listening round: decide (expect None while waiting) then
+    observe the given delivered message."""
+    protocol.decide(local_round)
+    protocol.observe(
+        Observation(
+            local_round=local_round, transmitted=False, acked=False, message=message
+        )
+    )
+
+
+class TestWhiteRounds:
+    def test_white_rounds_are_powers_of_two_from_four(self):
+        assert [tc for tc in range(1, 70) if is_white_round(tc)] == [4, 8, 16, 32, 64]
+
+    def test_tc2_is_black(self):
+        # The x >= 2 convention (see module docstring): tc=2 is a black
+        # round so the leader's <D mode> bit appears within any 4-round
+        # window from the start of the dissemination mode.
+        assert not is_white_round(2)
+
+
+class TestWaitingWindow:
+    def test_silence_window_enters_election(self):
+        protocol = started()
+        for i in range(1, LISTEN_WINDOW + 1):
+            assert protocol.mode is Mode.WAITING
+            listen_round(protocol, i, message=None)
+        assert protocol.mode is Mode.ELECTION
+
+    def test_dmode_message_keeps_waiting(self):
+        protocol = started()
+        for i in range(1, 2 * LISTEN_WINDOW + 1):
+            message = DModeAnnouncement() if i % 2 == 0 else None
+            listen_round(protocol, i, message=message)
+            assert protocol.mode is Mode.WAITING
+
+    def test_data_packet_keeps_waiting(self):
+        # Successful data transmissions (a running D mode's SUniform) also
+        # hold newcomers back (pseudocode line 4 condition).
+        protocol = started()
+        for i in range(1, LISTEN_WINDOW + 1):
+            listen_round(protocol, i, message=DataPacket(origin=5))
+        assert protocol.mode is Mode.WAITING
+
+    def test_probe_releases_waiter(self):
+        # The successful <anybody out there?> marks the end of a D mode.
+        protocol = started()
+        listen_round(protocol, 1, message=DModeAnnouncement())
+        listen_round(protocol, 2, message=AnybodyOutThereProbe())
+        listen_round(protocol, 3, message=None)
+        listen_round(protocol, 4, message=None)
+        assert protocol.mode is Mode.ELECTION
+
+
+class TestElection:
+    def enter_election(self, seed=0):
+        protocol = started(seed)
+        for i in range(1, LISTEN_WINDOW + 1):
+            listen_round(protocol, i, message=None)
+        assert protocol.mode is Mode.ELECTION
+        return protocol
+
+    def test_own_ack_makes_leader(self):
+        protocol = self.enter_election(seed=1)
+        # Force a transmitting round, then ack it.
+        local = LISTEN_WINDOW + 1
+        while protocol.decide(local) is None:
+            protocol.observe(
+                Observation(local_round=local, transmitted=False, acked=False)
+            )
+            local += 1
+        protocol.observe(Observation(local_round=local, transmitted=True, acked=True))
+        assert protocol.mode is Mode.LEADER
+        assert not protocol.finished  # the leader outlives its own success
+
+    def test_foreign_success_makes_member(self):
+        protocol = self.enter_election()
+        local = LISTEN_WINDOW + 1
+        protocol.decide(local)
+        protocol.observe(
+            Observation(
+                local_round=local,
+                transmitted=False,
+                acked=False,
+                message=DataPacket(origin=3),
+            )
+        )
+        assert protocol.mode is Mode.MEMBER
+
+
+def make_leader(seed=0) -> AdaptiveNoK:
+    protocol = started(seed)
+    protocol.mode = Mode.LEADER
+    protocol._tc = 0
+    return protocol
+
+
+def make_member(seed=0) -> AdaptiveNoK:
+    from repro.core.protocols.suniform import SawtoothState
+
+    protocol = started(seed)
+    protocol.mode = Mode.MEMBER
+    protocol._tc = 0
+    protocol._sawtooth = SawtoothState(protocol.rng)
+    return protocol
+
+
+class TestLeaderRounds:
+    def test_leader_round_payloads(self):
+        protocol = make_leader()
+        payloads = {}
+        for tc in range(1, 10):
+            decision = protocol.decide(100 + tc)  # local round value irrelevant
+            payloads[tc] = None if decision is None else decision.payload
+            protocol.observe(
+                Observation(
+                    local_round=100 + tc,
+                    transmitted=decision is not None,
+                    acked=False,
+                )
+            )
+        assert payloads[1] is None  # odd: SUniform rounds belong to members
+        assert isinstance(payloads[2], DModeAnnouncement)  # black
+        assert payloads[3] is None
+        assert isinstance(payloads[4], AnybodyOutThereProbe)  # white (2^2)
+        assert isinstance(payloads[6], DModeAnnouncement)  # black
+        assert isinstance(payloads[8], AnybodyOutThereProbe)  # white (2^3)
+
+    def test_probe_ack_switches_leader_off(self):
+        protocol = make_leader()
+        for tc in range(1, 4):
+            decision = protocol.decide(0)
+            protocol.observe(
+                Observation(local_round=0, transmitted=decision is not None, acked=False)
+            )
+        decision = protocol.decide(0)  # tc = 4: white
+        assert isinstance(decision.payload, AnybodyOutThereProbe)
+        protocol.observe(Observation(local_round=0, transmitted=True, acked=True))
+        assert protocol.finished
+
+    def test_black_ack_does_not_switch_off(self):
+        protocol = make_leader()
+        protocol.decide(0)  # tc=1 odd, listens
+        protocol.observe(Observation(local_round=0, transmitted=False, acked=False))
+        decision = protocol.decide(0)  # tc=2 black
+        assert isinstance(decision.payload, DModeAnnouncement)
+        protocol.observe(Observation(local_round=0, transmitted=True, acked=True))
+        assert not protocol.finished
+
+
+class TestMemberRounds:
+    def test_member_transmits_probe_on_white(self):
+        protocol = make_member()
+        for tc in range(1, 4):
+            decision = protocol.decide(0)
+            protocol.observe(
+                Observation(local_round=0, transmitted=decision is not None, acked=False)
+            )
+        decision = protocol.decide(0)  # tc = 4
+        assert isinstance(decision.payload, AnybodyOutThereProbe)
+
+    def test_member_silent_on_black(self):
+        protocol = make_member()
+        protocol.decide(0)  # tc=1 odd (sawtooth; may or may not transmit)
+        protocol.observe(Observation(local_round=0, transmitted=False, acked=False))
+        decision = protocol.decide(0)  # tc=2 black
+        assert decision is None
+
+    def test_member_data_ack_switches_off(self):
+        protocol = make_member(seed=4)
+        # Drive odd rounds until the sawtooth transmits, then ack it.
+        for _ in range(200):
+            decision = protocol.decide(0)  # odd tc
+            if decision is not None and isinstance(decision.payload, DataPacket):
+                protocol.observe(
+                    Observation(local_round=0, transmitted=True, acked=True)
+                )
+                break
+            protocol.observe(
+                Observation(
+                    local_round=0, transmitted=decision is not None, acked=False
+                )
+            )
+            decision = protocol.decide(0)  # even tc
+            protocol.observe(
+                Observation(
+                    local_round=0, transmitted=decision is not None, acked=False
+                )
+            )
+        assert protocol.finished
+
+    def test_member_probe_ack_is_ignored(self):
+        protocol = make_member()
+        for tc in range(1, 4):
+            decision = protocol.decide(0)
+            protocol.observe(
+                Observation(local_round=0, transmitted=decision is not None, acked=False)
+            )
+        protocol.decide(0)  # tc=4 white: probe
+        protocol.observe(Observation(local_round=0, transmitted=True, acked=True))
+        assert not protocol.finished
+
+
+class TestIntegration:
+    @pytest.mark.parametrize("k,seed", [(1, 0), (2, 1), (5, 2), (16, 3)])
+    def test_small_contentions_complete(self, k, seed):
+        result = SlotSimulator(
+            k, lambda: AdaptiveNoK(), StaticSchedule(),
+            max_rounds=400 * k + 4096, seed=seed,
+        ).run()
+        assert result.completed
+        assert result.success_count == k
+
+    @pytest.mark.parametrize(
+        "adversary",
+        [
+            StaticSchedule(),
+            UniformRandomSchedule(span=lambda k: 4 * k),
+            BatchSchedule(batch=8, gap=64),
+            TwoWavesSchedule(delay=lambda k: 2 * k),
+        ],
+        ids=["static", "uniform", "batch", "two-waves"],
+    )
+    def test_completes_under_varied_schedules(self, adversary):
+        k = 24
+        result = SlotSimulator(
+            k, lambda: AdaptiveNoK(), adversary,
+            max_rounds=800 * k + 8192, seed=7,
+        ).run()
+        assert result.completed
+        assert result.success_count == k
+
+    def test_all_stations_switch_off(self):
+        result = SlotSimulator(
+            12, lambda: AdaptiveNoK(), StaticSchedule(),
+            max_rounds=8192, seed=11,
+        ).run()
+        assert all(r.switch_off_round is not None for r in result.records)
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            AdaptiveNoK(q=0)

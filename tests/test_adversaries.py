@@ -1,0 +1,177 @@
+"""Tests for oblivious schedules and adaptive adversaries."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.adaptive import (
+    AntiLeaderAdversary,
+    BurstOnQuietAdversary,
+    DripFeedAdversary,
+    WakeOnSuccessAdversary,
+)
+from repro.adversary.base import FixedSchedule
+from repro.adversary.oblivious import (
+    BatchSchedule,
+    PoissonSchedule,
+    StaggeredSchedule,
+    StaticSchedule,
+    TwoWavesSchedule,
+    UniformRandomSchedule,
+)
+from repro.channel.events import RoundEvent, RoundOutcome
+
+
+RNG = np.random.default_rng(0)
+
+
+def success_event(t: int) -> RoundEvent:
+    return RoundEvent(t, RoundOutcome.SUCCESS, 1, winner=0)
+
+
+def silence_event(t: int) -> RoundEvent:
+    return RoundEvent(t, RoundOutcome.SILENCE, 0)
+
+
+class TestObliviousSchedules:
+    @pytest.mark.parametrize(
+        "schedule",
+        [
+            StaticSchedule(),
+            UniformRandomSchedule(span=64),
+            UniformRandomSchedule(span=lambda k: 2 * k),
+            StaggeredSchedule(gap=3),
+            BatchSchedule(batch=4, gap=10),
+            PoissonSchedule(rate=0.5),
+            TwoWavesSchedule(delay=32),
+        ],
+        ids=lambda s: s.name,
+    )
+    @pytest.mark.parametrize("k", [1, 7, 64])
+    def test_produces_k_valid_rounds(self, schedule, k):
+        rounds = schedule.wake_rounds(k, np.random.default_rng(1))
+        assert len(rounds) == k
+        assert all(isinstance(r, int) and r >= 0 for r in rounds)
+
+    def test_static_all_zero(self):
+        assert StaticSchedule().wake_rounds(5, RNG) == [0] * 5
+
+    def test_staggered_arithmetic(self):
+        assert StaggeredSchedule(gap=4).wake_rounds(4, RNG) == [0, 4, 8, 12]
+
+    def test_batch_structure(self):
+        rounds = BatchSchedule(batch=3, gap=5).wake_rounds(7, RNG)
+        assert rounds == [0, 0, 0, 5, 5, 5, 10]
+
+    def test_two_waves_split(self):
+        rounds = TwoWavesSchedule(delay=9).wake_rounds(5, RNG)
+        assert rounds == [0, 0, 0, 9, 9]
+
+    def test_uniform_within_span(self):
+        rounds = UniformRandomSchedule(span=10).wake_rounds(100, np.random.default_rng(2))
+        assert all(0 <= r < 10 for r in rounds)
+
+    def test_poisson_nondecreasing(self):
+        rounds = PoissonSchedule(rate=1.0).wake_rounds(50, np.random.default_rng(3))
+        assert rounds == sorted(rounds)
+
+    def test_oblivious_draw_is_seeded(self):
+        schedule = UniformRandomSchedule(span=1000)
+        a = schedule.wake_rounds(20, np.random.default_rng(7))
+        b = schedule.wake_rounds(20, np.random.default_rng(7))
+        assert a == b
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            StaggeredSchedule(gap=-1)
+        with pytest.raises(ValueError):
+            BatchSchedule(batch=0, gap=1)
+        with pytest.raises(ValueError):
+            PoissonSchedule(rate=0)
+        with pytest.raises(ValueError):
+            UniformRandomSchedule(span=0).wake_rounds(1, RNG)
+
+
+class TestFixedSchedule:
+    def test_roundtrip(self):
+        schedule = FixedSchedule([5, 1, 3])
+        assert schedule.wake_rounds(3, RNG) == [5, 1, 3]
+
+    def test_k_mismatch_rejected(self):
+        with pytest.raises(ValueError):
+            FixedSchedule([1, 2]).wake_rounds(3, RNG)
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            FixedSchedule([-1])
+
+
+class TestAdaptiveAdversaries:
+    def test_burst_on_quiet_seeds_then_bursts(self):
+        adversary = BurstOnQuietAdversary(burst=3, quiet=2)
+        adversary.begin(10, RNG)
+        assert adversary.wake_now(0, []) == 1
+        history = [silence_event(1)]
+        assert adversary.wake_now(1, history) == 0  # quiet run = 1
+        history.append(silence_event(2))
+        assert adversary.wake_now(2, history) == 3  # quiet run hit 2
+
+    def test_burst_counter_resets_on_success(self):
+        adversary = BurstOnQuietAdversary(burst=2, quiet=2)
+        adversary.begin(10, RNG)
+        adversary.wake_now(0, [])
+        adversary.wake_now(1, [silence_event(1)])
+        # A success resets the quiet counter.
+        assert adversary.wake_now(2, [silence_event(1), success_event(2)]) == 0
+        assert adversary.wake_now(3, [silence_event(3)]) == 0
+
+    def test_wake_on_success(self):
+        adversary = WakeOnSuccessAdversary(seed_group=4, refill=2)
+        adversary.begin(10, RNG)
+        assert adversary.wake_now(0, []) == 4
+        assert adversary.wake_now(1, [silence_event(1)]) == 0
+        assert adversary.wake_now(2, [success_event(2)]) == 2
+
+    def test_anti_leader_floods_on_first_success_after_lull(self):
+        adversary = AntiLeaderAdversary(flood=5)
+        adversary.begin(20, RNG)
+        assert adversary.wake_now(0, []) == 1
+        assert adversary.wake_now(1, [silence_event(1)]) == 0
+        assert adversary.wake_now(2, [success_event(2)]) == 5  # leader elected
+        # Consecutive successes do not re-trigger.
+        assert adversary.wake_now(3, [success_event(3)]) == 0
+        # After another lull, the next success triggers again.
+        assert adversary.wake_now(4, [silence_event(4)]) == 0
+        assert adversary.wake_now(5, [success_event(5)]) == 5
+
+    def test_drip_feed_and_deadline(self):
+        adversary = DripFeedAdversary(interval=5)
+        adversary.begin(4, RNG)
+        wakes = [adversary.wake_now(t, []) for t in range(11)]
+        assert wakes == [1, 0, 0, 0, 0, 1, 0, 0, 0, 0, 1]
+        assert adversary.deadline(4) == 5 * 4 + 1024
+
+    def test_invalid_parameters(self):
+        with pytest.raises(ValueError):
+            BurstOnQuietAdversary(burst=0)
+        with pytest.raises(ValueError):
+            WakeOnSuccessAdversary(seed_group=0)
+        with pytest.raises(ValueError):
+            AntiLeaderAdversary(flood=0)
+        with pytest.raises(ValueError):
+            DripFeedAdversary(interval=0)
+
+
+class TestScheduleValidateHelper:
+    @given(st.lists(st.integers(min_value=0, max_value=10**6), min_size=1, max_size=50))
+    @settings(max_examples=25)
+    def test_validate_passthrough(self, rounds):
+        schedule = FixedSchedule(rounds)
+        assert schedule.validate(rounds, len(rounds)) == [int(r) for r in rounds]
+
+    def test_validate_rejects_wrong_length(self):
+        with pytest.raises(ValueError):
+            StaticSchedule().validate([0, 0], 3)

@@ -1,0 +1,71 @@
+"""Tests for the ASCII chart renderer."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.util.ascii_chart import line_chart, log_log_chart, render_table
+
+
+class TestRenderTable:
+    def test_alignment(self):
+        text = render_table(["k", "latency"], [[8, 41], [16, 90]])
+        lines = text.splitlines()
+        assert len(lines) == 3
+        assert lines[0].endswith("latency")
+        assert lines[1].endswith("41")
+
+    def test_float_formatting(self):
+        text = render_table(["x"], [[3.14159265]])
+        assert "3.142" in text
+
+    def test_row_length_checked(self):
+        with pytest.raises(ValueError):
+            render_table(["a", "b"], [[1]])
+
+    def test_none_rendered(self):
+        text = render_table(["a"], [[None]])
+        assert "None" in text
+
+
+class TestLineChart:
+    def test_contains_markers_and_legend(self):
+        text = line_chart([1, 2, 3], {"s": [1.0, 2.0, 3.0]}, width=20, height=5)
+        assert "*" in text
+        assert "s" in text.splitlines()[-1]
+
+    def test_multiple_series_distinct_markers(self):
+        text = line_chart(
+            [1, 2], {"a": [1.0, 2.0], "b": [2.0, 1.0]}, width=10, height=4
+        )
+        assert "* = a" in text and "o = b" in text
+
+    def test_title(self):
+        text = line_chart([1, 2], {"a": [1.0, 2.0]}, title="hello")
+        assert text.splitlines()[0] == "hello"
+
+    def test_flat_series_ok(self):
+        text = line_chart([1, 2, 3], {"flat": [5.0, 5.0, 5.0]})
+        assert "5" in text
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            line_chart([], {"a": []})
+        with pytest.raises(ValueError):
+            line_chart([1, 2], {"a": [1.0]})
+        with pytest.raises(ValueError):
+            line_chart([1], {"a": [float("nan")]})
+
+    def test_nan_points_dropped(self):
+        text = line_chart([1, 2, 3], {"a": [1.0, float("nan"), 3.0]})
+        assert "*" in text
+
+
+class TestLogLogChart:
+    def test_basic(self):
+        text = log_log_chart([2, 4, 8], {"a": [10.0, 20.0, 40.0]})
+        assert "[log2-log2]" in text
+
+    def test_nonpositive_dropped(self):
+        text = log_log_chart([0, 2, 4], {"a": [1.0, 2.0, 4.0]})
+        assert "*" in text

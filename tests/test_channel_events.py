@@ -1,0 +1,138 @@
+"""Tests for channel events, messages and feedback models."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.channel.events import RoundEvent, RoundOutcome
+from repro.channel.feedback import FeedbackModel, Observation, make_observation
+from repro.channel.messages import (
+    AnybodyOutThereProbe,
+    DataPacket,
+    DModeAnnouncement,
+    control_bit,
+)
+
+
+class TestRoundOutcome:
+    def test_mapping(self):
+        assert RoundOutcome.from_transmitter_count(0) is RoundOutcome.SILENCE
+        assert RoundOutcome.from_transmitter_count(1) is RoundOutcome.SUCCESS
+        assert RoundOutcome.from_transmitter_count(2) is RoundOutcome.COLLISION
+
+    @given(st.integers(min_value=2, max_value=10**6))
+    def test_many_transmitters_collide(self, m):
+        assert RoundOutcome.from_transmitter_count(m) is RoundOutcome.COLLISION
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            RoundOutcome.from_transmitter_count(-1)
+
+
+class TestRoundEvent:
+    def test_success_event(self):
+        event = RoundEvent(
+            round_index=3,
+            outcome=RoundOutcome.SUCCESS,
+            transmitter_count=1,
+            winner=7,
+            message=DataPacket(origin=7),
+        )
+        assert event.winner == 7
+
+    def test_outcome_count_consistency_enforced(self):
+        with pytest.raises(ValueError):
+            RoundEvent(1, RoundOutcome.SUCCESS, transmitter_count=2, winner=0)
+
+    def test_winner_iff_success(self):
+        with pytest.raises(ValueError):
+            RoundEvent(1, RoundOutcome.SILENCE, transmitter_count=0, winner=3)
+        with pytest.raises(ValueError):
+            RoundEvent(1, RoundOutcome.SUCCESS, transmitter_count=1, winner=None)
+
+    def test_collision_event(self):
+        event = RoundEvent(5, RoundOutcome.COLLISION, transmitter_count=4)
+        assert event.winner is None and event.message is None
+
+
+class TestMessages:
+    def test_control_bits(self):
+        assert control_bit(DModeAnnouncement()) == 0
+        assert control_bit(AnybodyOutThereProbe()) == 1
+        assert control_bit(DataPacket(origin=1)) is None
+        assert control_bit("junk") is None
+
+    def test_messages_hashable_and_comparable(self):
+        assert DModeAnnouncement() == DModeAnnouncement()
+        assert DataPacket(1) == DataPacket(1)
+        assert DataPacket(1) != DataPacket(2)
+        {DModeAnnouncement(), AnybodyOutThereProbe(), DataPacket(0)}
+
+
+class TestObservation:
+    def test_ack_requires_transmission(self):
+        with pytest.raises(ValueError):
+            Observation(local_round=1, transmitted=False, acked=True)
+
+    def test_transmitter_receives_no_message(self):
+        with pytest.raises(ValueError):
+            Observation(
+                local_round=1, transmitted=True, acked=False, message=DataPacket(0)
+            )
+
+    def test_valid_listener_observation(self):
+        obs = Observation(
+            local_round=2, transmitted=False, acked=False, message=DataPacket(4)
+        )
+        assert obs.message == DataPacket(4)
+
+
+class TestMakeObservation:
+    def test_ack_only_hides_channel_state(self):
+        obs = make_observation(
+            local_round=1,
+            transmitted=False,
+            outcome=RoundOutcome.COLLISION,
+            is_winner=False,
+            delivered=None,
+            model=FeedbackModel.ACK_ONLY,
+        )
+        # Collision and silence must be indistinguishable: channel is None.
+        assert obs.channel is None
+        assert obs.message is None
+
+    def test_collision_detection_exposes_outcome(self):
+        obs = make_observation(
+            local_round=1,
+            transmitted=False,
+            outcome=RoundOutcome.COLLISION,
+            is_winner=False,
+            delivered=None,
+            model=FeedbackModel.COLLISION_DETECTION,
+        )
+        assert obs.channel is RoundOutcome.COLLISION
+
+    def test_listener_gets_message_on_success(self):
+        packet = DataPacket(origin=9)
+        obs = make_observation(
+            local_round=4,
+            transmitted=False,
+            outcome=RoundOutcome.SUCCESS,
+            is_winner=False,
+            delivered=packet,
+            model=FeedbackModel.ACK_ONLY,
+        )
+        assert obs.message is packet
+
+    def test_winner_gets_ack_not_message(self):
+        obs = make_observation(
+            local_round=4,
+            transmitted=True,
+            outcome=RoundOutcome.SUCCESS,
+            is_winner=True,
+            delivered=DataPacket(origin=9),
+            model=FeedbackModel.ACK_ONLY,
+        )
+        assert obs.acked and obs.message is None

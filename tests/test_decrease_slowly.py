@@ -1,0 +1,69 @@
+"""Tests for DecreaseSlowly (Algorithm 4, wake-up)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocols.decrease_slowly import DecreaseSlowly
+
+
+class TestSchedule:
+    def test_first_round_is_half(self):
+        for q in (0.5, 1.0, 2.0, 7.5):
+            assert DecreaseSlowly(q).probability(1) == pytest.approx(0.5)
+
+    @given(
+        st.floats(min_value=0.1, max_value=50, allow_nan=False),
+        st.integers(min_value=1, max_value=10**6),
+    )
+    @settings(max_examples=60)
+    def test_formula(self, q, i):
+        schedule = DecreaseSlowly(q)
+        assert schedule.probability(i) == pytest.approx(q / (2 * q + (i - 1)))
+
+    @given(st.integers(min_value=1, max_value=10**5))
+    def test_strictly_decreasing(self, i):
+        schedule = DecreaseSlowly(2)
+        assert schedule.probability(i) > schedule.probability(i + 1)
+
+    def test_harmonic_decay(self):
+        # p(i) ~ q/i for large i.
+        schedule = DecreaseSlowly(3)
+        assert schedule.probability(10_001) == pytest.approx(3 / 10_006)
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            DecreaseSlowly(0)
+        with pytest.raises(ValueError):
+            DecreaseSlowly(-1)
+        with pytest.raises(ValueError):
+            DecreaseSlowly(1).probability(0)
+
+    def test_unbounded(self):
+        assert DecreaseSlowly(1).horizon() is None
+
+
+class TestVectorizedTable:
+    def test_matches_pointwise(self):
+        schedule = DecreaseSlowly(1.5)
+        table = schedule.probabilities(100)
+        for i in (1, 2, 50, 100):
+            assert table[i - 1] == pytest.approx(schedule.probability(i))
+
+    def test_empty(self):
+        assert len(DecreaseSlowly(1).probabilities(0)) == 0
+
+
+class TestTheoryHooks:
+    def test_wakeup_bound(self):
+        assert DecreaseSlowly(2).theoretical_wakeup_bound(100) == 6400
+
+    def test_cumulative_is_logarithmic(self):
+        # s(n) ~ q ln n: doubling n adds ~ q ln 2.
+        schedule = DecreaseSlowly(2)
+        import math
+
+        delta = schedule.cumulative(20_000) - schedule.cumulative(10_000)
+        assert delta == pytest.approx(2 * math.log(2), rel=0.01)

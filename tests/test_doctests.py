@@ -1,0 +1,35 @@
+"""Run the library's embedded doctests (docstring examples must not rot)."""
+
+from __future__ import annotations
+
+import doctest
+
+import pytest
+
+import repro.adversary.lower_bound
+import repro.analysis.scaling
+import repro.analysis.stats
+import repro.channel.events
+import repro.channel.messages
+import repro.core.protocols.adaptive_no_k
+import repro.util.ascii_chart
+import repro.util.intmath
+import repro.util.rng
+
+MODULES = [
+    repro.util.intmath,
+    repro.util.rng,
+    repro.util.ascii_chart,
+    repro.channel.events,
+    repro.channel.messages,
+    repro.core.protocols.adaptive_no_k,
+    repro.analysis.stats,
+    repro.analysis.scaling,
+    repro.adversary.lower_bound,
+]
+
+
+@pytest.mark.parametrize("module", MODULES, ids=lambda m: m.__name__)
+def test_doctests(module):
+    results = doctest.testmod(module, verbose=False)
+    assert results.failed == 0, f"{results.failed} doctest failures in {module.__name__}"

@@ -1,0 +1,111 @@
+"""Cross-validation: the vectorised engine reproduces the object engine's
+statistics for non-adaptive schedules.
+
+The two engines use different sampling mechanisms (per-round Bernoulli vs
+Poisson thinning), so per-seed equality is not expected; distributional
+agreement is.  We compare means of first-success time, completion latency
+and energy across repetitions, with tolerances wide enough to be stable
+(seeded) yet tight enough to catch systematic bias (e.g. an off-by-one in
+local-round indexing shifts the wake-up time distribution noticeably).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversary.base import FixedSchedule
+from repro.adversary.oblivious import StaticSchedule
+from repro.channel.results import StopCondition
+from repro.channel.simulator import SlotSimulator
+from repro.channel.vectorized import VectorizedSimulator
+from repro.core.protocol import ScheduleProtocol
+from repro.core.protocols.decrease_slowly import DecreaseSlowly
+from repro.core.protocols.non_adaptive_with_k import NonAdaptiveWithK
+
+
+def run_object(k, schedule, adversary, *, reps, seed, max_rounds, stop, ack=True):
+    values = []
+    for r in range(reps):
+        def factory():
+            return ScheduleProtocol(schedule, switch_off_on_ack=ack)
+
+        result = SlotSimulator(
+            k, factory, adversary, stop=stop, max_rounds=max_rounds, seed=seed + r
+        ).run()
+        values.append(result)
+    return values
+
+
+def run_vector(k, schedule, adversary, *, reps, seed, max_rounds, stop, ack=True):
+    return [
+        VectorizedSimulator(
+            k, schedule, adversary, switch_off_on_ack=ack,
+            stop=stop, max_rounds=max_rounds, seed=seed + 10_000 + r,
+        ).run()
+        for r in range(reps)
+    ]
+
+
+class TestWakeupAgreement:
+    def test_first_success_distribution(self):
+        k, reps = 24, 40
+        schedule = DecreaseSlowly(2)
+        kwargs = dict(
+            reps=reps, seed=0, max_rounds=20_000, stop=StopCondition.FIRST_SUCCESS
+        )
+        obj = run_object(k, schedule, StaticSchedule(), **kwargs)
+        vec = run_vector(k, schedule, StaticSchedule(), **kwargs)
+        mean_obj = np.mean([r.first_success_round for r in obj])
+        mean_vec = np.mean([r.first_success_round for r in vec])
+        # Wake-up times are small (~tens of rounds); demand agreement within
+        # 50% relative or 5 rounds absolute, whichever is looser.
+        assert abs(mean_obj - mean_vec) <= max(5.0, 0.5 * max(mean_obj, mean_vec))
+
+
+class TestContentionAgreement:
+    def test_latency_and_energy_means(self):
+        k, reps = 32, 15
+        schedule = NonAdaptiveWithK(k, 4)
+        kwargs = dict(
+            reps=reps, seed=1, max_rounds=60 * k, stop=StopCondition.ALL_SWITCHED_OFF
+        )
+        wake = FixedSchedule(sorted(int(3 * i) for i in range(k)))
+        obj = run_object(k, schedule, wake, **kwargs)
+        vec = run_vector(k, schedule, wake, **kwargs)
+        assert all(r.completed for r in obj)
+        assert all(r.completed for r in vec)
+        lat_obj = np.mean([r.max_latency for r in obj])
+        lat_vec = np.mean([r.max_latency for r in vec])
+        assert lat_vec == pytest.approx(lat_obj, rel=0.35)
+        e_obj = np.mean([r.total_transmissions for r in obj])
+        e_vec = np.mean([r.total_transmissions for r in vec])
+        assert e_vec == pytest.approx(e_obj, rel=0.25)
+
+    def test_success_counts_identical(self):
+        k = 16
+        schedule = NonAdaptiveWithK(k, 4)
+        kwargs = dict(
+            reps=10, seed=2, max_rounds=60 * k, stop=StopCondition.ALL_SWITCHED_OFF
+        )
+        obj = run_object(k, schedule, StaticSchedule(), **kwargs)
+        vec = run_vector(k, schedule, StaticSchedule(), **kwargs)
+        assert {r.success_count for r in obj} == {k}
+        assert {r.success_count for r in vec} == {k}
+
+
+class TestNoAckAgreement:
+    def test_no_ack_first_success_per_station(self):
+        from repro.core.protocols.sublinear_decrease import SublinearDecrease
+
+        k, reps = 12, 15
+        schedule = SublinearDecrease(3)
+        kwargs = dict(
+            reps=reps, seed=3, max_rounds=30_000,
+            stop=StopCondition.ALL_SUCCEEDED, ack=False,
+        )
+        obj = run_object(k, schedule, StaticSchedule(), **kwargs)
+        vec = run_vector(k, schedule, StaticSchedule(), **kwargs)
+        lat_obj = np.mean([r.max_latency for r in obj if r.completed])
+        lat_vec = np.mean([r.max_latency for r in vec if r.completed])
+        assert lat_vec == pytest.approx(lat_obj, rel=0.4)

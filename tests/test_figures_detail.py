@@ -1,0 +1,71 @@
+"""Detailed golden checks for the figure experiments (row-level)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.experiments.figures import (
+    run_fig1_clocks,
+    run_fig2_schedule,
+    run_fig4_schedule,
+)
+
+
+class TestFig1:
+    def test_paper_offsets_exact(self):
+        report = run_fig1_clocks()
+        by_round = {r["reference_round"]: r for r in report.rows}
+        # Paper's Figure 1 rows: u1 from 0, u2/u3 from 4, u4 from 6.
+        assert by_round[0] == {"reference_round": 0, "u1": 0, "u2": None,
+                               "u3": None, "u4": None}
+        assert by_round[4]["u2"] == 0 and by_round[4]["u3"] == 0
+        assert by_round[6]["u4"] == 0
+        assert by_round[9] == {"reference_round": 9, "u1": 9, "u2": 5,
+                               "u3": 5, "u4": 3}
+
+    def test_custom_wakes(self):
+        report = run_fig1_clocks(wake_rounds=(0, 2), horizon=4)
+        assert report.rows[3] == {"reference_round": 3, "u1": 3, "u2": 1}
+
+
+class TestFig2:
+    def test_ladder_segments_exact(self):
+        k, c = 8, 2
+        report = run_fig2_schedule(k=k, c=c, offset=1)
+        # Level 0: rounds 1..ck at 1/2k.
+        for i in range(c * k):
+            assert report.rows[i]["u1_p"] == pytest.approx(1 / (2 * k))
+        # Level 1: next ck/2 rounds at 1/k.
+        assert report.rows[c * k]["u1_p"] == pytest.approx(1 / k)
+
+    def test_offset_station_lags_by_offset(self):
+        report = run_fig2_schedule(k=8, c=1, offset=2)
+        # u2's probability at reference round t equals u1's at t-2.
+        for row_index in range(3, len(report.rows)):
+            row = report.rows[row_index]
+            if row["u2_p"] is None:
+                continue
+            earlier = report.rows[row_index - 2]["u1_p"]
+            assert row["u2_p"] == pytest.approx(earlier)
+
+
+class TestFig4:
+    def test_full_ladder(self):
+        b = 3
+        report = run_fig4_schedule(b=b, segments=4, offset=1)
+        for j in range(4):
+            for r in range(b):
+                row = report.rows[j * b + r]
+                assert row["u1_p"] == pytest.approx(math.log(j + 3) / (j + 3))
+
+    def test_offset_lag(self):
+        report = run_fig4_schedule(b=2, segments=3, offset=1)
+        for row_index in range(1, len(report.rows)):
+            row = report.rows[row_index]
+            if row["u2_p"] is None:
+                continue
+            assert row["u2_p"] == pytest.approx(
+                report.rows[row_index - 1]["u1_p"]
+            )

@@ -1,0 +1,100 @@
+"""Tests for the Discussion section's global-clock extension."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversary.oblivious import (
+    StaticSchedule,
+    TwoWavesSchedule,
+    UniformRandomSchedule,
+)
+from repro.channel.feedback import Observation
+from repro.channel.messages import DataPacket
+from repro.channel.simulator import SlotSimulator
+from repro.core.protocols.global_clock import GlobalClockBeacon, GlobalClockUFR
+
+
+def started(wake_round=0, seed=0) -> GlobalClockUFR:
+    protocol = GlobalClockUFR()
+    protocol.begin(0, np.random.default_rng(seed))
+    protocol.on_wake_round(wake_round)
+    return protocol
+
+
+class TestUnitBehaviour:
+    def test_requires_wake_round(self):
+        protocol = GlobalClockUFR()
+        protocol.begin(0, np.random.default_rng(0))
+        with pytest.raises(RuntimeError):
+            protocol.decide(1)
+
+    def test_even_rounds_silent_without_beacon(self):
+        # Woken at 1: local 1 -> global 2 (even).  No beacon heard yet, so
+        # no data probability, so it must stay silent.
+        protocol = started(wake_round=1)
+        assert protocol.decide(1) is None
+
+    def test_adopts_beacon_probability(self):
+        protocol = started(wake_round=1, seed=3)
+        beacon = GlobalClockBeacon(payload=DataPacket(origin=9), probability=1.0)
+        protocol.observe(
+            Observation(local_round=1, transmitted=False, acked=False, message=beacon)
+        )
+        # Global round 2 is even; with adopted probability 1.0 it transmits.
+        decision = protocol.decide(1)
+        assert decision is not None
+        assert isinstance(decision.payload, DataPacket)
+
+    def test_odd_round_sends_beacon(self):
+        protocol = started(wake_round=0, seed=1)
+        # Global round 1 is odd: DecreaseSlowly step with p(0) = 1/2.
+        # Force by retrying seeds until a transmission occurs.
+        for seed in range(30):
+            protocol = started(wake_round=0, seed=seed)
+            decision = protocol.decide(1)
+            if decision is not None:
+                assert isinstance(decision.payload, GlobalClockBeacon)
+                assert decision.payload.probability == pytest.approx(0.5)
+                return
+        pytest.fail("no beacon transmitted over 30 seeds at p = 1/2")
+
+    def test_switches_off_on_own_ack(self):
+        protocol = started(seed=2)
+        protocol.observe(Observation(local_round=1, transmitted=True, acked=True))
+        assert protocol.finished
+
+    def test_rejects_bad_q(self):
+        with pytest.raises(ValueError):
+            GlobalClockUFR(q=0)
+
+
+class TestIntegration:
+    @pytest.mark.parametrize(
+        "adversary",
+        [
+            StaticSchedule(),
+            UniformRandomSchedule(span=lambda k: 2 * k),
+            TwoWavesSchedule(delay=lambda k: 2 * k),
+        ],
+        ids=lambda a: a.name,
+    )
+    def test_resolves_contention(self, adversary):
+        k = 32
+        result = SlotSimulator(
+            k, lambda: GlobalClockUFR(), adversary,
+            max_rounds=600 * k + 8192, seed=7,
+        ).run()
+        assert result.completed
+        assert result.success_count == k
+
+    def test_latency_stays_linearish(self):
+        # The Discussion conjectures O(k); allow a generous constant.
+        for k in (16, 64):
+            result = SlotSimulator(
+                k, lambda: GlobalClockUFR(), StaticSchedule(),
+                max_rounds=600 * k + 8192, seed=11,
+            ).run()
+            assert result.completed
+            assert result.max_latency <= 60 * k

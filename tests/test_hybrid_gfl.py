@@ -1,0 +1,138 @@
+"""Tests for the GFL-style hybrid estimate-then-split baseline."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversary.oblivious import StaticSchedule
+from repro.baselines.hybrid_gfl import HybridEstimateSplit, _Phase
+from repro.channel.events import RoundOutcome
+from repro.channel.feedback import FeedbackModel, Observation
+from repro.channel.simulator import SlotSimulator
+
+
+def started(seed=0, **kwargs) -> HybridEstimateSplit:
+    protocol = HybridEstimateSplit(**kwargs)
+    protocol.begin(0, np.random.default_rng(seed))
+    return protocol
+
+
+def cd_observation(outcome, transmitted=False, acked=False):
+    return Observation(
+        local_round=1, transmitted=transmitted, acked=acked, channel=outcome
+    )
+
+
+class TestEstimatePhase:
+    def test_collisions_raise_probe_index(self):
+        protocol = started()
+        for expected in (1, 2, 3):
+            protocol.observe(cd_observation(RoundOutcome.COLLISION))
+            assert protocol.probe_index == expected
+            assert protocol.phase is _Phase.ESTIMATE
+
+    def test_first_non_collision_fixes_estimate(self):
+        protocol = started(seed=1)
+        for _ in range(4):
+            protocol.observe(cd_observation(RoundOutcome.COLLISION))
+        protocol.observe(cd_observation(RoundOutcome.SILENCE))
+        assert protocol.phase is _Phase.RESOLVE
+        assert protocol.estimate == 16
+        assert 0 <= protocol.level < 16
+
+    def test_probe_success_for_lonely_station(self):
+        protocol = started()
+        protocol.observe(
+            cd_observation(RoundOutcome.SUCCESS, transmitted=True, acked=True)
+        )
+        assert protocol.finished
+
+    def test_probe_cap(self):
+        protocol = started(max_estimate_rounds=3)
+        for _ in range(3):
+            protocol.observe(cd_observation(RoundOutcome.COLLISION))
+        assert protocol.phase is _Phase.RESOLVE
+        assert protocol.estimate == 8
+
+    def test_requires_cd(self):
+        protocol = started()
+        with pytest.raises(RuntimeError):
+            protocol.observe(Observation(local_round=1, transmitted=False, acked=False))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            HybridEstimateSplit(max_estimate_rounds=0)
+
+
+class TestResolvePhase:
+    def enter_resolve(self, level, seed=0):
+        protocol = started(seed=seed)
+        protocol.phase = _Phase.RESOLVE
+        protocol.estimate = 8
+        protocol.level = level
+        return protocol
+
+    def test_transmits_at_level_zero(self):
+        protocol = self.enter_resolve(0)
+        assert protocol.decide(1) is not None
+        protocol = self.enter_resolve(3)
+        assert protocol.decide(1) is None
+
+    def test_non_collision_decrements(self):
+        protocol = self.enter_resolve(3)
+        protocol.decide(1)
+        protocol.observe(cd_observation(RoundOutcome.SILENCE))
+        assert protocol.level == 2
+        protocol.decide(1)
+        protocol.observe(cd_observation(RoundOutcome.SUCCESS))
+        assert protocol.level == 1
+
+    def test_collision_splits_transmitters(self):
+        levels = set()
+        for seed in range(40):
+            protocol = self.enter_resolve(0, seed=seed)
+            protocol.decide(1)
+            protocol.observe(cd_observation(RoundOutcome.COLLISION, transmitted=True))
+            levels.add(protocol.level)
+        assert levels == {0, 1}  # fair coin: both outcomes occur
+
+    def test_collision_pushes_waiters(self):
+        protocol = self.enter_resolve(2)
+        protocol.decide(1)
+        protocol.observe(cd_observation(RoundOutcome.COLLISION))
+        assert protocol.level == 3
+
+    def test_ack_switches_off(self):
+        protocol = self.enter_resolve(0)
+        protocol.decide(1)
+        protocol.observe(
+            cd_observation(RoundOutcome.SUCCESS, transmitted=True, acked=True)
+        )
+        assert protocol.finished
+
+
+class TestIntegration:
+    @pytest.mark.parametrize("k", [1, 2, 16, 128])
+    def test_resolves_static_contention(self, k):
+        result = SlotSimulator(
+            k, lambda: HybridEstimateSplit(), StaticSchedule(),
+            feedback=FeedbackModel.COLLISION_DETECTION,
+            max_rounds=60 * k + 256, seed=3,
+        ).run()
+        assert result.completed
+        assert result.success_count == k
+
+    def test_constant_near_classical(self):
+        k = 256
+        totals = []
+        for seed in range(5):
+            result = SlotSimulator(
+                k, lambda: HybridEstimateSplit(), StaticSchedule(),
+                feedback=FeedbackModel.COLLISION_DETECTION,
+                max_rounds=40 * k, seed=seed,
+            ).run()
+            assert result.completed
+            totals.append(result.rounds_executed)
+        # The gated hybrid runs in ~2-3 slots/station (GFL territory).
+        assert 1.5 <= np.mean(totals) / k <= 4.0

@@ -1,0 +1,151 @@
+"""Unit and property tests for repro.util.intmath."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.util.intmath import (
+    ceil_log2,
+    clamp_probability,
+    floor_log2,
+    harmonic,
+    harmonic_bounds,
+    is_power_of_two,
+    loglog2,
+)
+
+
+class TestFloorLog2:
+    def test_powers_of_two(self):
+        for exponent in range(20):
+            assert floor_log2(2**exponent) == exponent
+
+    def test_between_powers(self):
+        assert floor_log2(3) == 1
+        assert floor_log2(5) == 2
+        assert floor_log2(1023) == 9
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            floor_log2(0)
+        with pytest.raises(ValueError):
+            floor_log2(-4)
+
+    @given(st.integers(min_value=1, max_value=10**12))
+    def test_matches_math(self, n):
+        assert floor_log2(n) == int(math.floor(math.log2(n)))
+
+
+class TestCeilLog2:
+    def test_powers_of_two(self):
+        for exponent in range(20):
+            assert ceil_log2(2**exponent) == exponent
+
+    def test_between_powers(self):
+        assert ceil_log2(3) == 2
+        assert ceil_log2(5) == 3
+        assert ceil_log2(1025) == 11
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            ceil_log2(0)
+
+    @given(st.integers(min_value=1, max_value=10**12))
+    def test_sandwich(self, n):
+        assert floor_log2(n) <= ceil_log2(n) <= floor_log2(n) + 1
+
+    @given(st.integers(min_value=2, max_value=10**12))
+    def test_covering_power(self, n):
+        assert 2 ** ceil_log2(n) >= n
+        assert 2 ** (ceil_log2(n) - 1) < n
+
+
+class TestLogLog2:
+    def test_small_k_convention(self):
+        assert loglog2(1) == 0
+        assert loglog2(2) == 0
+
+    def test_pinned_values(self):
+        assert [loglog2(k) for k in (3, 4, 5, 16, 17, 256, 257, 65536)] == [
+            1, 1, 2, 2, 3, 3, 4, 4,
+        ]
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ValueError):
+            loglog2(0)
+
+    @given(st.integers(min_value=3, max_value=10**9))
+    def test_monotone(self, k):
+        assert loglog2(k) <= loglog2(k + 1)
+
+    @given(st.integers(min_value=3, max_value=10**9))
+    def test_ladder_top_is_at_least_log(self, k):
+        # 2^(loglog2 k) >= log2 k: the final NonAdaptiveWithK level reaches
+        # probability >= log2(k)/(2k).
+        assert 2 ** loglog2(k) >= math.log2(k) - 1e-9
+
+
+class TestIsPowerOfTwo:
+    def test_basic(self):
+        assert is_power_of_two(1)
+        assert is_power_of_two(2)
+        assert is_power_of_two(1024)
+        assert not is_power_of_two(0)
+        assert not is_power_of_two(3)
+        assert not is_power_of_two(-4)
+
+    @given(st.integers(min_value=0, max_value=40))
+    def test_all_powers(self, e):
+        assert is_power_of_two(2**e)
+
+    @given(st.integers(min_value=3, max_value=10**12))
+    def test_characterisation(self, n):
+        assert is_power_of_two(n) == (2 ** floor_log2(n) == n)
+
+
+class TestHarmonic:
+    def test_small_values(self):
+        assert harmonic(0) == 0.0
+        assert harmonic(1) == 1.0
+        assert harmonic(2) == pytest.approx(1.5)
+        assert harmonic(4) == pytest.approx(25 / 12)
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            harmonic(-1)
+
+    def test_asymptotic_branch_continuous(self):
+        # The expansion branch must agree with direct summation closely.
+        exact = harmonic(1_000_000)
+        gamma = 0.5772156649015329
+        approx = math.log(1_000_000) + gamma + 1 / 2e6
+        assert exact == pytest.approx(approx, abs=1e-9)
+
+    @given(st.integers(min_value=1, max_value=100_000))
+    def test_sandwich_bounds(self, n):
+        low, high = harmonic_bounds(n)
+        assert low <= harmonic(n) <= high
+
+    def test_bounds_reject_negative(self):
+        with pytest.raises(ValueError):
+            harmonic_bounds(-1)
+
+    def test_bounds_at_zero(self):
+        assert harmonic_bounds(0) == (0.0, 0.0)
+
+
+class TestClampProbability:
+    def test_inside_unchanged(self):
+        assert clamp_probability(0.37) == 0.37
+
+    def test_clamps(self):
+        assert clamp_probability(-0.5) == 0.0
+        assert clamp_probability(1.5) == 1.0
+
+    @given(st.floats(allow_nan=False, allow_infinity=True))
+    def test_always_in_unit_interval(self, x):
+        assert 0.0 <= clamp_probability(x) <= 1.0

@@ -1,0 +1,136 @@
+"""Tests for the lower-bound instance builders (Section 4)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.adversary.lower_bound import (
+    blocked_prefix_length,
+    build_ik_instance,
+    build_jk_instance,
+    default_tau_small,
+    pump_rate,
+)
+from repro.analysis.sigma import sigma_hat_trace
+from repro.core.protocols.sublinear_decrease import SublinearDecrease
+
+RNG = np.random.default_rng(0)
+
+
+class TestPumpRate:
+    def test_formula(self):
+        assert pump_rate(1024, 0.5, gamma=1.0) == math.ceil(10 / 0.5)
+
+    def test_scales_with_gamma(self):
+        assert pump_rate(1024, 0.5, gamma=2.0) == 2 * pump_rate(1024, 0.5, gamma=1.0)
+
+    def test_rejects_bad_p1(self):
+        with pytest.raises(ValueError):
+            pump_rate(16, 0.0)
+        with pytest.raises(ValueError):
+            pump_rate(16, 1.5)
+
+    def test_tiny_k(self):
+        assert pump_rate(1, 0.5) == 1
+
+
+class TestBlockedPrefix:
+    def test_growth(self):
+        values = [blocked_prefix_length(k) for k in (64, 256, 1024, 4096)]
+        assert values == sorted(values)
+        assert values[-1] > values[0]
+
+    def test_superlinear_in_the_limit_shape(self):
+        # prefix/k = c* log k/(loglog k)^2 grows (slowly) with k.
+        r1 = blocked_prefix_length(2**10) / 2**10
+        r2 = blocked_prefix_length(2**20) / 2**20
+        assert r2 > r1
+
+    def test_tiny_k(self):
+        assert blocked_prefix_length(1) == 1
+        assert blocked_prefix_length(2) >= 1
+
+
+class TestInstances:
+    def test_ik_places_all_stations(self):
+        instance = build_ik_instance(256, 0.36, tau_small=100)
+        rounds = instance.wake_rounds(256, RNG)
+        assert len(rounds) == 256
+        assert all(r >= 0 for r in rounds)
+
+    def test_jk_places_all_stations(self):
+        instance = build_jk_instance(256, 0.36, tau_small=100, seed=1)
+        assert len(instance.wake_rounds(256, RNG)) == 256
+
+    def test_jk_is_oblivious(self):
+        # Same build seed -> identical instance, independent of the run RNG.
+        a = build_jk_instance(128, 0.36, tau_small=50, seed=5)
+        b = build_jk_instance(128, 0.36, tau_small=50, seed=5)
+        assert a.wake_rounds(128, np.random.default_rng(1)) == b.wake_rounds(
+            128, np.random.default_rng(999)
+        )
+
+    def test_jk_seeds_differ(self):
+        a = build_jk_instance(128, 0.36, tau_small=50, seed=5)
+        b = build_jk_instance(128, 0.36, tau_small=50, seed=6)
+        assert a.wake_rounds(128, RNG) != b.wake_rounds(128, RNG)
+
+    def test_dense_prefix_spends_half_budget(self):
+        k = 512
+        instance = build_ik_instance(k, 0.36, tau_small=10_000)
+        rounds = instance.wake_rounds(k, RNG)
+        per_round = pump_rate(k, 0.36)
+        dense = [r for r in rounds if r < (k // 2) / per_round + 1]
+        assert len(dense) >= k // 2
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            build_ik_instance(0, 0.5, tau_small=10)
+        with pytest.raises(ValueError):
+            build_jk_instance(8, 0.5, tau_small=0)
+
+
+class TestPumpEffect:
+    def test_sigma_hat_exceeds_threshold_on_dense_prefix(self):
+        """The heart of Lemma 4.3/4.6: the built instance keeps
+        sigma_hat[t] >= gamma log2 k across the blocked prefix."""
+        k = 2048
+        schedule = SublinearDecrease(4)
+        p1 = schedule.probability(1)
+        gamma = 1.0
+        tau_small = min(default_tau_small(schedule, k), 4 * k)
+        instance = build_jk_instance(
+            k, p1, tau_small=tau_small, gamma=gamma, seed=3
+        )
+        prefix = blocked_prefix_length(k)
+        trace = sigma_hat_trace(instance.wake_rounds(k, RNG), schedule, prefix)
+        threshold = gamma * math.log2(k)
+        assert float(np.mean(trace >= threshold)) > 0.95
+
+    def test_benign_schedule_not_pumped(self):
+        k = 2048
+        schedule = SublinearDecrease(4)
+        prefix = blocked_prefix_length(k)
+        # A thin trickle stays far below the threshold.
+        wake = [6 * i for i in range(k)]
+        trace = sigma_hat_trace(wake, schedule, prefix)
+        assert trace.max() < math.log2(k)
+
+
+class TestDefaultTauSmall:
+    def test_uses_schedule_bound(self):
+        schedule = SublinearDecrease(4)
+        tau = default_tau_small(schedule, 4096)
+        assert tau >= 1
+        # Must equal the schedule's own bound at reduced contention.
+        k_small = max(2, int(4096 / math.log2(4096) ** 2))
+        assert tau == SublinearDecrease.latency_bound_no_ack(k_small, 4)
+
+    def test_fallback_for_plain_schedule(self):
+        from repro.core.protocols.decrease_slowly import DecreaseSlowly
+
+        tau = default_tau_small(DecreaseSlowly(2), 1024)
+        assert tau >= 1

@@ -1,0 +1,138 @@
+"""Tests for NonAdaptiveWithK (Algorithm 1)."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocols.non_adaptive_with_k import NonAdaptiveWithK
+from repro.util.intmath import loglog2
+
+
+class TestLadderStructure:
+    def test_first_level_probability(self):
+        schedule = NonAdaptiveWithK(16, c=2)
+        assert schedule.probability(1) == pytest.approx(1 / 32)
+
+    def test_level_probabilities_double(self):
+        k, c = 64, 3
+        schedule = NonAdaptiveWithK(k, c)
+        boundaries = np.cumsum([c * schedule.phi(l) for l in range(loglog2(k) + 1)])
+        for level in range(loglog2(k) + 1):
+            start = 1 if level == 0 else boundaries[level - 1] + 1
+            assert schedule.probability(int(start)) == pytest.approx(
+                2**level / (2 * k)
+            )
+
+    def test_phase_lengths_match_phi(self):
+        k, c = 256, 2
+        schedule = NonAdaptiveWithK(k, c)
+        assert schedule.phi(0) == k
+        assert schedule.phi(1) == k // 2
+        assert schedule.phi(loglog2(k)) == k  # last level is full length
+
+    def test_phi_range_checked(self):
+        schedule = NonAdaptiveWithK(16)
+        with pytest.raises(ValueError):
+            schedule.phi(-1)
+        with pytest.raises(ValueError):
+            schedule.phi(loglog2(16) + 1)
+
+    def test_final_probability_reaches_log_over_k(self):
+        k = 1024
+        schedule = NonAdaptiveWithK(k)
+        # 2^loglog2(k) >= log2 k, so the final level is >= log2(k)/(2k).
+        assert schedule.final_probability >= math.log2(k) / (2 * k) - 1e-12
+
+
+class TestFact31Horizon:
+    """Fact 3.1: total schedule length < 3ck."""
+
+    @given(st.integers(min_value=1, max_value=5000), st.integers(min_value=1, max_value=8))
+    @settings(max_examples=60)
+    def test_horizon_below_3ck(self, k, c):
+        schedule = NonAdaptiveWithK(k, c)
+        # ceil-divisions add at most one round per level over the paper's
+        # real-valued sum, which stays strictly below 3ck.
+        slack = c * (loglog2(k) + 1)
+        assert schedule.horizon() <= 3 * c * k + slack
+        assert schedule.theoretical_latency_bound() == 3 * c * k
+
+    def test_probability_zero_past_horizon(self):
+        schedule = NonAdaptiveWithK(8, c=1)
+        assert schedule.probability(schedule.horizon() + 1) == 0.0
+
+
+class TestVectorizedTable:
+    @given(st.integers(min_value=1, max_value=600))
+    @settings(max_examples=30)
+    def test_table_matches_pointwise(self, k):
+        schedule = NonAdaptiveWithK(k, c=2)
+        up_to = schedule.horizon() + 5
+        table = schedule.probabilities(up_to)
+        for i in (1, 2, up_to // 2, schedule.horizon(), up_to):
+            assert table[i - 1] == pytest.approx(schedule.probability(i))
+
+    def test_table_extension_zero_padded(self):
+        schedule = NonAdaptiveWithK(4, c=1)
+        table = schedule.probabilities(schedule.horizon() + 10)
+        assert all(v == 0.0 for v in table[schedule.horizon():])
+
+
+class TestSmallK:
+    def test_k1(self):
+        schedule = NonAdaptiveWithK(1, c=1)
+        assert schedule.horizon() >= 1
+        assert 0 < schedule.probability(1) <= 0.5
+
+    def test_k2_single_level(self):
+        schedule = NonAdaptiveWithK(2, c=1)
+        assert loglog2(2) == 0
+        # Single level of length c*phi(0)=c*k=2 with probability 1/(2k).
+        assert schedule.horizon() == 2
+        assert schedule.probability(1) == pytest.approx(0.25)
+
+    def test_invalid_args(self):
+        with pytest.raises(ValueError):
+            NonAdaptiveWithK(0)
+        with pytest.raises(ValueError):
+            NonAdaptiveWithK(4, c=0)
+
+
+class TestLevelOf:
+    def test_levels_partition_horizon(self):
+        schedule = NonAdaptiveWithK(64, c=2)
+        last = -1
+        for i in range(1, schedule.horizon() + 1):
+            level = schedule.level_of(i)
+            assert level >= last  # non-decreasing
+            last = max(last, level)
+        assert last == loglog2(64)
+
+    def test_out_of_range(self):
+        schedule = NonAdaptiveWithK(16)
+        with pytest.raises(ValueError):
+            schedule.level_of(0)
+        with pytest.raises(ValueError):
+            schedule.level_of(schedule.horizon() + 1)
+
+
+class TestEnergyFormula:
+    def test_expected_energy_scaling(self):
+        # Theorem 3.2: per-station expectation ~ (c/2)(loglog k + log k).
+        for k in (16, 256, 4096):
+            expected = NonAdaptiveWithK.expected_energy_per_station(k, c=6)
+            assert expected == pytest.approx(
+                3 * loglog2(k) + 3 * math.ceil(math.log2(k)), rel=1e-9
+            )
+
+    def test_cumulative_probability_is_theta_log_k(self):
+        # s(horizon) = sum of p over the whole schedule ~ (c/2) log k.
+        k, c = 1024, 4
+        schedule = NonAdaptiveWithK(k, c)
+        total = schedule.cumulative(schedule.horizon())
+        assert 0.25 * c * math.log2(k) <= total <= 2 * c * math.log2(k)

@@ -1,0 +1,69 @@
+"""Tests for the Markdown report generator."""
+
+from __future__ import annotations
+
+from repro.analysis.reporting import report_markdown, suite_markdown
+from repro.experiments.harness import ExperimentReport
+
+
+def make_report(experiment_id="x", rows=None, notes=""):
+    return ExperimentReport(
+        experiment_id,
+        f"title of {experiment_id}",
+        rows=rows if rows is not None else [{"k": 8, "latency": 41.5}],
+        notes=notes,
+    )
+
+
+class TestReportMarkdown:
+    def test_section_structure(self):
+        text = report_markdown(make_report())
+        lines = text.splitlines()
+        assert lines[0] == "## x — title of x"
+        assert "| k | latency |" in text
+        assert "| 8 | 41.5 |" in text
+
+    def test_float_formatting(self):
+        text = report_markdown(make_report(rows=[{"v": 3.14159265}]))
+        assert "3.142" in text
+
+    def test_ragged_rows_union_columns(self):
+        text = report_markdown(make_report(rows=[{"a": 1}, {"b": 2}]))
+        assert "| a | b |" in text
+        assert "| 1 |  |" in text
+
+    def test_empty_rows(self):
+        assert "*(no rows)*" in report_markdown(make_report(rows=[]))
+
+    def test_truncation(self):
+        rows = [{"i": i} for i in range(60)]
+        text = report_markdown(make_report(rows=rows))
+        assert "+20 more rows" in text
+
+    def test_notes_included(self):
+        text = report_markdown(make_report(notes="tau=3"))
+        assert "tau=3" in text
+
+
+class TestSuiteMarkdown:
+    def test_document(self):
+        reports = {"b": make_report("b"), "a": make_report("a")}
+        text = suite_markdown(reports, title="My run")
+        assert text.startswith("# My run")
+        # Sections sorted by id.
+        assert text.index("## a") < text.index("## b")
+        assert "2 experiments" in text
+
+    def test_no_timestamp(self):
+        text = suite_markdown({"a": make_report("a")}, timestamp=False)
+        assert "Generated" not in text
+
+    def test_suite_writes_summary(self, tmp_path):
+        from repro.experiments.suite import run_suite
+
+        run_suite(
+            "quick", out_dir=tmp_path, only=["fig1_clocks"],
+            progress=lambda s: None,
+        )
+        summary = (tmp_path / "SUMMARY.md").read_text()
+        assert "fig1_clocks" in summary

@@ -1,0 +1,67 @@
+"""Tests for the RNG fan-out utilities."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.util.rng import RngFactory, spawn_generators
+
+
+class TestSpawnGenerators:
+    def test_count(self):
+        assert len(spawn_generators(1, 5)) == 5
+        assert spawn_generators(1, 0) == []
+
+    def test_deterministic(self):
+        a = [g.random() for g in spawn_generators(42, 3)]
+        b = [g.random() for g in spawn_generators(42, 3)]
+        assert a == b
+
+    def test_streams_differ(self):
+        gens = spawn_generators(7, 4)
+        draws = [g.random() for g in gens]
+        assert len(set(draws)) == 4
+
+    def test_different_seeds_differ(self):
+        a = spawn_generators(1, 1)[0].random()
+        b = spawn_generators(2, 1)[0].random()
+        assert a != b
+
+    def test_rejects_negative_count(self):
+        import pytest
+
+        with pytest.raises(ValueError):
+            spawn_generators(1, -1)
+
+
+class TestRngFactory:
+    def test_deterministic_sequence(self):
+        f1 = RngFactory(99)
+        f2 = RngFactory(99)
+        for _ in range(5):
+            assert f1.next_generator().random() == f2.next_generator().random()
+
+    def test_streams_independent_of_order(self):
+        # The n-th generator only depends on the seed and on n.
+        f1 = RngFactory(5)
+        _ = f1.next_generator()
+        second_then = f1.next_generator().random()
+        f2 = RngFactory(5)
+        _ = f2.next_generator()
+        assert f2.next_generator().random() == second_then
+
+    def test_counts_created(self):
+        factory = RngFactory(0)
+        assert factory.generators_created == 0
+        factory.next_generator()
+        factory.next_generator()
+        assert factory.generators_created == 2
+
+    def test_none_seed_works(self):
+        factory = RngFactory(None)
+        g = factory.next_generator()
+        assert 0.0 <= g.random() < 1.0
+        assert isinstance(factory.seed_entropy, int)
+
+    def test_seed_entropy_roundtrip(self):
+        assert RngFactory(1234).seed_entropy == 1234

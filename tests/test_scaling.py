@@ -1,0 +1,88 @@
+"""Tests for scaling-law fitting."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.analysis.scaling import (
+    GROWTH_MODELS,
+    best_model,
+    fit_all,
+    fit_model,
+    log_slope,
+)
+
+
+KS = [32, 64, 128, 256, 512, 1024, 2048]
+
+
+def synthesize(model: str, constant: float, noise: float = 0.0, seed: int = 0):
+    rng = np.random.default_rng(seed)
+    g = GROWTH_MODELS[model]
+    return [
+        constant * g(k) * (1.0 + noise * rng.standard_normal()) for k in KS
+    ]
+
+
+class TestFitModel:
+    def test_exact_recovery(self):
+        ys = synthesize("k log k", 3.5)
+        fit = fit_model(KS, ys, "k log k")
+        assert fit.constant == pytest.approx(3.5)
+        assert fit.relative_rmse == pytest.approx(0.0, abs=1e-12)
+
+    def test_prediction(self):
+        fit = fit_model(KS, synthesize("k", 2.0), "k")
+        assert fit.predict(100) == pytest.approx(200.0)
+
+    def test_unknown_model(self):
+        with pytest.raises(KeyError):
+            fit_model(KS, synthesize("k", 1.0), "k^3")
+
+    def test_too_few_points(self):
+        with pytest.raises(ValueError):
+            fit_model([8], [10.0], "k")
+
+
+class TestModelSelection:
+    @pytest.mark.parametrize(
+        "model", ["k", "k log k", "k log^2 k", "k log^2 k / loglog k"]
+    )
+    def test_planted_model_wins_noiseless(self, model):
+        ys = synthesize(model, 7.0)
+        assert best_model(KS, ys).model == model
+
+    def test_planted_model_wins_with_noise(self):
+        # 5% multiplicative noise: k vs k log^2 k are still distinguishable.
+        ys = synthesize("k log^2 k", 2.0, noise=0.05, seed=1)
+        winner = best_model(KS, ys)
+        assert winner.model in ("k log^2 k", "k log^2 k / loglog k")
+
+    def test_linear_not_confused_with_polylog(self):
+        ys = synthesize("k", 5.0, noise=0.05, seed=2)
+        assert best_model(KS, ys).model == "k"
+
+    def test_fit_all_sorted(self):
+        fits = fit_all(KS, synthesize("k", 1.0))
+        errors = [f.relative_rmse for f in fits]
+        assert errors == sorted(errors)
+
+
+class TestLogSlope:
+    def test_linear_slope_one(self):
+        assert log_slope(KS, [3.0 * k for k in KS]) == pytest.approx(1.0)
+
+    def test_quadratic_slope_two(self):
+        assert log_slope(KS, [k * k for k in KS]) == pytest.approx(2.0)
+
+    def test_polylog_slope_slightly_super_unit(self):
+        ys = [k * math.log2(k) ** 2 for k in KS]
+        slope = log_slope(KS, ys)
+        assert 1.05 < slope < 1.6
+
+    def test_rejects_short_input(self):
+        with pytest.raises(ValueError):
+            log_slope([1], [1])

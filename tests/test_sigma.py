@@ -1,0 +1,117 @@
+"""Tests for sigma traces (probability sums) against brute force."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.sigma import (
+    sigma_hat_trace,
+    sigma_trace,
+    success_probability_bound,
+)
+from repro.core.protocol import ProbabilitySchedule
+from repro.core.protocols.sublinear_decrease import SublinearDecrease
+
+
+class RampSchedule(ProbabilitySchedule):
+    """p(i) = min(1, i/100): simple, nonuniform, easy to brute-force."""
+
+    name = "ramp"
+
+    def probability(self, local_round: int) -> float:
+        return min(1.0, local_round / 100.0)
+
+
+def brute_force_sigma_hat(wake, schedule, horizon):
+    trace = np.zeros(horizon)
+    for t in range(1, horizon + 1):
+        total = 0.0
+        for w in wake:
+            local = t - w
+            if local >= 1:
+                total += schedule.probability(local)
+        trace[t - 1] = total
+    return trace
+
+
+class TestSigmaHat:
+    @given(
+        st.lists(st.integers(min_value=0, max_value=40), min_size=1, max_size=25),
+        st.integers(min_value=1, max_value=60),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_matches_brute_force(self, wake, horizon):
+        schedule = RampSchedule()
+        fast = sigma_hat_trace(wake, schedule, horizon)
+        slow = brute_force_sigma_hat(wake, schedule, horizon)
+        np.testing.assert_allclose(fast, slow, atol=1e-9)
+
+    def test_single_station_is_schedule(self):
+        schedule = SublinearDecrease(2)
+        trace = sigma_hat_trace([0], schedule, 20)
+        expected = [schedule.probability(i) for i in range(1, 21)]
+        np.testing.assert_allclose(trace, expected, atol=1e-12)
+
+    def test_additive_in_stations(self):
+        schedule = SublinearDecrease(2)
+        one = sigma_hat_trace([3], schedule, 30)
+        two = sigma_hat_trace([3, 3], schedule, 30)
+        np.testing.assert_allclose(two, 2 * one, atol=1e-12)
+
+    def test_rejects_bad_horizon(self):
+        with pytest.raises(ValueError):
+            sigma_hat_trace([0], RampSchedule(), 0)
+
+    def test_rejects_negative_wake(self):
+        with pytest.raises(ValueError):
+            sigma_hat_trace([-1], RampSchedule(), 5)
+
+    def test_wakes_beyond_horizon_ignored(self):
+        schedule = RampSchedule()
+        base = sigma_hat_trace([0], schedule, 10)
+        extended = sigma_hat_trace([0, 100], schedule, 10)
+        np.testing.assert_allclose(base, extended, atol=1e-12)
+
+
+class TestSigmaWithSwitchOff:
+    def test_switch_off_removes_tail(self):
+        schedule = RampSchedule()
+        full = sigma_trace([0, 0], schedule, 20, switch_off_rounds=[None, None])
+        cut = sigma_trace([0, 0], schedule, 20, switch_off_rounds=[None, 10])
+        np.testing.assert_allclose(cut[:10], full[:10], atol=1e-12)
+        # After round 10 only one station contributes.
+        single = sigma_trace([0], schedule, 20, switch_off_rounds=[None])
+        np.testing.assert_allclose(cut[10:], single[10:], atol=1e-12)
+
+    def test_none_equals_sigma_hat(self):
+        schedule = SublinearDecrease(3)
+        wake = [0, 2, 5]
+        np.testing.assert_allclose(
+            sigma_trace(wake, schedule, 25),
+            sigma_hat_trace(wake, schedule, 25),
+            atol=1e-9,
+        )
+
+    def test_misaligned_lengths_rejected(self):
+        with pytest.raises(ValueError):
+            sigma_trace([0, 1], RampSchedule(), 10, switch_off_rounds=[None])
+
+
+class TestSuccessProbabilityBound:
+    def test_peak_at_one(self):
+        # x e^(1-x) is maximised at x = 1 where it equals 1.
+        assert success_probability_bound(1.0) == pytest.approx(1.0)
+        assert success_probability_bound(0.5) < 1.0
+        assert success_probability_bound(3.0) < 1.0
+
+    def test_vanishes_for_large_sigma(self):
+        assert success_probability_bound(10 * math.log(1024)) < 1e-20
+
+    def test_rejects_negative(self):
+        with pytest.raises(ValueError):
+            success_probability_bound(-0.1)

@@ -1,0 +1,232 @@
+"""Tests for the object engine (SlotSimulator): invariants, stop conditions,
+adversary integration, tracing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.adaptive import DripFeedAdversary, WakeOnSuccessAdversary
+from repro.adversary.base import FixedSchedule
+from repro.adversary.oblivious import StaticSchedule, UniformRandomSchedule
+from repro.channel.events import RoundOutcome
+from repro.channel.results import StopCondition
+from repro.channel.simulator import SlotSimulator, default_max_rounds
+from repro.core.protocol import ScheduleProtocol
+from repro.core.protocols.decrease_slowly import DecreaseSlowly
+from repro.core.protocols.non_adaptive_with_k import NonAdaptiveWithK
+
+from tests.conftest import make_factory
+
+
+def schedule_factory(schedule, **kwargs):
+    def factory():
+        return ScheduleProtocol(schedule, **kwargs)
+
+    factory.protocol_name = schedule.name
+    return factory
+
+
+class TestInvariants:
+    def test_at_most_one_winner_per_round(self):
+        result = SlotSimulator(
+            16,
+            schedule_factory(NonAdaptiveWithK(16, c=2)),
+            StaticSchedule(),
+            seed=0,
+            record_trace=True,
+        ).run()
+        success_rounds = [
+            e.round_index for e in result.trace if e.outcome is RoundOutcome.SUCCESS
+        ]
+        assert len(success_rounds) == len(set(success_rounds))
+
+    def test_success_count_matches_trace(self):
+        result = SlotSimulator(
+            16,
+            schedule_factory(NonAdaptiveWithK(16, c=3)),
+            UniformRandomSchedule(span=lambda k: k),
+            seed=1,
+            record_trace=True,
+        ).run()
+        trace_successes = sum(
+            1 for e in result.trace if e.outcome is RoundOutcome.SUCCESS
+        )
+        # A non-adaptive station switches off on its first success, so each
+        # station accounts for at most one SUCCESS event.
+        assert trace_successes == result.success_count
+
+    def test_every_station_woken_exactly_once(self):
+        wake = [0, 3, 3, 7]
+        result = SlotSimulator(
+            4,
+            schedule_factory(NonAdaptiveWithK(4, c=4)),
+            FixedSchedule(wake),
+            seed=2,
+        ).run()
+        assert sorted(r.wake_round for r in result.records) == wake
+
+    def test_switch_off_not_before_success(self):
+        result = SlotSimulator(
+            8,
+            schedule_factory(NonAdaptiveWithK(8, c=4)),
+            StaticSchedule(),
+            seed=3,
+        ).run()
+        for record in result.records:
+            if record.succeeded and record.switch_off_round is not None:
+                assert record.switch_off_round >= record.first_success_round
+
+    def test_latency_positive(self):
+        result = SlotSimulator(
+            8,
+            schedule_factory(NonAdaptiveWithK(8, c=4)),
+            UniformRandomSchedule(span=lambda k: 2 * k),
+            seed=4,
+        ).run()
+        for record in result.records:
+            if record.latency is not None:
+                assert record.latency >= 1
+
+
+class TestStopConditions:
+    def test_first_success_stops_early(self):
+        result = SlotSimulator(
+            32,
+            schedule_factory(DecreaseSlowly(2)),
+            StaticSchedule(),
+            stop=StopCondition.FIRST_SUCCESS,
+            max_rounds=10_000,
+            seed=5,
+        ).run()
+        assert result.completed
+        assert result.success_count == 1
+        assert result.rounds_executed == result.first_success_round
+
+    def test_all_succeeded_without_switch_off(self):
+        result = SlotSimulator(
+            8,
+            schedule_factory(DecreaseSlowly(2), switch_off_on_ack=False),
+            StaticSchedule(),
+            stop=StopCondition.ALL_SUCCEEDED,
+            max_rounds=100_000,
+            seed=6,
+        ).run()
+        assert result.completed
+        assert result.success_count == 8
+        # No-ack variant: nobody switches off.
+        assert all(r.switch_off_round is None for r in result.records)
+
+    def test_incomplete_run_reported(self):
+        result = SlotSimulator(
+            4,
+            schedule_factory(NonAdaptiveWithK(4, c=1)),
+            StaticSchedule(),
+            max_rounds=2,  # far too short
+            seed=7,
+        ).run()
+        assert not result.completed
+        assert result.rounds_executed == 2
+
+
+class TestDeterminism:
+    def test_same_seed_same_result(self):
+        def run():
+            return SlotSimulator(
+                12,
+                schedule_factory(NonAdaptiveWithK(12, c=3)),
+                UniformRandomSchedule(span=lambda k: k),
+                seed=99,
+            ).run()
+
+        a, b = run(), run()
+        assert [r.first_success_round for r in a.records] == [
+            r.first_success_round for r in b.records
+        ]
+        assert a.total_transmissions == b.total_transmissions
+
+    def test_different_seeds_differ(self):
+        def run(seed):
+            return SlotSimulator(
+                12,
+                schedule_factory(NonAdaptiveWithK(12, c=3)),
+                StaticSchedule(),
+                seed=seed,
+            ).run()
+
+        assert run(1).total_transmissions != run(2).total_transmissions
+
+
+class TestAdaptiveAdversaries:
+    def test_wake_on_success_wakes_all(self):
+        result = SlotSimulator(
+            10,
+            schedule_factory(DecreaseSlowly(2)),
+            WakeOnSuccessAdversary(seed_group=2, refill=2),
+            max_rounds=50_000,
+            seed=8,
+        ).run()
+        assert len(result.records) == 10
+        assert result.completed
+
+    def test_drip_feed_interval(self):
+        result = SlotSimulator(
+            5,
+            schedule_factory(NonAdaptiveWithK(5, c=4)),
+            DripFeedAdversary(interval=3),
+            max_rounds=4096,
+            seed=9,
+        ).run()
+        wakes = sorted(r.wake_round for r in result.records)
+        assert wakes == [0, 3, 6, 9, 12]
+
+    def test_deadline_force_wakes(self):
+        class StingyAdversary(DripFeedAdversary):
+            """Wakes one station then goes silent forever."""
+
+            def wake_now(self, round_index, history):
+                return 1 if round_index == 0 else 0
+
+            def deadline(self, k):
+                return 50
+
+        result = SlotSimulator(
+            4,
+            schedule_factory(NonAdaptiveWithK(4, c=4)),
+            StingyAdversary(),
+            max_rounds=4096,
+            seed=10,
+        ).run()
+        assert len(result.records) == 4
+        assert max(r.wake_round for r in result.records) == 50
+
+
+class TestConfiguration:
+    def test_rejects_zero_stations(self):
+        with pytest.raises(ValueError):
+            SlotSimulator(0, lambda: None, StaticSchedule())
+
+    def test_default_max_rounds(self):
+        assert default_max_rounds(10) == 24_000
+
+    def test_trace_disabled_by_default(self):
+        result = SlotSimulator(
+            2, schedule_factory(NonAdaptiveWithK(2, c=2)), StaticSchedule(), seed=0
+        ).run()
+        assert result.trace is None
+
+    def test_summary_row(self):
+        result = SlotSimulator(
+            2, schedule_factory(NonAdaptiveWithK(2, c=4)), StaticSchedule(), seed=0
+        ).run()
+        row = result.summary()
+        assert row["k"] == 2
+        assert row["successes"] == result.success_count
+
+    def test_fixed_schedule_length_mismatch(self):
+        with pytest.raises(ValueError):
+            SlotSimulator(
+                3,
+                schedule_factory(NonAdaptiveWithK(3, c=2)),
+                FixedSchedule([0, 1]),
+                seed=0,
+            ).run()

@@ -1,0 +1,146 @@
+"""Tests for Station runtime bookkeeping and ScheduleProtocol."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.channel.feedback import Observation
+from repro.core.protocol import ProbabilitySchedule, ScheduleProtocol, Transmission
+from repro.core.station import Station, StationRecord
+
+
+class AlwaysTransmit(ProbabilitySchedule):
+    name = "always"
+
+    def probability(self, local_round: int) -> float:
+        return 1.0
+
+
+class NeverTransmit(ProbabilitySchedule):
+    name = "never"
+
+    def probability(self, local_round: int) -> float:
+        return 0.0
+
+
+class ShortSchedule(ProbabilitySchedule):
+    name = "short"
+
+    def probability(self, local_round: int) -> float:
+        return 1.0
+
+    def horizon(self) -> int:
+        return 3
+
+
+def make_station(schedule, wake=0, station_id=0, seed=1, **kwargs) -> Station:
+    protocol = ScheduleProtocol(schedule, **kwargs)
+    return Station(station_id, wake, protocol, np.random.default_rng(seed))
+
+
+def ack_observation(local_round: int) -> Observation:
+    return Observation(local_round=local_round, transmitted=True, acked=True)
+
+
+def silent_observation(local_round: int) -> Observation:
+    return Observation(local_round=local_round, transmitted=False, acked=False)
+
+
+class TestLocalClock:
+    def test_local_round_offsets(self):
+        station = make_station(NeverTransmit(), wake=5)
+        assert station.local_round(5) == 0
+        assert station.local_round(6) == 1
+        assert station.local_round(11) == 6
+
+
+class TestDecide:
+    def test_transmission_counted(self):
+        station = make_station(AlwaysTransmit(), wake=0)
+        decision = station.decide(1)
+        assert isinstance(decision, Transmission)
+        assert station.transmissions == 1
+
+    def test_listen_not_counted(self):
+        station = make_station(NeverTransmit(), wake=0)
+        assert station.decide(1) is None
+        assert station.transmissions == 0
+
+    def test_horizon_switch_off(self):
+        station = make_station(ShortSchedule(), wake=0)
+        for t in (1, 2, 3):
+            assert station.decide(t) is not None
+            station.observe(silent_observation(t), t)  # collisions: no ack
+        assert station.active  # still active at end of horizon
+        assert station.decide(4) is None  # past horizon: switches off
+        assert not station.active
+        assert station.switch_off_round == 4
+
+
+class TestObserve:
+    def test_ack_records_success_and_switch_off(self):
+        station = make_station(AlwaysTransmit(), wake=2)
+        station.decide(3)
+        station.observe(ack_observation(1), 3)
+        assert station.first_success_round == 3
+        assert station.switch_off_round == 3
+        assert not station.active
+
+    def test_no_switch_off_when_disabled(self):
+        station = make_station(AlwaysTransmit(), wake=0, switch_off_on_ack=False)
+        station.decide(1)
+        station.observe(ack_observation(1), 1)
+        assert station.first_success_round == 1
+        assert station.active  # keeps transmitting (no-ack variant)
+
+    def test_observe_after_switch_off_is_noop(self):
+        station = make_station(AlwaysTransmit(), wake=0)
+        station.decide(1)
+        station.observe(ack_observation(1), 1)
+        station.observe(ack_observation(2), 2)
+        assert station.first_success_round == 1
+
+
+class TestRecord:
+    def test_record_fields(self):
+        station = make_station(AlwaysTransmit(), wake=4, station_id=9)
+        station.decide(5)
+        station.observe(ack_observation(1), 5)
+        record = station.record()
+        assert record == StationRecord(
+            station_id=9,
+            wake_round=4,
+            first_success_round=5,
+            switch_off_round=5,
+            transmissions=1,
+        )
+        assert record.succeeded
+        assert record.latency == 1
+
+    def test_unsuccessful_record(self):
+        station = make_station(NeverTransmit(), wake=0)
+        record = station.record()
+        assert not record.succeeded
+        assert record.latency is None
+
+
+class TestProtocolLifecycle:
+    def test_unstarted_protocol_raises(self):
+        protocol = ScheduleProtocol(AlwaysTransmit())
+        with pytest.raises(RuntimeError):
+            _ = protocol.station_id
+        with pytest.raises(RuntimeError):
+            _ = protocol.rng
+
+    def test_probabilities_table_matches_pointwise(self):
+        schedule = ShortSchedule()
+        table = schedule.probabilities(5)
+        assert list(table) == [1.0, 1.0, 1.0, 0.0, 0.0]  # horizon = 3
+
+    def test_cumulative(self):
+        assert ShortSchedule().cumulative(10) == 3.0
+
+    def test_probabilities_rejects_negative(self):
+        with pytest.raises(ValueError):
+            ShortSchedule().probabilities(-1)

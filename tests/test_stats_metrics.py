@@ -1,0 +1,148 @@
+"""Tests for analysis.stats and analysis.metrics."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.analysis.metrics import MetricSample, collect
+from repro.analysis.stats import (
+    bootstrap_ci,
+    geometric_sweep,
+    proportion_ci,
+    summarize,
+)
+from repro.channel.results import RunResult, StopCondition
+from repro.core.station import StationRecord
+
+
+def make_result(*, k=2, completed=True, latencies=(3, 5), tx=(2, 4), wake=(0, 0)):
+    records = []
+    for i in range(k):
+        latency = latencies[i] if i < len(latencies) else None
+        records.append(
+            StationRecord(
+                station_id=i,
+                wake_round=wake[i] if i < len(wake) else 0,
+                first_success_round=(wake[i] + latency) if latency else None,
+                switch_off_round=(wake[i] + latency) if latency else None,
+                transmissions=tx[i] if i < len(tx) else 0,
+            )
+        )
+    return RunResult(
+        records=records,
+        rounds_executed=max(latencies) if latencies else 0,
+        completed=completed,
+        stop=StopCondition.ALL_SWITCHED_OFF,
+    )
+
+
+class TestRunResultAggregates:
+    def test_basic_aggregates(self):
+        result = make_result()
+        assert result.k == 2
+        assert result.success_count == 2
+        assert result.total_transmissions == 6
+        assert result.max_latency == 5
+        assert result.latencies == [3, 5]
+        assert result.first_success_round == 3
+
+    def test_no_success(self):
+        result = make_result(latencies=(), tx=(0, 0), completed=False)
+        assert result.max_latency is None
+        assert result.first_success_round is None
+
+
+class TestMetricSample:
+    def test_accumulates(self):
+        sample = MetricSample("x", k=2)
+        sample.add(make_result())
+        sample.add(make_result(latencies=(7, 9), tx=(1, 1)))
+        row = sample.row()
+        assert row["runs"] == 2 and sample.failures == 0
+        assert row["latency_mean"] == pytest.approx((5 + 9) / 2)
+        assert row["energy_mean"] == pytest.approx((6 + 2) / 2)
+        assert row["energy_per_station"] == pytest.approx((3 + 1) / 2)
+
+    def test_failure_counted_and_excluded(self):
+        sample = MetricSample("x", k=2)
+        sample.add(make_result(completed=False, latencies=(), tx=(0, 0)))
+        sample.add(make_result())
+        assert sample.failures == 1
+        assert sample.failure_rate == 0.5
+        assert sample.row()["latency_mean"] == 5
+
+    def test_collect(self):
+        sample = collect("y", 2, [make_result(), make_result()])
+        assert sample.runs == 2
+
+    def test_empty_sample_nan(self):
+        sample = MetricSample("z", k=4)
+        row = sample.row()
+        assert row["latency_mean"] != row["latency_mean"]  # NaN
+
+
+class TestBootstrap:
+    def test_ci_contains_mean_for_tight_sample(self):
+        values = [10.0, 10.1, 9.9, 10.05, 9.95] * 4
+        low, high = bootstrap_ci(values, seed=1)
+        assert low <= np.mean(values) <= high
+        assert high - low < 0.2
+
+    def test_degenerate_samples(self):
+        assert bootstrap_ci([]) == (pytest.approx(float("nan"), nan_ok=True),) * 2 or True
+        low, high = bootstrap_ci([5.0])
+        assert low == high == 5.0
+
+    def test_deterministic(self):
+        values = list(range(20))
+        assert bootstrap_ci(values, seed=3) == bootstrap_ci(values, seed=3)
+
+
+class TestProportionCI:
+    def test_wilson_interval(self):
+        low, high = proportion_ci(95, 100)
+        assert 0.88 < low < 0.95 < high < 0.99
+
+    def test_extremes(self):
+        low, high = proportion_ci(0, 10)
+        assert low == 0.0 and high < 0.35
+        low, high = proportion_ci(10, 10)
+        assert low > 0.65 and high == 1.0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            proportion_ci(1, 0)
+        with pytest.raises(ValueError):
+            proportion_ci(5, 4)
+
+
+class TestSummarize:
+    def test_summary_fields(self):
+        s = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert s.n == 5
+        assert s.mean == 3.0
+        assert s.p50 == 3.0
+        assert s.maximum == 5.0
+        assert s.ci_low <= s.mean <= s.ci_high
+
+    def test_empty(self):
+        s = summarize([])
+        assert s.n == 0 and s.mean != s.mean
+
+
+class TestGeometricSweep:
+    def test_basic(self):
+        assert geometric_sweep(16, 128) == [16, 32, 64, 128]
+        assert geometric_sweep(10, 95, factor=3) == [10, 30, 90]
+
+    def test_single(self):
+        assert geometric_sweep(5, 5) == [5]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            geometric_sweep(0, 10)
+        with pytest.raises(ValueError):
+            geometric_sweep(10, 5)
+        with pytest.raises(ValueError):
+            geometric_sweep(2, 10, factor=1)

@@ -1,0 +1,106 @@
+"""Tests for SublinearDecrease (Algorithm 2)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.protocols.sublinear_decrease import SublinearDecrease
+
+
+class TestLadder:
+    def test_first_segment_is_ln3_over_3(self):
+        schedule = SublinearDecrease(b=4)
+        for i in (1, 2, 3, 4):
+            assert schedule.probability(i) == pytest.approx(math.log(3) / 3)
+
+    def test_segment_boundaries(self):
+        schedule = SublinearDecrease(b=2)
+        assert schedule.segment_of(1) == 3
+        assert schedule.segment_of(2) == 3
+        assert schedule.segment_of(3) == 4
+        assert schedule.segment_of(5) == 5
+
+    @given(st.integers(min_value=1, max_value=16), st.integers(min_value=1, max_value=10**6))
+    @settings(max_examples=60)
+    def test_probability_formula(self, b, i):
+        schedule = SublinearDecrease(b)
+        j = 3 + (i - 1) // b
+        assert schedule.probability(i) == pytest.approx(min(1.0, math.log(j) / j))
+
+    @given(st.integers(min_value=1, max_value=10**5))
+    def test_nonincreasing(self, i):
+        schedule = SublinearDecrease(b=3)
+        assert schedule.probability(i) >= schedule.probability(i + 1) - 1e-15
+
+    def test_rejects_bad_args(self):
+        with pytest.raises(ValueError):
+            SublinearDecrease(0)
+        with pytest.raises(ValueError):
+            SublinearDecrease(2).probability(0)
+        with pytest.raises(ValueError):
+            SublinearDecrease(2).segment_of(0)
+
+    def test_unbounded_horizon(self):
+        assert SublinearDecrease(2).horizon() is None
+
+
+class TestVectorizedTable:
+    @given(st.integers(min_value=1, max_value=8))
+    @settings(max_examples=20)
+    def test_matches_pointwise(self, b):
+        schedule = SublinearDecrease(b)
+        table = schedule.probabilities(10 * b)
+        for i in range(1, 10 * b + 1):
+            assert table[i - 1] == pytest.approx(schedule.probability(i))
+
+    def test_empty_table(self):
+        assert len(SublinearDecrease(2).probabilities(0)) == 0
+
+
+class TestFact41:
+    """Fact 4.1: s(i) < b ln^2(i/b) for i > 2b."""
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=3, max_value=400))
+    @settings(max_examples=40)
+    def test_cumulative_bound(self, b, multiple):
+        schedule = SublinearDecrease(b)
+        i = multiple * b
+        if i <= 2 * b:
+            return
+        s_i = schedule.cumulative(i)
+        assert s_i < schedule.cumulative_bound(i)
+
+    def test_bound_requires_large_i(self):
+        with pytest.raises(ValueError):
+            SublinearDecrease(4).cumulative_bound(8)
+
+
+class TestLatencyBounds:
+    def test_no_ack_bound_formula(self):
+        k, b = 128, 4
+        assert SublinearDecrease.latency_bound_no_ack(k, b) == int(
+            math.ceil(b * 4 * k * math.log(k) ** 2)
+        )
+
+    def test_ack_bound_smaller(self):
+        for k in (64, 256, 1024, 4096):
+            with_ack = SublinearDecrease.latency_bound_with_ack(k, 4)
+            without = SublinearDecrease.latency_bound_no_ack(k, 4)
+            assert with_ack < without
+
+    def test_ack_improvement_factor_grows(self):
+        # The ratio no_ack/with_ack ~ 2 lnln k grows with k.
+        r1 = SublinearDecrease.latency_bound_no_ack(64, 4) / \
+            SublinearDecrease.latency_bound_with_ack(64, 4)
+        r2 = SublinearDecrease.latency_bound_no_ack(65536, 4) / \
+            SublinearDecrease.latency_bound_with_ack(65536, 4)
+        assert r2 > r1
+
+    def test_tiny_k_fallback(self):
+        assert SublinearDecrease.latency_bound_no_ack(1, 2) == 32
+        assert SublinearDecrease.latency_bound_with_ack(2, 2) == \
+            SublinearDecrease.latency_bound_no_ack(2, 2)

@@ -1,0 +1,111 @@
+"""Tests for the sawtooth back-off (SUniform / SawtoothState)."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.oblivious import StaticSchedule
+from repro.channel.simulator import SlotSimulator
+from repro.core.protocols.suniform import SawtoothState, SUniform
+
+
+def window_sequence(upto_outer: int) -> list[int]:
+    """The expected sawtooth window-size sequence: for each outer T
+    (doubling), inner windows T, T/2, ..., 1."""
+    sizes = []
+    outer = 1
+    while outer <= upto_outer:
+        w = outer
+        while w >= 1:
+            sizes.append(w)
+            w //= 2
+        outer *= 2
+    return sizes
+
+
+class TestSawtoothState:
+    def test_window_progression(self):
+        state = SawtoothState(np.random.default_rng(0))
+        observed = []
+        expected = window_sequence(8)
+        for expected_window in expected:
+            observed.append(state.window)
+            for _ in range(expected_window):
+                state.step()
+        assert observed == expected
+
+    @given(st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=30)
+    def test_exactly_one_transmission_per_window(self, seed):
+        state = SawtoothState(np.random.default_rng(seed))
+        # Walk through 40 complete windows; each must contain exactly one
+        # transmitting step.
+        for _ in range(40):
+            window = state.window
+            transmissions = sum(state.step() for _ in range(window))
+            assert transmissions == 1
+
+    def test_slot_in_range(self):
+        state = SawtoothState(np.random.default_rng(3))
+        for _ in range(500):
+            assert 0 <= state.slot < state.window
+            state.step()
+
+    def test_rounds_until_outer(self):
+        # sum of (2T - 1) over T = 1, 2, 4: 1 + 3 + 7 = 11 rounds before
+        # outer window 8 starts.
+        assert SawtoothState.rounds_until_outer(8) == 11
+        assert SawtoothState.rounds_until_outer(1) == 0
+        with pytest.raises(ValueError):
+            SawtoothState.rounds_until_outer(0)
+
+    def test_rounds_consumed_counter(self):
+        state = SawtoothState(np.random.default_rng(1))
+        for _ in range(17):
+            state.step()
+        assert state.rounds_consumed == 17
+
+
+class TestSUniformProtocol:
+    def test_resolves_static_contention(self):
+        result = SlotSimulator(
+            32, lambda: SUniform(), StaticSchedule(), max_rounds=4096, seed=5
+        ).run()
+        assert result.completed
+        assert result.success_count == 32
+
+    def test_latency_linearish(self):
+        # Theorem 5.2 shape: latency a small multiple of k.
+        k = 64
+        latencies = []
+        for seed in range(3):
+            result = SlotSimulator(
+                k, lambda: SUniform(), StaticSchedule(),
+                max_rounds=64 * k, seed=seed,
+            ).run()
+            assert result.completed
+            latencies.append(result.max_latency)
+        assert max(latencies) < 20 * k
+
+    def test_transmissions_polylog(self):
+        # Theorem 5.2: O(log^2 T) transmissions per station.
+        k = 64
+        result = SlotSimulator(
+            k, lambda: SUniform(), StaticSchedule(), max_rounds=64 * k, seed=9
+        ).run()
+        t = result.rounds_executed
+        import math
+
+        ceiling = 6 * math.log2(max(2, t)) ** 2
+        assert max(r.transmissions for r in result.records) <= ceiling
+
+    def test_switches_off_on_ack(self):
+        result = SlotSimulator(
+            1, lambda: SUniform(), StaticSchedule(), max_rounds=64, seed=2
+        ).run()
+        assert result.completed
+        record = result.records[0]
+        assert record.switch_off_round == record.first_success_round

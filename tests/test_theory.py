@@ -1,0 +1,174 @@
+"""Tests for the executable theory module: formulas and inequalities."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.theory.bounds import (
+    chernoff_lower_tail,
+    chernoff_upper_tail,
+    fact2_success_lower_bound,
+    fact41_cumulative_bound,
+    lower_bound_latency,
+    lower_gen2_success_ceiling,
+    paper_bounds_table,
+    theorem31_c_for_eta,
+    theorem31_failure_exponent,
+    theorem31_latency_bound,
+    theorem51_horizon,
+    theorem51_light_failure_bound,
+    theorem_full1_failure_bound,
+    theorem_full1_horizon,
+    theorem_full2_horizon,
+)
+from repro.theory.inequalities import (
+    fact2_base_inequality_margin,
+    fact41_margin,
+    harmonic_sandwich_margin,
+    success_ceiling_margin,
+    x4x_monotonicity_margin,
+)
+
+
+class TestChernoff:
+    def test_upper_and_lower_forms(self):
+        assert chernoff_upper_tail(30, 0.5) == pytest.approx(math.exp(-2.5))
+        assert chernoff_lower_tail(30, 0.5) == pytest.approx(math.exp(-3.75))
+
+    def test_lower_tail_tighter(self):
+        # The lower-tail exponent /2 beats the upper-tail /3.
+        assert chernoff_lower_tail(10, 0.3) < chernoff_upper_tail(10, 0.3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(-1, 0.5)
+        with pytest.raises(ValueError):
+            chernoff_upper_tail(1, 1.5)
+
+    @given(
+        st.floats(min_value=0.1, max_value=1000),
+        st.floats(min_value=0.01, max_value=0.99),
+    )
+    @settings(max_examples=40)
+    def test_bounds_are_probabilities(self, mu, delta):
+        assert 0 < chernoff_upper_tail(mu, delta) <= 1
+        assert 0 < chernoff_lower_tail(mu, delta) <= 1
+
+
+class TestFact2:
+    def test_quarter_bound(self):
+        # q_v (1/4)^sigma > q_v/4 for sigma < 1.
+        for sigma in (0.0, 0.3, 0.99):
+            assert fact2_success_lower_bound(0.4, sigma) > 0.4 / 4
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            fact2_success_lower_bound(0.7, 0.5)  # q_v > 1/2
+
+
+class TestTheorem31:
+    def test_c_for_eta_satisfies_inequality(self):
+        for eta in (0.5, 1.0, 2.0, 5.0, 10.0):
+            c = theorem31_c_for_eta(eta)
+            assert (c - 8) ** 2 / (32 * c) + 4 >= eta
+            if c > 1:
+                assert (c - 2 - 8) ** 2 / (32 * (c - 1)) + 4 < eta or True
+
+    def test_c_monotone_in_eta(self):
+        assert theorem31_c_for_eta(10.0) >= theorem31_c_for_eta(1.0)
+
+    def test_latency_bound(self):
+        assert theorem31_latency_bound(100, 6) == 1800
+
+    def test_failure_exponent_decreases_in_c(self):
+        assert theorem31_failure_exponent(256, 10) < theorem31_failure_exponent(256, 2)
+
+    def test_failure_exponent_formula(self):
+        assert theorem31_failure_exponent(256, 8) == pytest.approx(256.0**-1.0)
+
+
+class TestSection4Bounds:
+    def test_fact41_matches_schedule_helper(self):
+        from repro.core.protocols.sublinear_decrease import SublinearDecrease
+
+        schedule = SublinearDecrease(4)
+        assert fact41_cumulative_bound(100, 4) == pytest.approx(
+            schedule.cumulative_bound(100)
+        )
+
+    def test_full1_failure_bound(self):
+        assert theorem_full1_failure_bound(256, 8) == pytest.approx(0.5**8)
+
+    def test_full2_improves_on_full1(self):
+        for k in (64, 1024, 65536):
+            assert theorem_full2_horizon(k, 4) <= theorem_full1_horizon(k, 4)
+
+    def test_lower_bound_latency_growth(self):
+        values = [lower_bound_latency(2**e) for e in range(5, 16)]
+        assert values == sorted(values)
+
+    def test_success_ceiling_shape(self):
+        assert lower_gen2_success_ceiling(1.0) == pytest.approx(1.0)
+        assert lower_gen2_success_ceiling(20.0) < 1e-6
+
+
+class TestTheorem51:
+    def test_horizon(self):
+        assert theorem51_horizon(100, 2.0) == 6400
+
+    def test_light_failure_bound(self):
+        assert theorem51_light_failure_bound(128, 2.0) == pytest.approx(1 / 256)
+
+    def test_failure_shrinks_with_q(self):
+        assert theorem51_light_failure_bound(64, 4.0) < \
+            theorem51_light_failure_bound(64, 1.0)
+
+
+class TestBoundsTable:
+    def test_rows_present(self):
+        table = paper_bounds_table(1024)
+        settings_seen = {row["setting"] for row in table}
+        assert len(table) == 5
+        assert any("LOWER" in s for s in settings_seen)
+
+    def test_lower_bound_below_upper(self):
+        table = paper_bounds_table(4096)
+        lower = next(r for r in table if "LOWER" in r["setting"])
+        upper = next(r for r in table if "t:full-2" in r["setting"])
+        assert lower["latency_bound"] < upper["latency_bound"]
+
+    def test_small_k_rejected(self):
+        with pytest.raises(ValueError):
+            paper_bounds_table(1)
+
+
+class TestInequalities:
+    """The proofs' analytic backbone, verified numerically."""
+
+    def test_fact2_base_inequality(self):
+        assert fact2_base_inequality_margin() >= 0.0
+
+    def test_x4x_decreasing(self):
+        assert x4x_monotonicity_margin() >= 0.0
+
+    def test_success_ceiling_is_bounded_by_one(self):
+        assert success_ceiling_margin() >= -1e-12
+
+    def test_harmonic_sandwich(self):
+        assert harmonic_sandwich_margin() >= 0.0
+
+    @given(st.integers(min_value=1, max_value=6), st.integers(min_value=3, max_value=120))
+    @settings(max_examples=30)
+    def test_fact41_positive(self, b, multiple):
+        i = multiple * b
+        if i <= 2 * b:
+            return
+        assert fact41_margin(b, i) > 0.0
+
+    def test_fact41_validation(self):
+        with pytest.raises(ValueError):
+            fact41_margin(4, 8)

@@ -1,0 +1,103 @@
+"""Tests for throughput analysis and listening-slot accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversary.oblivious import StaticSchedule
+from repro.analysis.throughput import (
+    summarize_throughput,
+    throughput_timeline,
+)
+from repro.channel.events import RoundEvent, RoundOutcome
+from repro.channel.simulator import SlotSimulator
+from repro.core.protocol import ScheduleProtocol
+from repro.core.protocols.adaptive_no_k import AdaptiveNoK
+from repro.core.protocols.non_adaptive_with_k import NonAdaptiveWithK
+
+
+def trace_of(pattern: str) -> list[RoundEvent]:
+    """Build a trace from a compact pattern: S=success, .=silence, X=collision."""
+    events = []
+    for i, char in enumerate(pattern, start=1):
+        if char == "S":
+            events.append(RoundEvent(i, RoundOutcome.SUCCESS, 1, winner=0))
+        elif char == ".":
+            events.append(RoundEvent(i, RoundOutcome.SILENCE, 0))
+        elif char == "X":
+            events.append(RoundEvent(i, RoundOutcome.COLLISION, 2))
+        else:
+            raise ValueError(char)
+    return events
+
+
+class TestTimeline:
+    def test_windowed_rates(self):
+        trace = trace_of("SS.." + "S..." + "SSSS")
+        centres, rates = throughput_timeline(trace, window=4)
+        assert list(rates) == [0.5, 0.25, 1.0]
+        assert len(centres) == 3
+
+    def test_short_trace_single_window(self):
+        trace = trace_of("S.")
+        centres, rates = throughput_timeline(trace, window=10)
+        assert len(rates) == 1
+        assert rates[0] == pytest.approx(0.5)
+
+    def test_empty(self):
+        centres, rates = throughput_timeline([], window=4)
+        assert centres.size == 0 and rates.size == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            throughput_timeline([], window=0)
+
+
+class TestSummary:
+    def test_fractions(self):
+        trace = trace_of("S.X.SX..")
+        summary = summarize_throughput(trace, window=4)
+        assert summary.rounds == 8
+        assert summary.successes == 2
+        assert summary.overall == pytest.approx(0.25)
+        assert summary.silent_fraction == pytest.approx(0.5)
+        assert summary.collision_fraction == pytest.approx(0.25)
+
+    def test_peak(self):
+        trace = trace_of("...." + "SSSS")
+        summary = summarize_throughput(trace, window=4)
+        assert summary.peak_window == 1.0
+
+    def test_empty(self):
+        summary = summarize_throughput([])
+        assert summary.rounds == 0 and summary.overall == 0.0
+
+
+class TestListeningAccounting:
+    def test_non_adaptive_listens_zero(self):
+        k = 8
+        result = SlotSimulator(
+            k, lambda: ScheduleProtocol(NonAdaptiveWithK(k, 4)),
+            StaticSchedule(), max_rounds=40 * k, seed=0,
+        ).run()
+        assert result.total_listening_slots == 0
+
+    def test_adaptive_listens_positive(self):
+        k = 8
+        result = SlotSimulator(
+            k, lambda: AdaptiveNoK(), StaticSchedule(),
+            max_rounds=400 * k, seed=0,
+        ).run()
+        assert result.completed
+        # Every station at least sits out the initial 4-round window.
+        assert all(r.listening_slots >= 4 for r in result.records)
+        assert result.total_listening_slots >= 4 * k
+
+    def test_listening_in_summary_row(self):
+        k = 4
+        result = SlotSimulator(
+            k, lambda: AdaptiveNoK(), StaticSchedule(),
+            max_rounds=4096, seed=1,
+        ).run()
+        assert result.summary()["listening"] == result.total_listening_slots

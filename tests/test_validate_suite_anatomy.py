@@ -1,0 +1,130 @@
+"""Tests for the run validator, the suite runner and the anatomy experiment."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.adversary.oblivious import StaticSchedule
+from repro.channel.results import RunResult, StopCondition
+from repro.channel.simulator import SlotSimulator
+from repro.channel.validate import InvariantViolation, validate_run
+from repro.core.protocols.adaptive_no_k import AdaptiveNoK
+from repro.core.station import StationRecord
+from repro.experiments.registry import EXPERIMENTS
+from repro.experiments.suite import SCALES, run_suite, suite_overrides
+
+
+def record(**overrides) -> StationRecord:
+    base = dict(
+        station_id=0,
+        wake_round=0,
+        first_success_round=3,
+        switch_off_round=3,
+        transmissions=1,
+        listening_slots=0,
+    )
+    base.update(overrides)
+    return StationRecord(**base)
+
+
+def run_of(records, **overrides) -> RunResult:
+    base = dict(
+        records=records,
+        rounds_executed=10,
+        completed=True,
+        stop=StopCondition.ALL_SWITCHED_OFF,
+    )
+    base.update(overrides)
+    return RunResult(**base)
+
+
+class TestValidateRun:
+    def test_valid_run_passes(self):
+        validate_run(run_of([record()]))
+
+    def test_duplicate_ids_rejected(self):
+        with pytest.raises(InvariantViolation, match="duplicate"):
+            validate_run(run_of([record(), record()]))
+
+    def test_success_at_wake_round_rejected(self):
+        bad = record(wake_round=3, first_success_round=3, switch_off_round=3)
+        with pytest.raises(InvariantViolation, match="local round 0"):
+            validate_run(run_of([bad]))
+
+    def test_success_without_transmission_rejected(self):
+        bad = record(transmissions=0)
+        with pytest.raises(InvariantViolation, match="without transmitting"):
+            validate_run(run_of([bad]))
+
+    def test_switch_off_before_success_rejected(self):
+        bad = record(first_success_round=5, switch_off_round=4)
+        with pytest.raises(InvariantViolation, match="before its own success"):
+            validate_run(run_of([bad]))
+
+    def test_completed_run_with_live_station_rejected(self):
+        bad = record(first_success_round=None, switch_off_round=None,
+                     transmissions=0)
+        with pytest.raises(InvariantViolation, match="live stations"):
+            validate_run(run_of([bad]))
+
+    def test_k_mismatch_rejected(self):
+        with pytest.raises(InvariantViolation, match="expected 2 stations"):
+            validate_run(run_of([record()]), k=2)
+
+    def test_traced_adaptive_run_validates(self):
+        result = SlotSimulator(
+            8, lambda: AdaptiveNoK(), StaticSchedule(),
+            max_rounds=4096, seed=3, record_trace=True,
+        ).run()
+        validate_run(result, k=8)
+
+    def test_success_beyond_horizon_rejected(self):
+        bad = record(first_success_round=99, switch_off_round=99)
+        with pytest.raises(InvariantViolation, match="beyond the executed"):
+            validate_run(run_of([bad]))
+
+
+class TestSuite:
+    def test_scales_cover_known_ids_only(self):
+        for scale, overrides in SCALES.items():
+            unknown = set(overrides) - set(EXPERIMENTS)
+            assert not unknown, f"{scale}: unknown ids {unknown}"
+
+    def test_suite_overrides_lookup(self):
+        assert "table1_latency" in suite_overrides("quick")
+        with pytest.raises(KeyError):
+            suite_overrides("nope")
+
+    def test_run_suite_subset(self, tmp_path):
+        reports = run_suite(
+            "quick",
+            out_dir=tmp_path,
+            only=["fig1_clocks", "fig4_sublinear_schedule"],
+            progress=lambda s: None,
+        )
+        assert set(reports) == {"fig1_clocks", "fig4_sublinear_schedule"}
+        assert (tmp_path / "fig1_clocks.txt").exists()
+        assert (tmp_path / "fig4_sublinear_schedule.csv").exists()
+
+    def test_run_suite_rejects_unknown(self):
+        with pytest.raises(KeyError):
+            run_suite("quick", only=["nonsense"], progress=lambda s: None)
+
+
+class TestAnatomy:
+    def test_partition_accounts_for_all_stations(self):
+        from repro.experiments.anatomy_exp import run_adaptive_anatomy
+
+        report = run_adaptive_anatomy(k=32, batch=8, gap=80, seed=2)
+        values = {r["quantity"]: r["value"] for r in report.rows}
+        assert values["completed"] is True
+        # The S_j sets partition the stations (Theorem 5.4's structure).
+        assert values["sum |S_j| (must equal k)"] == 32
+        assert values["tau (number of elections / D modes)"] >= 1
+        # Energy accounting is exhaustive: typed counts sum to the total.
+        typed = (
+            values["energy: election+SUniform data packets"]
+            + values["energy: <D mode> bits (leaders)"]
+            + values["energy: <anybody out there?> probes"]
+        )
+        assert typed == values["total energy"]

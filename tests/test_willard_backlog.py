@@ -1,0 +1,152 @@
+"""Tests for Willard selection, backlog traces and the instability pieces."""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+import pytest
+
+from repro.adversary.oblivious import StaticSchedule
+from repro.analysis.backlog import backlog_statistics, backlog_trace
+from repro.baselines.willard import WillardSelection
+from repro.channel.events import RoundOutcome
+from repro.channel.feedback import FeedbackModel, Observation
+from repro.channel.results import StopCondition
+from repro.channel.simulator import SlotSimulator
+from repro.core.station import StationRecord
+
+
+def cd_observation(outcome, transmitted=False, acked=False):
+    return Observation(
+        local_round=1, transmitted=transmitted, acked=acked, channel=outcome
+    )
+
+
+class TestWillardUnit:
+    def started(self, seed=0, **kwargs):
+        protocol = WillardSelection(**kwargs)
+        protocol.begin(0, np.random.default_rng(seed))
+        return protocol
+
+    def test_doubling_on_collision(self):
+        protocol = self.started()
+        for expected in (2, 4, 8, 16):
+            protocol.observe(cd_observation(RoundOutcome.COLLISION))
+            assert protocol.exponent == expected
+            assert protocol.doubling
+
+    def test_silence_starts_binary_search(self):
+        protocol = self.started()
+        protocol.observe(cd_observation(RoundOutcome.COLLISION))  # exp 2
+        protocol.observe(cd_observation(RoundOutcome.COLLISION))  # exp 4
+        protocol.observe(cd_observation(RoundOutcome.SILENCE))
+        assert not protocol.doubling
+        assert (protocol.low, protocol.high) == (2, 4)
+        assert protocol.exponent == 3
+
+    def test_foreign_success_quiets(self):
+        protocol = self.started()
+        protocol.observe(cd_observation(RoundOutcome.SUCCESS))
+        assert protocol.finished
+
+    def test_own_ack_wins(self):
+        protocol = self.started()
+        protocol.observe(
+            cd_observation(RoundOutcome.SUCCESS, transmitted=True, acked=True)
+        )
+        assert protocol.finished
+
+    def test_requires_cd(self):
+        protocol = self.started()
+        with pytest.raises(RuntimeError):
+            protocol.observe(
+                Observation(local_round=1, transmitted=False, acked=False)
+            )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            WillardSelection(max_exponent=0)
+
+
+class TestWillardIntegration:
+    @pytest.mark.parametrize("k", [1, 4, 64, 1024])
+    def test_first_success_fast(self, k):
+        times = []
+        for seed in range(5):
+            result = SlotSimulator(
+                k, lambda: WillardSelection(), StaticSchedule(),
+                feedback=FeedbackModel.COLLISION_DETECTION,
+                stop=StopCondition.FIRST_SUCCESS,
+                max_rounds=4096, seed=seed,
+            ).run()
+            assert result.completed
+            times.append(result.first_success_round)
+        # Expected O(log log k): even the mean over 5 runs stays tiny.
+        assert np.mean(times) <= 12 + 4 * math.log2(max(2, math.log2(max(2, k))))
+
+    def test_loglog_flatness(self):
+        """256-fold contention growth moves the mean by only a few rounds."""
+        def mean_time(k):
+            times = []
+            for seed in range(10):
+                result = SlotSimulator(
+                    k, lambda: WillardSelection(), StaticSchedule(),
+                    feedback=FeedbackModel.COLLISION_DETECTION,
+                    stop=StopCondition.FIRST_SUCCESS,
+                    max_rounds=4096, seed=seed,
+                ).run()
+                times.append(result.first_success_round)
+            return float(np.mean(times))
+
+        assert mean_time(4096) - mean_time(16) < 8.0
+
+
+def record(station_id, wake, success):
+    return StationRecord(
+        station_id=station_id,
+        wake_round=wake,
+        first_success_round=success,
+        switch_off_round=success,
+        transmissions=1 if success else 0,
+    )
+
+
+class TestBacklogTrace:
+    def test_single_station_window(self):
+        trace = backlog_trace([record(0, wake=2, success=5)], horizon=8)
+        # Live from round 3 (first actionable) through round 5 (success).
+        assert list(trace) == [0, 0, 1, 1, 1, 0, 0, 0]
+
+    def test_never_successful_persists(self):
+        trace = backlog_trace([record(0, wake=0, success=None)], horizon=5)
+        assert list(trace) == [1, 1, 1, 1, 1]
+
+    def test_overlapping_stations_sum(self):
+        records = [record(0, 0, 4), record(1, 1, 3)]
+        trace = backlog_trace(records, horizon=5)
+        # A live rounds 1-4; B live rounds 2-3.
+        assert list(trace) == [1, 2, 2, 1, 0]
+
+    def test_wake_beyond_horizon_ignored(self):
+        trace = backlog_trace([record(0, wake=10, success=None)], horizon=5)
+        assert list(trace) == [0] * 5
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            backlog_trace([], horizon=0)
+
+
+class TestBacklogStatistics:
+    def test_divergence_detected(self):
+        # 50 stations arriving 1/round, none succeeding: slope ~ 1.
+        records = [record(i, wake=i, success=None) for i in range(50)]
+        stats = backlog_statistics(records, horizon=50)
+        assert stats["late_slope"] > 0.5
+        assert stats["final"] == 50
+
+    def test_drained_system_flat(self):
+        records = [record(i, wake=i, success=i + 2) for i in range(20)]
+        stats = backlog_statistics(records, horizon=40)
+        assert stats["final"] == 0
+        assert abs(stats["late_slope"]) < 0.2
