@@ -34,6 +34,9 @@ class MetricSample:
     rounds: list[float] = field(default_factory=list)
     failures: int = 0
     runs: int = 0
+    #: Wall-clock seconds per executed run (timing capture; excluded from
+    #: the metric row, which must stay a pure function of the seed).
+    run_seconds: list[float] = field(default_factory=list)
 
     def add(self, result: RunResult) -> None:
         """Fold one run in.  Runs that failed to complete count as failures

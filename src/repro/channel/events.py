@@ -56,9 +56,13 @@ class RoundEvent:
         transmitter_count: how many stations transmitted.
         winner: station id of the unique transmitter on SUCCESS, else None.
         message: the delivered message payload on SUCCESS, else None.
-        jammed: True iff an adversarial jammer destroyed the round; a
-            jammed round is always a COLLISION regardless of how many
-            stations transmitted (possibly zero).
+        jammed: True iff an adversarial jammer fired in the round.  A
+            jammed round with at least one transmitter is a COLLISION (the
+            jam destroys the transmission); a jammed round with no
+            transmitters stays SILENCE — the jam destroys nothing, and
+            without collision detection the two are indistinguishable
+            anyway.  Both engines account jammed empty rounds as
+            non-events.
     """
 
     round_index: int
@@ -69,9 +73,12 @@ class RoundEvent:
     jammed: bool = False
 
     def __post_init__(self) -> None:
-        if self.jammed:
+        if self.jammed and self.transmitter_count > 0:
             if self.outcome is not RoundOutcome.COLLISION:
-                raise ValueError("a jammed round must be recorded as COLLISION")
+                raise ValueError(
+                    "a jammed round with transmitters must be recorded as "
+                    "COLLISION"
+                )
         else:
             expected = RoundOutcome.from_transmitter_count(self.transmitter_count)
             if expected is not self.outcome:

@@ -164,9 +164,12 @@ class SlotSimulator:
             # 3. Resolve the channel.
             m = len(transmitters)
             jammed = self.jammer is not None and self.jammer.jams(t, history)
-            if jammed:
+            if jammed and m > 0:
                 outcome = RoundOutcome.COLLISION
             else:
+                # A jam in an empty round destroys nothing: the channel is
+                # silent, exactly as the vectorised engine (which never
+                # materialises transmitter-free rounds) accounts for it.
                 outcome = RoundOutcome.from_transmitter_count(m)
             winner: Optional[Station] = None
             delivered: Optional[object] = None

@@ -219,11 +219,17 @@ class VectorizedSimulator:
         def stop_now(successes: int) -> bool:
             if self.stop is StopCondition.FIRST_SUCCESS:
                 return successes >= 1
-            # Both ALL_* conditions coincide here: a schedule station
-            # switches off exactly on its ack (or never, without acks, in
-            # which case ALL_SWITCHED_OFF is unreachable and ALL_SUCCEEDED
-            # is the meaningful criterion).
             return successes >= self.k
+
+        # Stopping early on the success count is only sound when success
+        # implies switch-off (ack semantics) or the criterion *is* the
+        # success count.  Under ALL_SWITCHED_OFF without acks a station
+        # keeps transmitting (and burning energy) until its schedule
+        # horizon runs out — exactly like the object engine — so the sweep
+        # must consume every event.
+        early_stop = self.stop is not StopCondition.ALL_SWITCHED_OFF or (
+            self.switch_off_on_ack
+        )
 
         n = len(globals_flat)
         idx = 0
@@ -245,14 +251,30 @@ class VectorizedSimulator:
                 if self.switch_off_on_ack:
                     alive[winner] = False
                 rounds_executed = int(t)
-                if stop_now(successes):
+                if early_stop and stop_now(successes):
                     completed = True
                     break
             rounds_executed = int(t)
 
         if not completed:
             rounds_executed = self.max_rounds
-            completed = stop_now(successes) if self.stop is not None else False
+            if self.stop is StopCondition.ALL_SWITCHED_OFF:
+                # A station switches off on its ack (ack semantics) or one
+                # round past its schedule horizon (ScheduleProtocol switches
+                # off at local round ``horizon + 1``); with neither, it never
+                # does and the run cannot complete — matching SlotSimulator.
+                off_rounds: Optional[list[int]] = []
+                for i in range(self.k):
+                    if self.switch_off_on_ack and first_success[i] >= 0:
+                        off_rounds.append(int(first_success[i]))
+                    elif horizon is not None:
+                        off_rounds.append(int(wake[i]) + horizon + 1)
+                    else:
+                        off_rounds = None
+                        break
+                if off_rounds is not None and max(off_rounds) <= self.max_rounds:
+                    completed = True
+                    rounds_executed = max(off_rounds)
 
         records = []
         for i in range(self.k):
@@ -260,7 +282,11 @@ class VectorizedSimulator:
             if self.switch_off_on_ack and success_round is not None:
                 switch_off = success_round
             elif horizon is not None:
-                switch_off = min(int(wake[i]) + horizon, self.max_rounds)
+                # ScheduleProtocol switches off when it first *sees* local
+                # round horizon + 1; the run must last that long for the
+                # switch-off to be observed.
+                off = int(wake[i]) + horizon + 1
+                switch_off = off if off <= rounds_executed else None
             else:
                 switch_off = None
             records.append(

@@ -6,6 +6,8 @@ Usage::
     python -m repro run thm51_wakeup
     python -m repro run table1_latency --reps 3 --seed 7 --csv out/
     python -m repro run fig3_lower_bound_instance --k 2048
+    python -m repro run table1_latency --jobs 4      # 4 worker processes
+    python -m repro suite --scale paper --jobs 0     # all cores
 
 Arbitrary driver keyword overrides are passed as ``--key value`` pairs;
 integers, floats and comma-separated integer tuples are auto-coerced
@@ -65,6 +67,11 @@ def main(argv: list[str] | None = None) -> int:
         "--csv", metavar="DIR", default=None,
         help="also write the raw rows as CSV into DIR",
     )
+    run_parser.add_argument(
+        "--jobs", metavar="N", type=int, default=None,
+        help="worker processes for the run (0 = all cores; default serial); "
+        "results are bit-identical for any worker count",
+    )
 
     suite_parser = subparsers.add_parser(
         "suite", help="run every experiment at a chosen scale"
@@ -81,6 +88,10 @@ def main(argv: list[str] | None = None) -> int:
         "--only", metavar="IDS", default=None,
         help="comma-separated subset of experiment ids",
     )
+    suite_parser.add_argument(
+        "--jobs", metavar="N", type=int, default=None,
+        help="worker processes per experiment (0 = all cores; default serial)",
+    )
 
     args, extra = parser.parse_known_args(argv)
 
@@ -94,7 +105,7 @@ def main(argv: list[str] | None = None) -> int:
 
         only = args.only.split(",") if args.only else None
         try:
-            run_suite(args.scale, out_dir=args.out, only=only)
+            run_suite(args.scale, out_dir=args.out, only=only, jobs=args.jobs)
         except KeyError as error:
             print(error.args[0], file=sys.stderr)
             return 2
@@ -103,11 +114,14 @@ def main(argv: list[str] | None = None) -> int:
     overrides = _parse_overrides(extra)
     csv_dir = args.csv
     try:
-        report = run_experiment(args.experiment, **overrides)
+        report = run_experiment(args.experiment, jobs=args.jobs, **overrides)
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2
     print(report.text)
+    wall = report.timings.get("wall_s")
+    if wall is not None:
+        print(f"\n[{args.experiment}: {wall:.1f}s, jobs={int(report.timings['jobs'])}]")
     if csv_dir is not None:
         path = write_report_csv(report, csv_dir)
         print(f"\n[rows written to {path}]")

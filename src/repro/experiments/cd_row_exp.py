@@ -20,7 +20,9 @@ from repro.channel.feedback import FeedbackModel
 from repro.core.protocols.adaptive_no_k import AdaptiveNoK
 from repro.experiments.harness import (
     ExperimentReport,
+    config_seed,
     repeat_protocol_runs,
+    run_pool,
     worst_sample,
 )
 from repro.util.ascii_chart import render_table
@@ -38,27 +40,39 @@ def run_cd_row(
     pool = [StaticSchedule(), UniformRandomSchedule(span=lambda k: 2 * k)]
     rows = []
     cd_latencies, nocd_latencies = [], []
+    # Interleaved configuration slots: even indices CD, odd indices no-CD,
+    # SEED_STRIDE-spaced so no two configurations share repetition seeds.
+    cd_tasks = [
+        lambda k=k, adversary=adversary, s=config_seed(
+            seed, 2 * (i * len(pool) + j)
+        ): repeat_protocol_runs(
+            k, lambda: CdAimdProtocol(), adversary,
+            reps=reps, seed=s,
+            max_rounds=lambda kk: 200 * kk + 4096,
+            feedback=FeedbackModel.COLLISION_DETECTION,
+            label="CdAimd",
+        )
+        for i, k in enumerate(ks)
+        for j, adversary in enumerate(pool)
+    ]
+    nocd_tasks = [
+        lambda k=k, adversary=adversary, s=config_seed(
+            seed, 2 * (i * len(pool) + j) + 1
+        ): repeat_protocol_runs(
+            k, lambda: AdaptiveNoK(), adversary,
+            reps=max(2, reps // 2),
+            seed=s,
+            max_rounds=lambda kk: 400 * kk + 8192,
+            label="AdaptiveNoK",
+        )
+        for i, k in enumerate(ks)
+        for j, adversary in enumerate(pool)
+    ]
+    flat = run_pool(cd_tasks + nocd_tasks)
+    cd_flat, nocd_flat = flat[: len(cd_tasks)], flat[len(cd_tasks) :]
     for i, k in enumerate(ks):
-        cd_samples, nocd_samples = [], []
-        for j, adversary in enumerate(pool):
-            cd_samples.append(
-                repeat_protocol_runs(
-                    k, lambda: CdAimdProtocol(), adversary,
-                    reps=reps, seed=seed + 1000 * i + 100 * j,
-                    max_rounds=lambda kk: 200 * kk + 4096,
-                    feedback=FeedbackModel.COLLISION_DETECTION,
-                    label="CdAimd",
-                )
-            )
-            nocd_samples.append(
-                repeat_protocol_runs(
-                    k, lambda: AdaptiveNoK(), adversary,
-                    reps=max(2, reps // 2),
-                    seed=seed + 1000 * i + 100 * j + 7,
-                    max_rounds=lambda kk: 400 * kk + 8192,
-                    label="AdaptiveNoK",
-                )
-            )
+        cd_samples = cd_flat[i * len(pool) : (i + 1) * len(pool)]
+        nocd_samples = nocd_flat[i * len(pool) : (i + 1) * len(pool)]
         cd = worst_sample(cd_samples, metric="latency_mean").row()
         nocd = worst_sample(nocd_samples, metric="latency_mean").row()
         cd_latencies.append(cd["latency_mean"])

@@ -1,0 +1,180 @@
+"""Process-pool execution layer for the experiment harness.
+
+Every experiment in this package reduces to an *embarrassingly parallel*
+bag of simulation runs: each run is a pure function of a pre-assigned
+integer seed (see the seeding contract in :mod:`repro.experiments.harness`),
+so runs may execute in any order, on any worker, and still produce
+bit-identical results.  :class:`RunExecutor` exploits exactly that:
+
+* ``jobs == 1`` (the default) executes tasks serially in-process;
+* ``jobs > 1`` fans tasks out over a ``multiprocessing`` pool using the
+  ``fork`` start method.  Tasks are arbitrary zero-argument closures —
+  workers inherit them (and any shared read-only state such as a
+  precomputed ``prob_table``) through the forked address space, so nothing
+  about the existing lambda-heavy driver code needs to become picklable;
+  only task *indices* cross the pipe going in and task *results* coming
+  back.
+
+Determinism contract
+--------------------
+
+``RunExecutor.map`` preserves input order: ``map(tasks)[i]`` is always
+``tasks[i]()``.  Because the harness pre-assigns every run's seed before
+submission (no RNG state is shared between tasks), the same task list
+produces byte-identical results for any worker count — a property the
+tier-1 suite (``tests/test_executor.py``) and
+``benchmarks/test_bench_parallel.py`` both enforce.
+
+Nesting: a task that itself builds a :class:`RunExecutor` (e.g. a pool
+driver whose per-adversary task calls ``repeat_schedule_runs``) runs that
+inner executor serially inside the worker — process pools never nest.
+
+On platforms without ``fork`` (Windows), execution silently degrades to
+serial; results are identical, only slower.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from collections.abc import Callable, Iterable
+from contextlib import contextmanager
+from typing import Any, Optional
+
+__all__ = [
+    "RunExecutor",
+    "set_default_jobs",
+    "get_default_jobs",
+    "resolve_jobs",
+    "use_jobs",
+    "parallelism_available",
+]
+
+#: Process-wide default worker count, set by the CLI's ``--jobs`` flag.
+_default_jobs = 1
+
+#: True inside a pool worker; forces nested executors to run serially.
+_in_worker = False
+
+#: Task list a freshly forked pool inherits (index-addressed by workers).
+_forked_tasks: Optional[list[Callable[[], Any]]] = None
+
+
+def _validate_jobs(jobs: int) -> int:
+    """Normalise a jobs request: ``0`` (or negative) means "all cores"."""
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
+
+
+def set_default_jobs(jobs: int) -> None:
+    """Set the process-wide default worker count (``0`` = all cores)."""
+    global _default_jobs
+    _default_jobs = _validate_jobs(int(jobs))
+
+
+def get_default_jobs() -> int:
+    """The current process-wide default worker count."""
+    return _default_jobs
+
+
+def resolve_jobs(jobs: Optional[int]) -> int:
+    """Resolve an explicit/None jobs request against the process default."""
+    if jobs is None:
+        return _default_jobs
+    return _validate_jobs(int(jobs))
+
+
+@contextmanager
+def use_jobs(jobs: Optional[int]):
+    """Temporarily override the default worker count (None = no change)."""
+    global _default_jobs
+    previous = _default_jobs
+    if jobs is not None:
+        _default_jobs = _validate_jobs(int(jobs))
+    try:
+        yield
+    finally:
+        _default_jobs = previous
+
+
+def parallelism_available() -> bool:
+    """True iff multi-process execution can actually be used here."""
+    return not _in_worker and "fork" in multiprocessing.get_all_start_methods()
+
+
+def in_worker() -> bool:
+    """True iff the caller is running inside a pool worker process."""
+    return _in_worker
+
+
+def _worker_init() -> None:
+    global _in_worker, _default_jobs
+    _in_worker = True
+    _default_jobs = 1  # nested executors degrade to serial
+
+
+def _run_forked_task(index: int) -> tuple[Any, float]:
+    assert _forked_tasks is not None, "worker forked without a task list"
+    start = time.perf_counter()
+    result = _forked_tasks[index]()
+    return result, time.perf_counter() - start
+
+
+class RunExecutor:
+    """Order-preserving map over zero-argument simulation tasks.
+
+    Args:
+        jobs: worker process count; ``None`` uses the process default
+            (see :func:`set_default_jobs`), ``0`` means all CPU cores,
+            ``1`` runs serially in-process.
+
+    After :meth:`map` returns, :attr:`last_task_seconds` holds the
+    per-task wall-clock durations (same order as the results) and
+    :attr:`last_wall_seconds` the end-to-end duration of the call —
+    the raw material for the timing capture on ``ExperimentReport``.
+    """
+
+    def __init__(self, jobs: Optional[int] = None):
+        self.jobs = resolve_jobs(jobs)
+        self.last_task_seconds: list[float] = []
+        self.last_wall_seconds: float = 0.0
+
+    def map(self, tasks: Iterable[Callable[[], Any]]) -> list[Any]:
+        """Execute every task, returning results in input order."""
+        task_list = list(tasks)
+        start = time.perf_counter()
+        workers = min(self.jobs, len(task_list))
+        if workers > 1 and parallelism_available():
+            timed = self._map_forked(task_list, workers)
+        else:
+            timed = [_time_one(task) for task in task_list]
+        self.last_wall_seconds = time.perf_counter() - start
+        self.last_task_seconds = [seconds for _, seconds in timed]
+        return [result for result, _ in timed]
+
+    @staticmethod
+    def _map_forked(
+        task_list: list[Callable[[], Any]], workers: int
+    ) -> list[tuple[Any, float]]:
+        global _forked_tasks
+        context = multiprocessing.get_context("fork")
+        chunksize = max(1, len(task_list) // (workers * 4))
+        _forked_tasks = task_list
+        try:
+            # The pool must fork *after* the global is set: children inherit
+            # the task closures through copy-on-write memory, so only the
+            # integer indices (and the results) are ever pickled.
+            with context.Pool(workers, initializer=_worker_init) as pool:
+                return pool.map(
+                    _run_forked_task, range(len(task_list)), chunksize=chunksize
+                )
+        finally:
+            _forked_tasks = None
+
+
+def _time_one(task: Callable[[], Any]) -> tuple[Any, float]:
+    start = time.perf_counter()
+    result = task()
+    return result, time.perf_counter() - start

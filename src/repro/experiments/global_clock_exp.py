@@ -22,7 +22,9 @@ from repro.analysis.scaling import fit_all
 from repro.core.protocols.global_clock import GlobalClockUFR
 from repro.experiments.harness import (
     ExperimentReport,
+    config_seed,
     repeat_protocol_runs,
+    run_pool,
     worst_sample,
 )
 from repro.util.ascii_chart import render_table
@@ -43,22 +45,26 @@ def run_global_clock(
         UniformRandomSchedule(span=lambda k: 2 * k),
         TwoWavesSchedule(delay=lambda k: 3 * k),
     ]
+    tasks = [
+        lambda k=k, adversary=adversary, s=config_seed(
+            seed, i * len(pool) + j
+        ): repeat_protocol_runs(
+            k,
+            lambda: GlobalClockUFR(q),
+            adversary,
+            reps=reps,
+            seed=s,
+            max_rounds=lambda kk: 400 * kk + 8192,
+            label=f"GlobalClockUFR@{adversary.name}",
+        )
+        for i, k in enumerate(ks)
+        for j, adversary in enumerate(pool)
+    ]
+    flat_samples = run_pool(tasks)
     rows = []
     worst_latencies = []
     for i, k in enumerate(ks):
-        samples = []
-        for j, adversary in enumerate(pool):
-            samples.append(
-                repeat_protocol_runs(
-                    k,
-                    lambda: GlobalClockUFR(q),
-                    adversary,
-                    reps=reps,
-                    seed=seed + 1000 * i + 100 * j,
-                    max_rounds=lambda kk: 400 * kk + 8192,
-                    label=f"GlobalClockUFR@{adversary.name}",
-                )
-            )
+        samples = flat_samples[i * len(pool) : (i + 1) * len(pool)]
         worst = worst_sample(samples, metric="latency_mean")
         row = worst.row()
         worst_latencies.append(row["latency_mean"])

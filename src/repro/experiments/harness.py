@@ -1,8 +1,26 @@
 """Experiment harness: repeated runs, sweeps over ``k``, worst-case pools.
 
+Seeding contract
+----------------
+
 All experiment drivers in this package are deterministic functions of their
 ``seed`` argument: repetition ``r`` of configuration ``i`` uses seed
-``seed + 1000 * i + r``, so any reported number can be regenerated exactly.
+``config_seed(seed, i) + r = seed + i * SEED_STRIDE + r``, so any reported
+number can be regenerated exactly from its run seed.  ``SEED_STRIDE`` is
+``2**32``, which keeps the per-configuration seed streams disjoint for any
+repetition count below four billion (the historical ``seed + 1000*i + r``
+scheme collided across configurations whenever ``reps >= 1000``).
+
+Parallel execution
+------------------
+
+Every helper below accepts a ``jobs`` argument (``None`` = the process
+default set by the CLI's ``--jobs`` flag) and fans its runs out through
+:class:`~repro.experiments.executor.RunExecutor`.  Because each run's seed
+is pre-assigned before submission, results are bit-identical for any
+worker count; sweeps parallelize across *both* sweep points and
+repetitions.  Per-run wall-clock durations land in
+``MetricSample.run_seconds``.
 """
 
 from __future__ import annotations
@@ -18,29 +36,129 @@ from repro.channel.results import RunResult, StopCondition
 from repro.channel.simulator import SlotSimulator
 from repro.channel.vectorized import VectorizedSimulator
 from repro.core.protocol import ProbabilitySchedule, Protocol
+from repro.experiments.executor import RunExecutor
 
 __all__ = [
+    "SEED_STRIDE",
+    "config_seed",
+    "run_seed",
     "ExperimentReport",
     "repeat_schedule_runs",
     "repeat_protocol_runs",
     "sweep_schedule",
     "sweep_protocol",
+    "run_pool",
     "worst_sample",
 ]
+
+#: Seed spacing between experiment configurations.  Wide enough that the
+#: per-configuration repetition streams ``[config_seed, config_seed + reps)``
+#: can never overlap for any realistic repetition count.
+SEED_STRIDE = 2**32
+
+
+def config_seed(seed: int, index: int) -> int:
+    """Base seed of configuration ``index`` in a sweep started at ``seed``."""
+    return seed + index * SEED_STRIDE
+
+
+def run_seed(seed: int, index: int, rep: int) -> int:
+    """Exact seed of repetition ``rep`` of configuration ``index``.
+
+    The regenerability guarantee: rerunning the simulator with this seed
+    (and the configuration's other parameters) reproduces the run's
+    ``MetricSample`` contribution bit-for-bit.
+    """
+    return config_seed(seed, index) + rep
 
 
 @dataclass(slots=True)
 class ExperimentReport:
-    """What every experiment driver returns: printable text + raw rows."""
+    """What every experiment driver returns: printable text + raw rows.
+
+    ``timings`` carries wall-clock capture: the registry's
+    :func:`~repro.experiments.registry.run_experiment` records the driver's
+    end-to-end duration (``wall_s``) and the worker count it ran with
+    (``jobs``); drivers may add their own entries.
+    """
 
     experiment_id: str
     title: str
     rows: list[dict[str, object]] = field(default_factory=list)
     text: str = ""
     notes: str = ""
+    timings: dict[str, float] = field(default_factory=dict)
 
     def __str__(self) -> str:
         return self.text
+
+
+def _fold_sample(
+    label: str,
+    k: int,
+    results: Iterable[RunResult],
+    seconds: Iterable[float],
+) -> MetricSample:
+    """Fold executed runs into a sample, serially and in submission order."""
+    sample = MetricSample(label=label, k=k)
+    for result in results:
+        sample.add(result)
+    sample.run_seconds.extend(seconds)
+    return sample
+
+
+def _schedule_run_task(
+    k: int,
+    schedule: ProbabilitySchedule,
+    adversary: WakeSchedule,
+    *,
+    seed: int,
+    horizon: int,
+    prob_table,
+    switch_off_on_ack: bool,
+    stop: StopCondition,
+) -> Callable[[], RunResult]:
+    """One pre-seeded fast-engine run, sharing the precomputed prob_table."""
+
+    def task() -> RunResult:
+        return VectorizedSimulator(
+            k,
+            schedule,
+            adversary,
+            switch_off_on_ack=switch_off_on_ack,
+            stop=stop,
+            max_rounds=horizon,
+            seed=seed,
+            prob_table=prob_table,
+        ).run()
+
+    return task
+
+
+def _protocol_run_task(
+    k: int,
+    protocol_factory: Callable[[], Protocol],
+    adversary: WakeSchedule | AdaptiveAdversary,
+    *,
+    seed: int,
+    horizon: int,
+    feedback: FeedbackModel,
+    stop: StopCondition,
+) -> Callable[[], RunResult]:
+    """One pre-seeded object-engine run."""
+
+    def task() -> RunResult:
+        return SlotSimulator(
+            k,
+            protocol_factory,
+            adversary,
+            feedback=feedback,
+            stop=stop,
+            max_rounds=horizon,
+            seed=seed,
+        ).run()
+
+    return task
 
 
 def repeat_schedule_runs(
@@ -54,25 +172,35 @@ def repeat_schedule_runs(
     switch_off_on_ack: bool = True,
     stop: StopCondition = StopCondition.ALL_SWITCHED_OFF,
     label: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> MetricSample:
-    """Run a non-adaptive schedule ``reps`` times on the fast engine."""
+    """Run a non-adaptive schedule ``reps`` times on the fast engine.
+
+    The probability table is computed once here and shared with every
+    repetition (and, under ``jobs > 1``, inherited read-only by the
+    worker processes) instead of being rebuilt per run.
+    """
     schedule = schedule_factory(k)
     horizon = max_rounds(k)
     prob_table = schedule.probabilities(horizon)
-    sample = MetricSample(label=label or schedule.name, k=k)
-    for r in range(reps):
-        result = VectorizedSimulator(
+    tasks = [
+        _schedule_run_task(
             k,
             schedule,
             adversary,
+            seed=seed + r,
+            horizon=horizon,
+            prob_table=prob_table,
             switch_off_on_ack=switch_off_on_ack,
             stop=stop,
-            max_rounds=horizon,
-            seed=seed + r,
-            prob_table=prob_table,
-        ).run()
-        sample.add(result)
-    return sample
+        )
+        for r in range(reps)
+    ]
+    executor = RunExecutor(jobs)
+    results = executor.map(tasks)
+    return _fold_sample(
+        label or schedule.name, k, results, executor.last_task_seconds
+    )
 
 
 def repeat_protocol_runs(
@@ -86,21 +214,26 @@ def repeat_protocol_runs(
     feedback: FeedbackModel = FeedbackModel.ACK_ONLY,
     stop: StopCondition = StopCondition.ALL_SWITCHED_OFF,
     label: str = "",
+    jobs: Optional[int] = None,
 ) -> MetricSample:
     """Run an arbitrary protocol ``reps`` times on the object engine."""
-    sample = MetricSample(label=label or getattr(protocol_factory, "protocol_name", "protocol"), k=k)
-    for r in range(reps):
-        result = SlotSimulator(
+    horizon = max_rounds(k)
+    tasks = [
+        _protocol_run_task(
             k,
             protocol_factory,
             adversary,
+            seed=seed + r,
+            horizon=horizon,
             feedback=feedback,
             stop=stop,
-            max_rounds=max_rounds(k),
-            seed=seed + r,
-        ).run()
-        sample.add(result)
-    return sample
+        )
+        for r in range(reps)
+    ]
+    executor = RunExecutor(jobs)
+    results = executor.map(tasks)
+    label = label or getattr(protocol_factory, "protocol_name", "protocol")
+    return _fold_sample(label, k, results, executor.last_task_seconds)
 
 
 def sweep_schedule(
@@ -114,19 +247,42 @@ def sweep_schedule(
     switch_off_on_ack: bool = True,
     stop: StopCondition = StopCondition.ALL_SWITCHED_OFF,
     label: Optional[str] = None,
+    jobs: Optional[int] = None,
 ) -> list[MetricSample]:
-    """One :func:`repeat_schedule_runs` per contention size."""
+    """One :func:`repeat_schedule_runs` per contention size.
+
+    All ``len(ks) * reps`` runs are submitted to the executor as one flat
+    task bag, so parallelism spans sweep points as well as repetitions.
+    """
+    tasks = []
+    labels = []
+    for i, k in enumerate(ks):
+        schedule = schedule_factory(k)
+        horizon = max_rounds(k)
+        prob_table = schedule.probabilities(horizon)
+        labels.append(label or schedule.name)
+        for r in range(reps):
+            tasks.append(
+                _schedule_run_task(
+                    k,
+                    schedule,
+                    adversary,
+                    seed=run_seed(seed, i, r),
+                    horizon=horizon,
+                    prob_table=prob_table,
+                    switch_off_on_ack=switch_off_on_ack,
+                    stop=stop,
+                )
+            )
+    executor = RunExecutor(jobs)
+    results = executor.map(tasks)
+    seconds = executor.last_task_seconds
     return [
-        repeat_schedule_runs(
+        _fold_sample(
+            labels[i],
             k,
-            schedule_factory,
-            adversary,
-            reps=reps,
-            seed=seed + 1000 * i,
-            max_rounds=max_rounds,
-            switch_off_on_ack=switch_off_on_ack,
-            stop=stop,
-            label=label,
+            results[i * reps : (i + 1) * reps],
+            seconds[i * reps : (i + 1) * reps],
         )
         for i, k in enumerate(ks)
     ]
@@ -143,22 +299,53 @@ def sweep_protocol(
     feedback: FeedbackModel = FeedbackModel.ACK_ONLY,
     stop: StopCondition = StopCondition.ALL_SWITCHED_OFF,
     label: str = "",
+    jobs: Optional[int] = None,
 ) -> list[MetricSample]:
-    """One :func:`repeat_protocol_runs` per contention size."""
+    """One :func:`repeat_protocol_runs` per contention size (flat fan-out)."""
+    tasks = []
+    for i, k in enumerate(ks):
+        horizon = max_rounds(k)
+        for r in range(reps):
+            tasks.append(
+                _protocol_run_task(
+                    k,
+                    protocol_factory,
+                    adversary,
+                    seed=run_seed(seed, i, r),
+                    horizon=horizon,
+                    feedback=feedback,
+                    stop=stop,
+                )
+            )
+    executor = RunExecutor(jobs)
+    results = executor.map(tasks)
+    seconds = executor.last_task_seconds
+    sample_label = label or getattr(protocol_factory, "protocol_name", "protocol")
     return [
-        repeat_protocol_runs(
+        _fold_sample(
+            sample_label,
             k,
-            protocol_factory,
-            adversary,
-            reps=reps,
-            seed=seed + 1000 * i,
-            max_rounds=max_rounds,
-            feedback=feedback,
-            stop=stop,
-            label=label,
+            results[i * reps : (i + 1) * reps],
+            seconds[i * reps : (i + 1) * reps],
         )
         for i, k in enumerate(ks)
     ]
+
+
+def run_pool(
+    runners: Iterable[Callable[[], MetricSample]],
+    *,
+    jobs: Optional[int] = None,
+) -> list[MetricSample]:
+    """Execute independent sample-producing callables across the executor.
+
+    The adversary-pool drivers use this to fan one task per
+    (sweep point, adversary) pair out over workers; each runner typically
+    calls :func:`repeat_schedule_runs` / :func:`repeat_protocol_runs`,
+    which degrade to serial execution inside a worker (pools never nest).
+    Order is preserved.
+    """
+    return RunExecutor(jobs).map(list(runners))
 
 
 def worst_sample(samples: Iterable[MetricSample], metric: str = "latency_mean") -> MetricSample:
@@ -167,13 +354,31 @@ def worst_sample(samples: Iterable[MetricSample], metric: str = "latency_mean") 
     The paper's upper bounds quantify over *every* adversary strategy; the
     empirical analogue runs a pool of concrete strategies and reports the
     worst observed.
+
+    Raises:
+        ValueError: if ``samples`` is empty, or ``metric`` is absent (or
+            NaN) in every sample's row — silently returning an arbitrary
+            sample would let a typo'd metric name masquerade as a result.
     """
     samples = list(samples)
     if not samples:
         raise ValueError("worst_sample needs at least one sample")
 
-    def key(sample: MetricSample) -> float:
+    def value_of(sample: MetricSample) -> Optional[float]:
         value = sample.row().get(metric)
-        return float("-inf") if value is None or value != value else float(value)
+        if value is None or value != value:  # absent or NaN
+            return None
+        return float(value)
 
-    return max(samples, key=key)
+    values = [value_of(sample) for sample in samples]
+    if all(value is None for value in values):
+        known = ", ".join(sorted(samples[0].row()))
+        raise ValueError(
+            f"metric {metric!r} is absent or NaN in every sample; "
+            f"row keys: {known}"
+        )
+    index = max(
+        range(len(samples)),
+        key=lambda i: float("-inf") if values[i] is None else values[i],
+    )
+    return samples[index]

@@ -12,7 +12,11 @@ and returns an :class:`~repro.experiments.harness.ExperimentReport`.
 
 from __future__ import annotations
 
+import time
 from collections.abc import Callable
+from typing import Optional
+
+from repro.experiments.executor import resolve_jobs, use_jobs
 
 from repro.experiments.ablation import run_ablation
 from repro.experiments.adaptive_adversary_exp import run_adaptive_adversary_check
@@ -75,9 +79,23 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentReport]] = {
 }
 
 
-def run_experiment(experiment_id: str, **overrides) -> ExperimentReport:
-    """Run one experiment from the registry by its DESIGN.md id."""
+def run_experiment(
+    experiment_id: str, *, jobs: Optional[int] = None, **overrides
+) -> ExperimentReport:
+    """Run one experiment from the registry by its DESIGN.md id.
+
+    ``jobs`` (worker process count; ``0`` = all cores) applies to every
+    harness call the driver makes, via the executor's process default;
+    results are bit-identical for any worker count.  The report's
+    ``timings`` gains the driver's wall-clock (``wall_s``) and the worker
+    count it ran with (``jobs``).
+    """
     if experiment_id not in EXPERIMENTS:
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
-    return EXPERIMENTS[experiment_id](**overrides)
+    start = time.perf_counter()
+    with use_jobs(jobs):
+        report = EXPERIMENTS[experiment_id](**overrides)
+    report.timings["wall_s"] = time.perf_counter() - start
+    report.timings["jobs"] = float(resolve_jobs(jobs))
+    return report

@@ -31,8 +31,10 @@ from repro.core.protocols.non_adaptive_with_k import NonAdaptiveWithK
 from repro.core.protocols.sublinear_decrease import SublinearDecrease
 from repro.experiments.harness import (
     ExperimentReport,
+    config_seed,
     repeat_protocol_runs,
     repeat_schedule_runs,
+    run_pool,
     worst_sample,
 )
 from repro.experiments.table1 import (
@@ -47,7 +49,11 @@ __all__ = ["run_separation"]
 
 
 def _worst_latency(k, runner, seed):
-    samples = [runner(k, adv, seed + 100 * j) for j, adv in enumerate(oblivious_pool())]
+    tasks = [
+        lambda adv=adv, s=config_seed(seed, j): runner(k, adv, s)
+        for j, adv in enumerate(oblivious_pool())
+    ]
+    samples = run_pool(tasks)
     return worst_sample(samples, metric="latency_mean").row()["latency_mean"]
 
 
@@ -63,7 +69,11 @@ def run_separation(
     """Latency ratios: unknown-k / known-k and adaptive / known-k."""
     rows = []
     for i, k in enumerate(ks):
-        base_seed = seed + 1000 * i
+        # Each sweep point owns 16 SEED_STRIDE-spaced configuration slots:
+        # 0-3 known-k pool, 4-7 unknown-k pool, 8-11 adaptive pool,
+        # 12-13 static controls.  No two configurations can share a
+        # repetition seed, whatever ``reps`` is.
+        base_seed = config_seed(seed, 16 * i)
         known = _worst_latency(
             k,
             lambda kk, adv, s: repeat_schedule_runs(
@@ -76,10 +86,10 @@ def run_separation(
             k,
             lambda kk, adv, s: repeat_schedule_runs(
                 kk, lambda x: SublinearDecrease(b), adv,
-                reps=reps, seed=s + 31,
+                reps=reps, seed=s,
                 max_rounds=_sublinear_rounds_factory(b, with_ack=True),
             ),
-            base_seed,
+            config_seed(base_seed, 4),
         )
         row = {
             "k": k,
@@ -94,10 +104,10 @@ def run_separation(
                 k,
                 lambda kk, adv, s: repeat_protocol_runs(
                     kk, lambda: AdaptiveNoK(), adv,
-                    reps=max(2, reps // 2), seed=s + 97,
+                    reps=max(2, reps // 2), seed=s,
                     max_rounds=_adaptive_rounds,
                 ),
-                base_seed,
+                config_seed(base_seed, 8),
             )
             row["adaptive"] = adaptive
             row["ratio_adaptive/known"] = adaptive / known
@@ -106,11 +116,12 @@ def run_separation(
         # Static-model control at the same k (simultaneous starts).
         static_known = repeat_schedule_runs(
             k, lambda x: NonAdaptiveWithK(x, c), StaticSchedule(),
-            reps=reps, seed=base_seed + 7, max_rounds=_known_k_rounds,
+            reps=reps, seed=config_seed(base_seed, 12),
+            max_rounds=_known_k_rounds,
         ).row()["latency_mean"]
         static_unknown = repeat_schedule_runs(
             k, lambda x: SublinearDecrease(b), StaticSchedule(),
-            reps=reps, seed=base_seed + 13,
+            reps=reps, seed=config_seed(base_seed, 13),
             max_rounds=_sublinear_rounds_factory(b, with_ack=True),
         ).row()["latency_mean"]
         row["static_ratio"] = static_unknown / static_known

@@ -87,12 +87,15 @@ def run_suite(
     *,
     out_dir: Optional[str | Path] = None,
     only: Optional[Iterable[str]] = None,
+    jobs: Optional[int] = None,
     progress: Callable[[str], None] = print,
 ) -> dict[str, ExperimentReport]:
     """Run every (or a subset of) registered experiment(s) at a scale.
 
     Returns ``{experiment_id: report}``; optionally writes
-    ``<out_dir>/<id>.txt`` and ``<id>.csv``.
+    ``<out_dir>/<id>.txt`` and ``<id>.csv``.  ``jobs`` is the worker
+    process count handed to every experiment (``0`` = all cores); rows
+    are bit-identical for any worker count.
     """
     overrides = suite_overrides(scale)
     wanted = set(only) if only is not None else set(EXPERIMENTS)
@@ -107,8 +110,13 @@ def run_suite(
     reports: dict[str, ExperimentReport] = {}
     for experiment_id in sorted(wanted):
         progress(f"[suite:{scale}] running {experiment_id} ...")
-        report = run_experiment(experiment_id, **overrides.get(experiment_id, {}))
+        report = run_experiment(
+            experiment_id, jobs=jobs, **overrides.get(experiment_id, {})
+        )
         reports[experiment_id] = report
+        wall = report.timings.get("wall_s")
+        if wall is not None:
+            progress(f"[suite:{scale}]   {experiment_id} done in {wall:.1f}s")
         if out_path is not None:
             (out_path / f"{experiment_id}.txt").write_text(report.text + "\n")
             if report.rows:

@@ -33,8 +33,10 @@ from repro.core.protocols.non_adaptive_with_k import NonAdaptiveWithK
 from repro.core.protocols.sublinear_decrease import SublinearDecrease
 from repro.experiments.harness import (
     ExperimentReport,
+    config_seed,
     repeat_protocol_runs,
     repeat_schedule_runs,
+    run_pool,
     worst_sample,
 )
 from repro.util.ascii_chart import log_log_chart, render_table
@@ -78,14 +80,25 @@ def _sweep_worst(
     *,
     metric: str,
 ) -> list[MetricSample]:
-    """Apply ``runner(k, adversary, seed)`` over the pool; keep the worst."""
-    out = []
-    for i, k in enumerate(ks):
-        pool_samples = []
-        for j, adversary in enumerate(oblivious_pool()):
-            pool_samples.append(runner(k, adversary, 1000 * i + 100 * j))
-        out.append(worst_sample(pool_samples, metric=metric))
-    return out
+    """Apply ``runner(k, adversary, seed_offset)`` over the pool; keep the worst.
+
+    One task per (sweep point, adversary) pair, fanned out across the
+    executor; seed offsets are spaced by ``SEED_STRIDE`` so no two
+    (k, adversary) configurations can ever share a repetition seed.
+    """
+    pool = oblivious_pool()
+    tasks = [
+        lambda k=k, adv=adv, off=config_seed(0, i * len(pool) + j): runner(
+            k, adv, off
+        )
+        for i, k in enumerate(ks)
+        for j, adv in enumerate(pool)
+    ]
+    samples = run_pool(tasks)
+    return [
+        worst_sample(samples[i * len(pool) : (i + 1) * len(pool)], metric=metric)
+        for i in range(len(ks))
+    ]
 
 
 def _protocol_rows(ks, samples_by_protocol, value_key):

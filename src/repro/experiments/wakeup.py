@@ -21,7 +21,9 @@ from repro.channel.results import StopCondition
 from repro.core.protocols.decrease_slowly import DecreaseSlowly
 from repro.experiments.harness import (
     ExperimentReport,
+    config_seed,
     repeat_schedule_runs,
+    run_pool,
     worst_sample,
 )
 from repro.util.ascii_chart import render_table
@@ -43,26 +45,32 @@ def run_wakeup(
         UniformRandomSchedule(span=lambda k: k),
         StaggeredSchedule(gap=1),
     ]
+    tasks = [
+        lambda k=k, adversary=adversary, s=config_seed(
+            seed, i * len(pool) + j
+        ): repeat_schedule_runs(
+            k,
+            lambda kk: schedule,
+            adversary,
+            reps=reps,
+            seed=s,
+            max_rounds=lambda kk: int(64 * q * kk) + 2048,
+            stop=StopCondition.FIRST_SUCCESS,
+            label=f"DecreaseSlowly@{adversary.name}",
+        )
+        for i, k in enumerate(ks)
+        for j, adversary in enumerate(pool)
+    ]
+    flat_samples = run_pool(tasks)
     rows = []
     worst_by_k = []
     for i, k in enumerate(ks):
-        samples = []
-        for j, adversary in enumerate(pool):
-            sample = repeat_schedule_runs(
-                k,
-                lambda kk: schedule,
-                adversary,
-                reps=reps,
-                seed=seed + 1000 * i + 100 * j,
-                max_rounds=lambda kk: int(64 * q * kk) + 2048,
-                stop=StopCondition.FIRST_SUCCESS,
-                label=f"DecreaseSlowly@{adversary.name}",
-            )
-            samples.append(sample)
+        samples = flat_samples[i * len(pool) : (i + 1) * len(pool)]
+        for sample in samples:
             rows.append(
                 {
                     "k": k,
-                    "adversary": adversary.name,
+                    "adversary": sample.label.split("@", 1)[-1],
                     "wakeup_mean": sample.row()["first_success_mean"],
                     "failures": sample.failures,
                 }

@@ -102,6 +102,30 @@ class TestSimulatorEdges:
         assert RoundOutcome.COLLISION in observed
 
     def test_jammer_with_cd_reports_collision(self):
+        # A jammed round carrying a transmission reads as COLLISION under
+        # CD feedback (indistinguishable from a real collision).
+        observed = []
+
+        class Recorder(ScheduleProtocol):
+            def observe(self, observation):
+                observed.append(observation.channel)
+                super().observe(observation)
+
+        SlotSimulator(
+            1,
+            lambda: Recorder(Constant(1.0)),
+            StaticSchedule(),
+            feedback=FeedbackModel.COLLISION_DETECTION,
+            max_rounds=5,
+            seed=5,
+            jammer=RandomJammer(0.999999),
+        ).run()
+        assert observed
+        assert all(o is RoundOutcome.COLLISION for o in observed)
+
+    def test_jammer_with_cd_empty_round_is_silence(self):
+        # A jam with no transmitters destroys nothing: CD stations hear
+        # SILENCE, exactly as the vectorised engine accounts it.
         observed = []
 
         class Recorder(ScheduleProtocol):
@@ -118,7 +142,8 @@ class TestSimulatorEdges:
             seed=5,
             jammer=RandomJammer(0.999999),
         ).run()
-        assert all(o is RoundOutcome.COLLISION for o in observed)
+        assert observed
+        assert all(o is RoundOutcome.SILENCE for o in observed)
 
     def test_stop_first_success_never_met_incomplete(self):
         result = SlotSimulator(

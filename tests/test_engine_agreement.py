@@ -94,6 +94,138 @@ class TestContentionAgreement:
         assert {r.success_count for r in vec} == {k}
 
 
+class TestJammingAgreement:
+    """Both engines must account jammed rounds identically: a jammed round
+    with transmitters is a COLLISION, a jammed empty round destroys nothing.
+    ``PeriodicJammer`` is deterministic, so the two engines see the *same*
+    jam pattern and only the sampling mechanism differs."""
+
+    @staticmethod
+    def _jam_rounds(period, burst, max_rounds):
+        # Mirror of PeriodicJammer.jams for the vectorised engine.
+        return [t for t in range(1, max_rounds + 1) if t % period < burst]
+
+    def test_periodic_jam_latency_and_energy_means(self):
+        from repro.channel.jamming import PeriodicJammer
+
+        k, reps = 24, 15
+        schedule = NonAdaptiveWithK(k, 4)
+        max_rounds = 80 * k
+        wake = FixedSchedule(sorted(int(3 * i) for i in range(k)))
+        obj = []
+        for r in range(reps):
+            obj.append(
+                SlotSimulator(
+                    k, lambda: ScheduleProtocol(schedule), wake,
+                    stop=StopCondition.ALL_SWITCHED_OFF,
+                    max_rounds=max_rounds, seed=100 + r,
+                    jammer=PeriodicJammer(5, 1),
+                ).run()
+            )
+        vec = [
+            VectorizedSimulator(
+                k, schedule, wake,
+                stop=StopCondition.ALL_SWITCHED_OFF,
+                max_rounds=max_rounds, seed=20_100 + r,
+                jam_rounds=self._jam_rounds(5, 1, max_rounds),
+            ).run()
+            for r in range(reps)
+        ]
+        succ_obj = np.mean([r.success_count for r in obj])
+        succ_vec = np.mean([r.success_count for r in vec])
+        assert succ_vec == pytest.approx(succ_obj, abs=0.1 * k)
+        lat_obj = np.mean([r.max_latency for r in obj if r.completed])
+        lat_vec = np.mean([r.max_latency for r in vec if r.completed])
+        assert lat_vec == pytest.approx(lat_obj, rel=0.35)
+        e_obj = np.mean([r.total_transmissions for r in obj])
+        e_vec = np.mean([r.total_transmissions for r in vec])
+        assert e_vec == pytest.approx(e_obj, rel=0.25)
+
+    def test_jammed_empty_rounds_are_non_events_in_both(self):
+        """A jammer firing into an empty channel must not change anything.
+        Regression for the divergence where the object engine recorded
+        phantom COLLISION outcomes for transmitter-free jammed rounds."""
+        from repro.channel.jamming import PeriodicJammer
+        from repro.core.protocols.sublinear_decrease import SublinearDecrease
+
+        k = 12
+        schedule = SublinearDecrease(3)
+        max_rounds = 4_000
+        # Late wakes: the jam bursts before round 50 hit an empty channel.
+        wake = FixedSchedule([50 + 5 * i for i in range(k)])
+        kwargs = dict(stop=StopCondition.FIRST_SUCCESS, max_rounds=max_rounds)
+        # burst=0 never jams but keeps the RNG stream layout identical to
+        # the jammed run (a present jammer consumes one generator slot).
+        plain = SlotSimulator(
+            k, lambda: ScheduleProtocol(schedule), wake, seed=7,
+            jammer=PeriodicJammer(1_000, 0), **kwargs
+        ).run()
+        jammed = SlotSimulator(
+            k, lambda: ScheduleProtocol(schedule), wake, seed=7,
+            jammer=PeriodicJammer(1_000, 40), **kwargs
+        ).run()
+        # Jam bursts at rounds [0, 40) only — all before any station wakes.
+        assert jammed.first_success_round == plain.first_success_round
+        vec_plain = VectorizedSimulator(
+            k, schedule, wake, seed=7, **kwargs
+        ).run()
+        vec_jammed = VectorizedSimulator(
+            k, schedule, wake, seed=7,
+            jam_rounds=[t for t in range(1, 41)], **kwargs
+        ).run()
+        assert vec_jammed.first_success_round == vec_plain.first_success_round
+
+
+class TestNoAckSwitchOffAgreement:
+    """With ``switch_off_on_ack=False`` and ``ALL_SWITCHED_OFF``, switch-off
+    is driven purely by the schedule horizon — so the two engines must agree
+    *exactly*, not just distributionally."""
+
+    def test_finite_horizon_exact_agreement(self):
+        k = 8
+        schedule = NonAdaptiveWithK(k, 4)
+        horizon = schedule.horizon()
+        assert horizon is not None
+        wake = FixedSchedule([0, 2, 5, 9, 14, 20, 27, 35])
+        max_rounds = 35 + horizon + 100
+        kwargs = dict(
+            stop=StopCondition.ALL_SWITCHED_OFF, max_rounds=max_rounds
+        )
+        obj = SlotSimulator(
+            k,
+            lambda: ScheduleProtocol(schedule, switch_off_on_ack=False),
+            wake, seed=11, **kwargs,
+        ).run()
+        vec = VectorizedSimulator(
+            k, schedule, wake, switch_off_on_ack=False, seed=12, **kwargs
+        ).run()
+        assert obj.completed and vec.completed
+        assert obj.rounds_executed == vec.rounds_executed == 35 + horizon + 1
+        obj_off = [r.switch_off_round for r in obj.records]
+        vec_off = [r.switch_off_round for r in vec.records]
+        expected = [w + horizon + 1 for w in [0, 2, 5, 9, 14, 20, 27, 35]]
+        assert sorted(obj_off) == sorted(vec_off) == sorted(expected)
+
+    def test_horizonless_never_completes(self):
+        k = 6
+        schedule = DecreaseSlowly(2)
+        assert schedule.horizon() is None
+        kwargs = dict(stop=StopCondition.ALL_SWITCHED_OFF, max_rounds=500)
+        obj = SlotSimulator(
+            k,
+            lambda: ScheduleProtocol(schedule, switch_off_on_ack=False),
+            StaticSchedule(), seed=13, **kwargs,
+        ).run()
+        vec = VectorizedSimulator(
+            k, schedule, StaticSchedule(),
+            switch_off_on_ack=False, seed=14, **kwargs,
+        ).run()
+        assert not obj.completed and not vec.completed
+        assert obj.rounds_executed == vec.rounds_executed == 500
+        assert all(r.switch_off_round is None for r in obj.records)
+        assert all(r.switch_off_round is None for r in vec.records)
+
+
 class TestNoAckAgreement:
     def test_no_ack_first_success_per_station(self):
         from repro.core.protocols.sublinear_decrease import SublinearDecrease

@@ -1,0 +1,205 @@
+"""Tests for the process-pool execution layer and its determinism contract:
+the same seed must produce bit-identical ``MetricSample`` rows regardless of
+worker count (``--jobs 1`` == ``--jobs 4``)."""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+from repro.adversary.oblivious import StaticSchedule, UniformRandomSchedule
+from repro.core.protocols.non_adaptive_with_k import NonAdaptiveWithK
+from repro.core.protocols.suniform import SUniform
+from repro.experiments.executor import (
+    RunExecutor,
+    get_default_jobs,
+    in_worker,
+    parallelism_available,
+    resolve_jobs,
+    set_default_jobs,
+    use_jobs,
+)
+from repro.experiments.harness import (
+    repeat_protocol_runs,
+    repeat_schedule_runs,
+    sweep_protocol,
+    sweep_schedule,
+)
+from repro.experiments.registry import run_experiment
+
+needs_fork = pytest.mark.skipif(
+    not parallelism_available(), reason="fork start method unavailable"
+)
+
+
+def _square(i):
+    return lambda: i * i
+
+
+class TestRunExecutor:
+    def test_serial_map_preserves_order(self):
+        executor = RunExecutor(1)
+        assert executor.map([_square(i) for i in range(10)]) == [
+            i * i for i in range(10)
+        ]
+        assert len(executor.last_task_seconds) == 10
+
+    @needs_fork
+    def test_parallel_map_matches_serial(self):
+        tasks = [_square(i) for i in range(23)]
+        assert RunExecutor(4).map(tasks) == RunExecutor(1).map(tasks)
+
+    @needs_fork
+    def test_tasks_run_in_worker_processes(self):
+        flags = RunExecutor(2).map([in_worker for _ in range(4)])
+        assert all(flags)
+        assert not in_worker()
+
+    def test_serial_tasks_run_in_process(self):
+        assert RunExecutor(1).map([in_worker]) == [False]
+
+    def test_jobs_resolution(self):
+        assert resolve_jobs(3) == 3
+        assert resolve_jobs(0) == (os.cpu_count() or 1)
+        assert resolve_jobs(None) == get_default_jobs()
+
+    def test_default_jobs_round_trip(self):
+        previous = get_default_jobs()
+        try:
+            set_default_jobs(5)
+            assert get_default_jobs() == 5
+            assert RunExecutor().jobs == 5
+        finally:
+            set_default_jobs(previous)
+
+    def test_use_jobs_context_restores(self):
+        previous = get_default_jobs()
+        with use_jobs(7):
+            assert get_default_jobs() == 7
+        assert get_default_jobs() == previous
+        with use_jobs(None):
+            assert get_default_jobs() == previous
+
+    def test_empty_task_list(self):
+        assert RunExecutor(4).map([]) == []
+
+    @needs_fork
+    def test_exceptions_propagate(self):
+        def boom():
+            raise RuntimeError("worker failure")
+
+        with pytest.raises(RuntimeError, match="worker failure"):
+            RunExecutor(2).map([boom, boom])
+
+
+def _rows(samples):
+    return [s.row() for s in samples]
+
+
+def _raw(sample):
+    """Every seed-determined field of a MetricSample (timings excluded)."""
+    return (
+        sample.label,
+        sample.k,
+        sample.runs,
+        sample.failures,
+        sample.max_latency,
+        sample.mean_latency,
+        sample.energy,
+        sample.energy_per_station,
+        sample.first_success,
+        sample.rounds,
+    )
+
+
+@needs_fork
+class TestJobsDeterminism:
+    def test_repeat_schedule_runs_jobs_invariant(self):
+        def run(jobs):
+            return repeat_schedule_runs(
+                24,
+                lambda k: NonAdaptiveWithK(k, 4),
+                UniformRandomSchedule(span=lambda k: 2 * k),
+                reps=6,
+                seed=123,
+                max_rounds=lambda k: 40 * k,
+                jobs=jobs,
+            )
+
+        assert _raw(run(1)) == _raw(run(4))
+
+    def test_repeat_protocol_runs_jobs_invariant(self):
+        def run(jobs):
+            return repeat_protocol_runs(
+                8,
+                lambda: SUniform(),
+                StaticSchedule(),
+                reps=4,
+                seed=9,
+                max_rounds=lambda k: 64 * k,
+                label="suniform",
+                jobs=jobs,
+            )
+
+        assert _raw(run(1)) == _raw(run(4))
+
+    def test_sweep_schedule_jobs_invariant(self):
+        def run(jobs):
+            return sweep_schedule(
+                (8, 16, 24),
+                lambda k: NonAdaptiveWithK(k, 4),
+                StaticSchedule(),
+                reps=3,
+                seed=5,
+                max_rounds=lambda k: 40 * k,
+                jobs=jobs,
+            )
+
+        serial, parallel = run(1), run(4)
+        assert _rows(serial) == _rows(parallel)
+        assert [_raw(s) for s in serial] == [_raw(s) for s in parallel]
+
+    def test_sweep_protocol_jobs_invariant(self):
+        def run(jobs):
+            return sweep_protocol(
+                (4, 8),
+                lambda: SUniform(),
+                StaticSchedule(),
+                reps=2,
+                seed=11,
+                max_rounds=lambda k: 64 * k,
+                jobs=jobs,
+            )
+
+        assert _rows(run(1)) == _rows(run(4))
+
+    def test_run_experiment_jobs_invariant(self):
+        """End-to-end over the registry/CLI plumbing: a pool-driver
+        experiment produces identical rows for --jobs 1 and --jobs 4."""
+
+        def run(jobs):
+            report = run_experiment(
+                "thm51_wakeup", ks=(8, 12), reps=2, jobs=jobs
+            )
+            return report.rows
+
+        assert run(1) == run(4)
+
+    def test_run_experiment_records_timings(self):
+        report = run_experiment("thm51_wakeup", ks=(8, 12), reps=1, jobs=2)
+        assert report.timings["wall_s"] > 0.0
+        assert report.timings["jobs"] == 2.0
+
+    def test_per_run_timing_capture(self):
+        sample = repeat_schedule_runs(
+            8,
+            lambda k: NonAdaptiveWithK(k, 4),
+            StaticSchedule(),
+            reps=3,
+            seed=0,
+            max_rounds=lambda k: 40 * k,
+            jobs=2,
+        )
+        assert len(sample.run_seconds) == 3
+        assert all(seconds >= 0.0 for seconds in sample.run_seconds)

@@ -11,9 +11,12 @@ from repro.core.protocols.decrease_slowly import DecreaseSlowly
 from repro.core.protocols.non_adaptive_with_k import NonAdaptiveWithK
 from repro.core.protocols.suniform import SUniform
 from repro.experiments.harness import (
+    SEED_STRIDE,
     ExperimentReport,
+    config_seed,
     repeat_protocol_runs,
     repeat_schedule_runs,
+    run_seed,
     sweep_protocol,
     sweep_schedule,
     worst_sample,
@@ -95,8 +98,8 @@ class TestSweeps:
         assert [s.k for s in samples] == [4, 8]
 
     def test_sweep_seeds_differ_by_k(self):
-        # Different ks get decorrelated seeds (1000*i offset): the latency
-        # sequences should not be identical when k is identical by
+        # Different ks get decorrelated seeds (SEED_STRIDE apart): the
+        # latency sequences should not be identical when k is identical by
         # construction of two single-k sweeps with different indices.
         a = sweep_schedule(
             (8, 8), lambda k: NonAdaptiveWithK(k, 4), StaticSchedule(),
@@ -105,6 +108,37 @@ class TestSweeps:
         assert a[0].max_latency != a[1].max_latency or (
             a[0].energy != a[1].energy
         )
+
+
+class TestSeedSpacing:
+    """Regression for the old ``seed + 1000*i + r`` layout, whose streams
+    collided as soon as ``reps >= 1000``: configuration ``i`` repetition
+    1000 reused configuration ``i+1`` repetition 0's seed, silently
+    correlating neighbouring sweep points."""
+
+    def test_old_collision_case_now_disjoint(self):
+        # The exact pair that used to collide.
+        assert run_seed(0, 0, 1000) != run_seed(0, 1, 0)
+
+    def test_config_streams_disjoint_for_huge_reps(self):
+        seed, reps = 7, 100_000
+        streams = [
+            set(range(run_seed(seed, i, 0), run_seed(seed, i, reps)))
+            for i in range(4)
+        ]
+        for i in range(4):
+            for j in range(i + 1, 4):
+                assert streams[i].isdisjoint(streams[j])
+
+    def test_run_seed_layout(self):
+        assert config_seed(42, 0) == 42
+        assert config_seed(42, 3) == 42 + 3 * SEED_STRIDE
+        assert run_seed(42, 3, 5) == config_seed(42, 3) + 5
+        assert SEED_STRIDE >= 2**32
+
+    def test_rep_count_validated_against_stride(self):
+        # Any realistic rep count stays inside one stride.
+        assert run_seed(0, 0, SEED_STRIDE - 1) < run_seed(0, 1, 0)
 
 
 class TestWorstSample:
@@ -127,6 +161,26 @@ class TestWorstSample:
         b.energy = [100.0]
         assert worst_sample([a, b], metric="latency_mean").label == "a"
         assert worst_sample([a, b], metric="energy_mean").label == "b"
+
+    def test_raises_when_metric_absent_everywhere(self):
+        from repro.analysis.metrics import MetricSample
+
+        a = MetricSample("a", k=1)  # no runs recorded: every metric is NaN
+        b = MetricSample("b", k=1)
+        with pytest.raises(ValueError, match="latency_mean"):
+            worst_sample([a, b], metric="latency_mean")
+
+    def test_raises_on_unknown_metric_key(self):
+        from repro.analysis.metrics import MetricSample
+
+        a = MetricSample("a", k=1)
+        a.max_latency = [5.0]
+        with pytest.raises(ValueError, match="no_such_metric"):
+            worst_sample([a], metric="no_such_metric")
+
+    def test_raises_on_empty_sample_list(self):
+        with pytest.raises(ValueError):
+            worst_sample([], metric="latency_mean")
 
 
 class TestExperimentReport:

@@ -82,11 +82,18 @@ class TestDrawJamRounds:
 
 
 class TestJammedRoundEvent:
-    def test_jammed_round_must_be_collision(self):
-        RoundEvent(1, RoundOutcome.COLLISION, 0, jammed=True)  # ok: 0 tx
+    def test_jammed_round_with_transmitters_must_be_collision(self):
         RoundEvent(1, RoundOutcome.COLLISION, 1, jammed=True)  # ok: 1 tx
+        RoundEvent(1, RoundOutcome.COLLISION, 3, jammed=True)  # ok: 3 tx
         with pytest.raises(ValueError):
             RoundEvent(1, RoundOutcome.SUCCESS, 1, winner=0, jammed=True)
+
+    def test_jammed_empty_round_is_silence(self):
+        # A jam with nobody transmitting destroys nothing: the round is
+        # SILENCE (and the vectorised engine never materialises it at all).
+        RoundEvent(1, RoundOutcome.SILENCE, 0, jammed=True)  # ok: no tx
+        with pytest.raises(ValueError):
+            RoundEvent(1, RoundOutcome.COLLISION, 0, jammed=True)
 
 
 class TestObjectEngineJamming:
@@ -117,6 +124,29 @@ class TestObjectEngineJamming:
         ).run()
         assert clean.completed and jammed.completed
         assert jammed.max_latency >= clean.max_latency
+
+    def test_jammed_empty_rounds_recorded_as_silence(self):
+        # A never-transmitting station under full jamming: every round is
+        # empty, so the trace must be all-SILENCE (jammed flag set) rather
+        # than phantom collisions.
+        class NeverOn(ProbabilitySchedule):
+            name = "never"
+
+            def probability(self, local_round: int) -> float:
+                return 0.0
+
+        result = SlotSimulator(
+            1,
+            lambda: ScheduleProtocol(NeverOn()),
+            StaticSchedule(),
+            max_rounds=20,
+            seed=0,
+            jammer=PeriodicJammer(period=1, burst=1),
+            record_trace=True,
+        ).run()
+        assert all(e.outcome is RoundOutcome.SILENCE for e in result.trace)
+        assert all(e.jammed for e in result.trace)
+        assert all(e.transmitter_count == 0 for e in result.trace)
 
     def test_jammed_transmitter_gets_no_ack(self):
         result = SlotSimulator(

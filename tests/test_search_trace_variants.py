@@ -90,7 +90,7 @@ def make_trace(pattern: str):
         elif char == "x":
             events.append(RoundEvent(i, RoundOutcome.COLLISION, 2))
         elif char == "#":
-            events.append(RoundEvent(i, RoundOutcome.COLLISION, 0, jammed=True))
+            events.append(RoundEvent(i, RoundOutcome.COLLISION, 2, jammed=True))
     return events
 
 
