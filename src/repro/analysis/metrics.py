@@ -37,6 +37,16 @@ class MetricSample:
     #: Wall-clock seconds per executed run (timing capture; excluded from
     #: the metric row, which must stay a pure function of the seed).
     run_seconds: list[float] = field(default_factory=list)
+    #: Executor retries per run (0 = clean first attempt; resumed runs are
+    #: 0 by definition).  Flaky workers stay visible without poisoning the
+    #: row, which — like ``run_seconds`` — must remain a pure function of
+    #: the seed (retries depend on machine weather, not the experiment).
+    run_retries: list[int] = field(default_factory=list)
+
+    @property
+    def total_retries(self) -> int:
+        """Total executor re-submissions behind this sample's runs."""
+        return sum(self.run_retries)
 
     def add(self, result: RunResult) -> None:
         """Fold one run in.  Runs that failed to complete count as failures

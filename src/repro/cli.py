@@ -72,6 +72,23 @@ def main(argv: list[str] | None = None) -> int:
         help="worker processes for the run (0 = all cores; default serial); "
         "results are bit-identical for any worker count",
     )
+    run_parser.add_argument(
+        "--resume", metavar="DIR", default=None,
+        help="journal completed runs to DIR and skip runs already journaled "
+        "there; an interrupted run rerun with the same configuration "
+        "produces a byte-identical report",
+    )
+    run_parser.add_argument(
+        "--task-timeout", metavar="SECONDS", type=float, default=None,
+        help="declare one run attempt hung (or its worker dead) after "
+        "SECONDS and re-submit it; default no timeout",
+    )
+    run_parser.add_argument(
+        "--max-retries", metavar="N", type=int, default=None,
+        help="re-submissions allowed per crashed/hung run before giving up "
+        "(default 0 = fail fast); retried runs reuse their seed, so "
+        "recovery never changes results",
+    )
 
     suite_parser = subparsers.add_parser(
         "suite", help="run every experiment at a chosen scale"
@@ -92,6 +109,20 @@ def main(argv: list[str] | None = None) -> int:
         "--jobs", metavar="N", type=int, default=None,
         help="worker processes per experiment (0 = all cores; default serial)",
     )
+    suite_parser.add_argument(
+        "--resume", metavar="DIR", default=None,
+        help="journal completed runs to DIR (one JSONL per experiment) and "
+        "skip runs already journaled; rerunning an interrupted suite "
+        "re-executes only the missing runs",
+    )
+    suite_parser.add_argument(
+        "--task-timeout", metavar="SECONDS", type=float, default=None,
+        help="per-run hang/kill detector for worker processes (seconds)",
+    )
+    suite_parser.add_argument(
+        "--max-retries", metavar="N", type=int, default=None,
+        help="re-submissions allowed per crashed/hung run (default 0)",
+    )
 
     args, extra = parser.parse_known_args(argv)
 
@@ -105,7 +136,15 @@ def main(argv: list[str] | None = None) -> int:
 
         only = args.only.split(",") if args.only else None
         try:
-            run_suite(args.scale, out_dir=args.out, only=only, jobs=args.jobs)
+            run_suite(
+                args.scale,
+                out_dir=args.out,
+                only=only,
+                jobs=args.jobs,
+                resume_dir=args.resume,
+                task_timeout=args.task_timeout,
+                max_retries=args.max_retries,
+            )
         except KeyError as error:
             print(error.args[0], file=sys.stderr)
             return 2
@@ -114,14 +153,31 @@ def main(argv: list[str] | None = None) -> int:
     overrides = _parse_overrides(extra)
     csv_dir = args.csv
     try:
-        report = run_experiment(args.experiment, jobs=args.jobs, **overrides)
+        report = run_experiment(
+            args.experiment,
+            jobs=args.jobs,
+            resume_dir=args.resume,
+            task_timeout=args.task_timeout,
+            max_retries=args.max_retries,
+            **overrides,
+        )
     except KeyError as error:
         print(error.args[0], file=sys.stderr)
         return 2
     print(report.text)
     wall = report.timings.get("wall_s")
     if wall is not None:
-        print(f"\n[{args.experiment}: {wall:.1f}s, jobs={int(report.timings['jobs'])}]")
+        extras = ""
+        resumed = int(report.timings.get("runs_resumed", 0))
+        if resumed:
+            extras += f", resumed={resumed}"
+        retries = int(report.timings.get("task_retries", 0))
+        if retries:
+            extras += f", retries={retries}"
+        print(
+            f"\n[{args.experiment}: {wall:.1f}s, "
+            f"jobs={int(report.timings['jobs'])}{extras}]"
+        )
     if csv_dir is not None:
         path = write_report_csv(report, csv_dir)
         print(f"\n[rows written to {path}]")

@@ -1,0 +1,245 @@
+"""Crash-safe experiment checkpointing: an append-only run journal.
+
+Hours-long suite runs at the paper scale must survive interrupts and
+crashes without losing completed work.  The unit of progress is one
+simulation run, which (per the seeding contract in
+:mod:`repro.experiments.harness`) is a pure function of its pre-assigned
+run seed and its configuration.  This module journals every completed
+run's :class:`~repro.channel.results.RunResult` to an append-only JSONL
+file, keyed by ``(config fingerprint, run seed)``; a later execution with
+``--resume <dir>`` loads the journal, skips every journaled run, and —
+because the fold order is deterministic — reproduces a byte-identical
+``ExperimentReport``.
+
+File format
+-----------
+
+One file per experiment, ``<dir>/<experiment_id>.runs.jsonl``, one JSON
+object per line::
+
+    {"v": 1, "fp": "<config fingerprint>", "seed": <run seed>,
+     "s": <wall seconds>, "r": {"rounds": ..., "completed": ...,
+     "stop": "<StopCondition value>", "protocol": ..., "adversary": ...,
+     "records": [[station_id, wake_round, first_success_round,
+                  switch_off_round, transmissions, listening_slots], ...]}}
+
+The fingerprint digests everything that determines a run's outcome
+besides the seed — the probability schedule (hashed table), contention
+size, adversary, feedback semantics, stop condition and horizon — so a
+resumed run can never be satisfied by a journal entry from a different
+configuration that happened to share a seed.  Entries are idempotent:
+re-recording a key appends a duplicate line and the loader keeps the
+last occurrence.  A line truncated by a crash mid-write fails to parse
+and is skipped, sacrificing at most the one run that was being written.
+
+Writes go through a single ``os.write`` on an ``O_APPEND`` descriptor,
+so concurrent pool workers (which inherit the active journal through the
+fork) can append without interleaving on POSIX filesystems.
+
+The *active* journal is process-global state managed by
+:func:`use_checkpoint`, mirroring the executor's ``use_jobs``:
+:func:`~repro.experiments.registry.run_experiment` activates it around a
+driver, and every harness helper consults :func:`current_checkpoint`.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from contextlib import contextmanager
+from pathlib import Path
+from typing import Optional
+
+from repro.channel.results import RunResult, StopCondition
+from repro.core.station import StationRecord
+
+__all__ = [
+    "CheckpointJournal",
+    "use_checkpoint",
+    "current_checkpoint",
+    "result_to_payload",
+    "payload_to_result",
+    "config_fingerprint",
+]
+
+JOURNAL_VERSION = 1
+
+#: The journal the harness records to / resumes from, set per experiment
+#: by the registry.  Pool workers inherit it through the fork.
+_active_journal: Optional["CheckpointJournal"] = None
+
+
+def current_checkpoint() -> Optional["CheckpointJournal"]:
+    """The journal active for the current experiment, or None."""
+    return _active_journal
+
+
+@contextmanager
+def use_checkpoint(journal: Optional["CheckpointJournal"]):
+    """Activate ``journal`` for the duration of one experiment driver."""
+    global _active_journal
+    previous = _active_journal
+    _active_journal = journal
+    try:
+        yield
+    finally:
+        _active_journal = previous
+
+
+def result_to_payload(result: RunResult) -> dict[str, object]:
+    """Serialise a run result to a JSON-safe dict (the trace is dropped:
+    traces are debugging artefacts, not inputs to any metric)."""
+    return {
+        "rounds": result.rounds_executed,
+        "completed": result.completed,
+        "stop": result.stop.value,
+        "protocol": result.protocol_name,
+        "adversary": result.adversary_name,
+        "records": [
+            [
+                r.station_id,
+                r.wake_round,
+                r.first_success_round,
+                r.switch_off_round,
+                r.transmissions,
+                r.listening_slots,
+            ]
+            for r in result.records
+        ],
+    }
+
+
+def payload_to_result(payload: dict, seed: Optional[int] = None) -> RunResult:
+    """Inverse of :func:`result_to_payload`."""
+    return RunResult(
+        records=[
+            StationRecord(
+                station_id=int(sid),
+                wake_round=int(wake),
+                first_success_round=None if first is None else int(first),
+                switch_off_round=None if off is None else int(off),
+                transmissions=int(tx),
+                listening_slots=int(listen),
+            )
+            for sid, wake, first, off, tx, listen in payload["records"]
+        ],
+        rounds_executed=int(payload["rounds"]),
+        completed=bool(payload["completed"]),
+        stop=StopCondition(payload["stop"]),
+        trace=None,
+        seed=seed,
+        protocol_name=str(payload.get("protocol", "")),
+        adversary_name=str(payload.get("adversary", "")),
+    )
+
+
+def config_fingerprint(*parts: object) -> str:
+    """Stable digest of everything (besides the seed) that shapes a run.
+
+    Callers pass a flat sequence of primitives / bytes; the order is
+    significant.  Used by the harness to key journal entries.
+    """
+    digest = hashlib.sha256()
+    for part in parts:
+        if isinstance(part, bytes):
+            digest.update(b"b:" + part)
+        else:
+            digest.update(repr(part).encode())
+        digest.update(b"\x1f")
+    return digest.hexdigest()[:24]
+
+
+class CheckpointJournal:
+    """Append-only JSONL journal of completed runs for one experiment.
+
+    Counters (reset at construction):
+
+    * ``hits`` — runs satisfied from the journal instead of executing;
+    * ``records_written`` — runs appended during this process's lifetime.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._entries: dict[tuple[str, int], dict] = {}
+        self.hits = 0
+        self.records_written = 0
+
+    @classmethod
+    def for_experiment(
+        cls, directory: str | Path, experiment_id: str
+    ) -> "CheckpointJournal":
+        """The canonical journal location inside a resume directory."""
+        directory = Path(directory)
+        directory.mkdir(parents=True, exist_ok=True)
+        return cls(directory / f"{experiment_id}.runs.jsonl")
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def load(self) -> int:
+        """(Re)read the journal file; returns the number of usable entries.
+
+        Unparseable lines — a crash can truncate the final line — and
+        entries from other journal versions are skipped, not fatal.
+        """
+        self._entries = {}
+        if not self.path.exists():
+            return 0
+        with open(self.path, encoding="utf-8") as handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    continue
+                if not isinstance(entry, dict) or entry.get("v") != JOURNAL_VERSION:
+                    continue
+                try:
+                    key = (str(entry["fp"]), int(entry["seed"]))
+                    payload = entry["r"]
+                except (KeyError, TypeError, ValueError):
+                    continue
+                self._entries[key] = entry
+                _ = payload  # validated presence above
+        return len(self._entries)
+
+    def get(
+        self, fingerprint: str, run_seed: int
+    ) -> Optional[tuple[RunResult, float]]:
+        """The journaled ``(result, seconds)`` for a run key, or None."""
+        entry = self._entries.get((fingerprint, run_seed))
+        if entry is None:
+            return None
+        try:
+            result = payload_to_result(entry["r"], seed=run_seed)
+        except (KeyError, TypeError, ValueError, IndexError):
+            return None
+        self.hits += 1
+        return result, float(entry.get("s", 0.0))
+
+    def record(
+        self, fingerprint: str, run_seed: int, result: RunResult, seconds: float
+    ) -> None:
+        """Append one completed run.  Durable against process death: the
+        line is written with a single ``O_APPEND`` syscall and the
+        descriptor closed immediately (safe under forked workers)."""
+        entry = {
+            "v": JOURNAL_VERSION,
+            "fp": fingerprint,
+            "seed": int(run_seed),
+            "s": round(float(seconds), 6),
+            "r": result_to_payload(result),
+        }
+        line = json.dumps(entry, separators=(",", ":")) + "\n"
+        fd = os.open(
+            self.path, os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644
+        )
+        try:
+            os.write(fd, line.encode("utf-8"))
+        finally:
+            os.close(fd)
+        self._entries[(fingerprint, int(run_seed))] = entry
+        self.records_written += 1

@@ -21,6 +21,22 @@ is pre-assigned before submission, results are bit-identical for any
 worker count; sweeps parallelize across *both* sweep points and
 repetitions.  Per-run wall-clock durations land in
 ``MetricSample.run_seconds``.
+
+Fault tolerance
+---------------
+
+``task_timeout`` / ``max_retries`` (``None`` = the process defaults set by
+the CLI's ``--task-timeout`` / ``--max-retries`` flags) bound each run
+attempt and re-execute crashed, hung or killed-worker runs; retried runs
+re-use their pre-assigned seed, so recovery never changes a result.  Per
+run retry counts land in ``MetricSample.run_retries``.
+
+When a checkpoint journal is active (``--resume <dir>``, see
+:mod:`repro.experiments.checkpoint`), every completed run is journaled as
+soon as it finishes — keyed by ``(config fingerprint, run seed)`` — and
+journaled runs are *skipped* on re-execution, folding the stored result in
+their place.  The fold is deterministic, so an interrupted-and-resumed
+experiment reproduces its report byte-for-byte.
 """
 
 from __future__ import annotations
@@ -29,6 +45,8 @@ from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Optional
 
+import numpy as np
+
 from repro.adversary.base import AdaptiveAdversary, WakeSchedule
 from repro.analysis.metrics import MetricSample
 from repro.channel.feedback import FeedbackModel
@@ -36,6 +54,7 @@ from repro.channel.results import RunResult, StopCondition
 from repro.channel.simulator import SlotSimulator
 from repro.channel.vectorized import VectorizedSimulator
 from repro.core.protocol import ProbabilitySchedule, Protocol
+from repro.experiments.checkpoint import config_fingerprint, current_checkpoint
 from repro.experiments.executor import RunExecutor
 
 __all__ = [
@@ -98,13 +117,164 @@ def _fold_sample(
     k: int,
     results: Iterable[RunResult],
     seconds: Iterable[float],
+    retries: Optional[Iterable[int]] = None,
 ) -> MetricSample:
     """Fold executed runs into a sample, serially and in submission order."""
     sample = MetricSample(label=label, k=k)
     for result in results:
         sample.add(result)
     sample.run_seconds.extend(seconds)
+    if retries is not None:
+        sample.run_retries.extend(retries)
     return sample
+
+
+def _stable_token(value: object) -> object:
+    """A process-independent fingerprint token for a config attribute.
+
+    Primitives pass through; objects contribute their ``name`` (the
+    convention every schedule/adversary here follows) or class name —
+    never their ``repr``, which may embed a memory address and would
+    break fingerprint stability across resumed processes.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return tuple(_stable_token(v) for v in value)
+    name = getattr(value, "name", None)
+    if isinstance(name, str):
+        return name
+    return type(value).__name__
+
+
+def _adversary_token(adversary: WakeSchedule | AdaptiveAdversary, k: int) -> object:
+    """Fingerprint an adversary: its name plus, for oblivious schedules, a
+    canonical wake draw (distinguishes e.g. two ``FixedSchedule`` instances
+    that share the generic name but carry different rounds)."""
+    if isinstance(adversary, WakeSchedule):
+        try:
+            sample = tuple(int(r) for r in adversary.wake_rounds(k, np.random.default_rng(0)))
+        except Exception:
+            sample = None
+        return (_stable_token(adversary), sample)
+    return ("adaptive", _stable_token(adversary), type(adversary).__name__)
+
+
+def _schedule_fingerprint(
+    k: int,
+    schedule: ProbabilitySchedule,
+    adversary: WakeSchedule,
+    *,
+    horizon: int,
+    prob_table,
+    switch_off_on_ack: bool,
+    stop: StopCondition,
+) -> str:
+    """Journal key for one schedule-run configuration (seed excluded).
+
+    The probability table itself is hashed (truncated to its first 4096
+    entries plus a checksum of the whole), so two configurations that
+    differ only in a schedule constant can never satisfy each other's
+    journal entries."""
+    table = np.asarray(prob_table, dtype=float)
+    return config_fingerprint(
+        "schedule",
+        k,
+        _stable_token(schedule),
+        schedule.horizon(),
+        horizon,
+        table[:4096].tobytes(),
+        float(table.sum()),
+        int(table.size),
+        _adversary_token(adversary, k),
+        switch_off_on_ack,
+        stop.value,
+    )
+
+
+def _protocol_fingerprint(
+    k: int,
+    protocol_factory: Callable[[], Protocol],
+    adversary: WakeSchedule | AdaptiveAdversary,
+    *,
+    horizon: int,
+    feedback: FeedbackModel,
+    stop: StopCondition,
+    label: str,
+) -> str:
+    """Journal key for one object-engine configuration (seed excluded).
+
+    Protocol constants are captured best-effort from the instance's public
+    attributes (primitives and named sub-objects only); the caller-supplied
+    ``label`` disambiguates configurations a class cannot express."""
+    probe = protocol_factory()
+    attrs = tuple(
+        (key, _stable_token(value))
+        for key, value in sorted(getattr(probe, "__dict__", {}).items())
+        if not key.startswith("_")
+    )
+    return config_fingerprint(
+        "protocol",
+        k,
+        type(probe).__name__,
+        getattr(protocol_factory, "protocol_name", ""),
+        label,
+        attrs,
+        horizon,
+        _adversary_token(adversary, k),
+        feedback.value if hasattr(feedback, "value") else str(feedback),
+        stop.value,
+    )
+
+
+def _execute_runs(
+    fingerprints: Optional[Sequence[str]],
+    seeds: Sequence[int],
+    tasks: Sequence[Callable[[], RunResult]],
+    *,
+    jobs: Optional[int],
+    task_timeout: Optional[float],
+    max_retries: Optional[int],
+) -> tuple[list[RunResult], list[float], list[int]]:
+    """Run a pre-seeded task bag through the executor, checkpoint-aware.
+
+    ``fingerprints`` aligns with ``tasks`` (sweeps carry one fingerprint
+    per configuration); None disables journaling.  Runs already present in
+    the active journal are *not* re-executed: their stored results (and
+    wall seconds) are folded in place.  Fresh results are journaled the
+    moment the executor collects them, so an interruption loses at most
+    the in-flight runs.  Returns results, per-run seconds and per-run
+    retry counts, all in submission order.
+    """
+    journal = current_checkpoint() if fingerprints is not None else None
+    n = len(tasks)
+    results: list[Optional[RunResult]] = [None] * n
+    seconds = [0.0] * n
+    retries = [0] * n
+    pending = list(range(n))
+    if journal is not None:
+        pending = []
+        for index in range(n):
+            cached = journal.get(fingerprints[index], seeds[index])
+            if cached is not None:
+                results[index], seconds[index] = cached
+            else:
+                pending.append(index)
+    if pending:
+        executor = RunExecutor(
+            jobs, task_timeout=task_timeout, max_retries=max_retries
+        )
+        on_result = None
+        if journal is not None:
+            def on_result(j: int, result: RunResult, secs: float) -> None:
+                index = pending[j]
+                journal.record(fingerprints[index], seeds[index], result, secs)
+        fresh = executor.map([tasks[i] for i in pending], on_result=on_result)
+        for j, index in enumerate(pending):
+            results[index] = fresh[j]
+            seconds[index] = executor.last_task_seconds[j]
+            retries[index] = executor.last_retry_counts[j]
+    return results, seconds, retries  # type: ignore[return-value]
 
 
 def _schedule_run_task(
@@ -173,6 +343,8 @@ def repeat_schedule_runs(
     stop: StopCondition = StopCondition.ALL_SWITCHED_OFF,
     label: Optional[str] = None,
     jobs: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
 ) -> MetricSample:
     """Run a non-adaptive schedule ``reps`` times on the fast engine.
 
@@ -183,24 +355,33 @@ def repeat_schedule_runs(
     schedule = schedule_factory(k)
     horizon = max_rounds(k)
     prob_table = schedule.probabilities(horizon)
+    seeds = [seed + r for r in range(reps)]
     tasks = [
         _schedule_run_task(
             k,
             schedule,
             adversary,
-            seed=seed + r,
+            seed=s,
             horizon=horizon,
             prob_table=prob_table,
             switch_off_on_ack=switch_off_on_ack,
             stop=stop,
         )
-        for r in range(reps)
+        for s in seeds
     ]
-    executor = RunExecutor(jobs)
-    results = executor.map(tasks)
-    return _fold_sample(
-        label or schedule.name, k, results, executor.last_task_seconds
+    fingerprints = None
+    if current_checkpoint() is not None:
+        fingerprints = [
+            _schedule_fingerprint(
+                k, schedule, adversary, horizon=horizon, prob_table=prob_table,
+                switch_off_on_ack=switch_off_on_ack, stop=stop,
+            )
+        ] * reps
+    results, seconds, retries = _execute_runs(
+        fingerprints, seeds, tasks,
+        jobs=jobs, task_timeout=task_timeout, max_retries=max_retries,
     )
+    return _fold_sample(label or schedule.name, k, results, seconds, retries)
 
 
 def repeat_protocol_runs(
@@ -215,25 +396,38 @@ def repeat_protocol_runs(
     stop: StopCondition = StopCondition.ALL_SWITCHED_OFF,
     label: str = "",
     jobs: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
 ) -> MetricSample:
     """Run an arbitrary protocol ``reps`` times on the object engine."""
     horizon = max_rounds(k)
+    label = label or getattr(protocol_factory, "protocol_name", "protocol")
+    seeds = [seed + r for r in range(reps)]
     tasks = [
         _protocol_run_task(
             k,
             protocol_factory,
             adversary,
-            seed=seed + r,
+            seed=s,
             horizon=horizon,
             feedback=feedback,
             stop=stop,
         )
-        for r in range(reps)
+        for s in seeds
     ]
-    executor = RunExecutor(jobs)
-    results = executor.map(tasks)
-    label = label or getattr(protocol_factory, "protocol_name", "protocol")
-    return _fold_sample(label, k, results, executor.last_task_seconds)
+    fingerprints = None
+    if current_checkpoint() is not None:
+        fingerprints = [
+            _protocol_fingerprint(
+                k, protocol_factory, adversary,
+                horizon=horizon, feedback=feedback, stop=stop, label=label,
+            )
+        ] * reps
+    results, seconds, retries = _execute_runs(
+        fingerprints, seeds, tasks,
+        jobs=jobs, task_timeout=task_timeout, max_retries=max_retries,
+    )
+    return _fold_sample(label, k, results, seconds, retries)
 
 
 def sweep_schedule(
@@ -248,41 +442,55 @@ def sweep_schedule(
     stop: StopCondition = StopCondition.ALL_SWITCHED_OFF,
     label: Optional[str] = None,
     jobs: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
 ) -> list[MetricSample]:
     """One :func:`repeat_schedule_runs` per contention size.
 
     All ``len(ks) * reps`` runs are submitted to the executor as one flat
     task bag, so parallelism spans sweep points as well as repetitions.
     """
+    journaling = current_checkpoint() is not None
     tasks = []
     labels = []
+    seeds = []
+    fingerprints: Optional[list[str]] = [] if journaling else None
     for i, k in enumerate(ks):
         schedule = schedule_factory(k)
         horizon = max_rounds(k)
         prob_table = schedule.probabilities(horizon)
         labels.append(label or schedule.name)
+        if journaling:
+            fingerprint = _schedule_fingerprint(
+                k, schedule, adversary, horizon=horizon, prob_table=prob_table,
+                switch_off_on_ack=switch_off_on_ack, stop=stop,
+            )
+            fingerprints.extend([fingerprint] * reps)
         for r in range(reps):
+            seeds.append(run_seed(seed, i, r))
             tasks.append(
                 _schedule_run_task(
                     k,
                     schedule,
                     adversary,
-                    seed=run_seed(seed, i, r),
+                    seed=seeds[-1],
                     horizon=horizon,
                     prob_table=prob_table,
                     switch_off_on_ack=switch_off_on_ack,
                     stop=stop,
                 )
             )
-    executor = RunExecutor(jobs)
-    results = executor.map(tasks)
-    seconds = executor.last_task_seconds
+    results, seconds, retries = _execute_runs(
+        fingerprints, seeds, tasks,
+        jobs=jobs, task_timeout=task_timeout, max_retries=max_retries,
+    )
     return [
         _fold_sample(
             labels[i],
             k,
             results[i * reps : (i + 1) * reps],
             seconds[i * reps : (i + 1) * reps],
+            retries[i * reps : (i + 1) * reps],
         )
         for i, k in enumerate(ks)
     ]
@@ -300,33 +508,47 @@ def sweep_protocol(
     stop: StopCondition = StopCondition.ALL_SWITCHED_OFF,
     label: str = "",
     jobs: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
 ) -> list[MetricSample]:
     """One :func:`repeat_protocol_runs` per contention size (flat fan-out)."""
+    journaling = current_checkpoint() is not None
+    sample_label = label or getattr(protocol_factory, "protocol_name", "protocol")
     tasks = []
+    seeds = []
+    fingerprints: Optional[list[str]] = [] if journaling else None
     for i, k in enumerate(ks):
         horizon = max_rounds(k)
+        if journaling:
+            fingerprint = _protocol_fingerprint(
+                k, protocol_factory, adversary, horizon=horizon,
+                feedback=feedback, stop=stop, label=sample_label,
+            )
+            fingerprints.extend([fingerprint] * reps)
         for r in range(reps):
+            seeds.append(run_seed(seed, i, r))
             tasks.append(
                 _protocol_run_task(
                     k,
                     protocol_factory,
                     adversary,
-                    seed=run_seed(seed, i, r),
+                    seed=seeds[-1],
                     horizon=horizon,
                     feedback=feedback,
                     stop=stop,
                 )
             )
-    executor = RunExecutor(jobs)
-    results = executor.map(tasks)
-    seconds = executor.last_task_seconds
-    sample_label = label or getattr(protocol_factory, "protocol_name", "protocol")
+    results, seconds, retries = _execute_runs(
+        fingerprints, seeds, tasks,
+        jobs=jobs, task_timeout=task_timeout, max_retries=max_retries,
+    )
     return [
         _fold_sample(
             sample_label,
             k,
             results[i * reps : (i + 1) * reps],
             seconds[i * reps : (i + 1) * reps],
+            retries[i * reps : (i + 1) * reps],
         )
         for i, k in enumerate(ks)
     ]
@@ -336,6 +558,8 @@ def run_pool(
     runners: Iterable[Callable[[], MetricSample]],
     *,
     jobs: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
 ) -> list[MetricSample]:
     """Execute independent sample-producing callables across the executor.
 
@@ -343,9 +567,13 @@ def run_pool(
     (sweep point, adversary) pair out over workers; each runner typically
     calls :func:`repeat_schedule_runs` / :func:`repeat_protocol_runs`,
     which degrade to serial execution inside a worker (pools never nest).
-    Order is preserved.
+    Order is preserved.  When a checkpoint journal is active, the *inner*
+    harness calls journal their runs (workers inherit the journal through
+    the fork and append concurrently); the per-runner ``task_timeout``
+    here bounds a whole runner, not one simulation.
     """
-    return RunExecutor(jobs).map(list(runners))
+    executor = RunExecutor(jobs, task_timeout=task_timeout, max_retries=max_retries)
+    return executor.map(list(runners))
 
 
 def worst_sample(samples: Iterable[MetricSample], metric: str = "latency_mean") -> MetricSample:

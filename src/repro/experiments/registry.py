@@ -16,7 +16,13 @@ import time
 from collections.abc import Callable
 from typing import Optional
 
-from repro.experiments.executor import resolve_jobs, use_jobs
+from repro.experiments.checkpoint import CheckpointJournal, use_checkpoint
+from repro.experiments.executor import (
+    execution_stats,
+    resolve_jobs,
+    use_failure_policy,
+    use_jobs,
+)
 
 from repro.experiments.ablation import run_ablation
 from repro.experiments.adaptive_adversary_exp import run_adaptive_adversary_check
@@ -80,22 +86,57 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentReport]] = {
 
 
 def run_experiment(
-    experiment_id: str, *, jobs: Optional[int] = None, **overrides
+    experiment_id: str,
+    *,
+    jobs: Optional[int] = None,
+    resume_dir: Optional[str] = None,
+    task_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    **overrides,
 ) -> ExperimentReport:
     """Run one experiment from the registry by its DESIGN.md id.
 
     ``jobs`` (worker process count; ``0`` = all cores) applies to every
     harness call the driver makes, via the executor's process default;
-    results are bit-identical for any worker count.  The report's
-    ``timings`` gains the driver's wall-clock (``wall_s``) and the worker
-    count it ran with (``jobs``).
+    results are bit-identical for any worker count.  ``task_timeout`` /
+    ``max_retries`` set the failure policy the same way (see
+    :mod:`repro.experiments.executor`).
+
+    ``resume_dir`` activates crash-safe checkpointing: every completed run
+    is journaled to ``<resume_dir>/<experiment_id>.runs.jsonl`` and runs
+    already journaled there are skipped, reproducing the report
+    byte-identically after any interruption (the configuration — scale,
+    overrides, seed — must match the interrupted invocation).
+
+    The report's ``timings`` gains the driver's wall-clock (``wall_s``),
+    the worker count (``jobs``), the executor's failure accounting
+    (``task_failures`` / ``task_retries`` / ``task_timeouts``) and, under
+    ``resume_dir``, the journal traffic (``runs_resumed`` /
+    ``runs_journaled``).
     """
     if experiment_id not in EXPERIMENTS:
         known = ", ".join(sorted(EXPERIMENTS))
         raise KeyError(f"unknown experiment {experiment_id!r}; known: {known}")
+    journal: Optional[CheckpointJournal] = None
+    if resume_dir is not None:
+        journal = CheckpointJournal.for_experiment(resume_dir, experiment_id)
+        journal.load()
+    stats_before = execution_stats()
     start = time.perf_counter()
-    with use_jobs(jobs):
+    with use_jobs(jobs), use_failure_policy(task_timeout, max_retries), use_checkpoint(journal):
         report = EXPERIMENTS[experiment_id](**overrides)
     report.timings["wall_s"] = time.perf_counter() - start
     report.timings["jobs"] = float(resolve_jobs(jobs))
+    stats_after = execution_stats()
+    for stat_key, timing_key in (
+        ("failures", "task_failures"),
+        ("retries", "task_retries"),
+        ("timeouts", "task_timeouts"),
+    ):
+        delta = stats_after[stat_key] - stats_before[stat_key]
+        if delta:
+            report.timings[timing_key] = float(delta)
+    if journal is not None:
+        report.timings["runs_resumed"] = float(journal.hits)
+        report.timings["runs_journaled"] = float(journal.records_written)
     return report

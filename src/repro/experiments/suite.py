@@ -88,6 +88,9 @@ def run_suite(
     out_dir: Optional[str | Path] = None,
     only: Optional[Iterable[str]] = None,
     jobs: Optional[int] = None,
+    resume_dir: Optional[str | Path] = None,
+    task_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
     progress: Callable[[str], None] = print,
 ) -> dict[str, ExperimentReport]:
     """Run every (or a subset of) registered experiment(s) at a scale.
@@ -96,6 +99,13 @@ def run_suite(
     ``<out_dir>/<id>.txt`` and ``<id>.csv``.  ``jobs`` is the worker
     process count handed to every experiment (``0`` = all cores); rows
     are bit-identical for any worker count.
+
+    ``resume_dir`` makes the whole suite crash-safe: each experiment
+    journals its completed runs there (one JSONL file per experiment) and
+    a rerun after an interruption — same scale, same overrides — skips
+    every journaled run, re-executing only what is missing while writing
+    byte-identical reports.  ``task_timeout`` / ``max_retries`` set the
+    worker failure policy (see :mod:`repro.experiments.executor`).
     """
     overrides = suite_overrides(scale)
     wanted = set(only) if only is not None else set(EXPERIMENTS)
@@ -111,12 +121,19 @@ def run_suite(
     for experiment_id in sorted(wanted):
         progress(f"[suite:{scale}] running {experiment_id} ...")
         report = run_experiment(
-            experiment_id, jobs=jobs, **overrides.get(experiment_id, {})
+            experiment_id,
+            jobs=jobs,
+            resume_dir=None if resume_dir is None else str(resume_dir),
+            task_timeout=task_timeout,
+            max_retries=max_retries,
+            **overrides.get(experiment_id, {}),
         )
         reports[experiment_id] = report
         wall = report.timings.get("wall_s")
         if wall is not None:
-            progress(f"[suite:{scale}]   {experiment_id} done in {wall:.1f}s")
+            resumed = int(report.timings.get("runs_resumed", 0))
+            note = f" ({resumed} runs resumed)" if resumed else ""
+            progress(f"[suite:{scale}]   {experiment_id} done in {wall:.1f}s{note}")
         if out_path is not None:
             (out_path / f"{experiment_id}.txt").write_text(report.text + "\n")
             if report.rows:

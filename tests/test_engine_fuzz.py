@@ -1,0 +1,210 @@
+"""Property-based cross-engine fuzzing: the two engines must agree.
+
+``tests/test_engine_agreement.py`` pins a handful of hand-picked
+configurations; this suite generalises them with Hypothesis.  The engines
+use different sampling mechanisms (per-round Bernoulli vs Poisson
+thinning), so per-seed equality cannot hold for *stochastic* schedules —
+but for **deterministic** schedules (every per-round probability 0 or 1)
+the execution is a pure function of the configuration, and the two
+engines must produce *identical* round events and metrics: per-station
+wake/first-success/switch-off rounds and transmission counts, completion,
+rounds executed, energy and latency.  That determinism survives every
+model dimension the engines share — wake schedules, jamming patterns,
+ack/no-ack semantics, every stop condition, tight horizons — so the fuzz
+space covers all of them, plus both vectorised sampling paths (Poisson
+thinning and the ``sample_rounds`` direct path).
+
+Stations sharing a wake round run perfectly correlated under a
+deterministic schedule (they collide forever and never succeed, in both
+engines), so records compare exactly after sorting by
+``(wake, first_success, switch_off, transmissions)``.
+
+CI runs >= 200 generated configurations per pass (see the ``max_examples``
+settings below) and caches the Hypothesis example database between runs,
+so a configuration that ever disagreed is retried first on every push.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.adversary.base import FixedSchedule
+from repro.channel.jamming import Jammer
+from repro.channel.results import RunResult, StopCondition
+from repro.channel.simulator import SlotSimulator
+from repro.channel.vectorized import VectorizedSimulator
+from repro.core.protocol import ProbabilitySchedule, ScheduleProtocol
+
+MAX_WAKE = 25
+MAX_PATTERN = 25
+MIN_ROUNDS = 40  # > MAX_WAKE: every station wakes inside the horizon
+MAX_ROUNDS = 120
+
+
+class DeterministicSchedule(ProbabilitySchedule):
+    """p(i) in {0, 1} from a boolean pattern; horizon = pattern length.
+
+    With ``direct=True`` the schedule exposes ``sample_rounds`` (the
+    dependent-rounds path of the vectorised engine); otherwise the engine
+    uses Poisson thinning, where probability-1 rounds carry the capped
+    hazard (miss probability ~1e-15 — far below one expected false
+    failure over the lifetime of this suite).
+    """
+
+    def __init__(self, pattern: Sequence[bool], direct: bool = False):
+        self.pattern = tuple(bool(b) for b in pattern)
+        self.direct = direct
+        self.name = f"det[{''.join('1' if b else '0' for b in self.pattern)}]"
+
+    def probability(self, local_round: int) -> float:
+        if 1 <= local_round <= len(self.pattern):
+            return 1.0 if self.pattern[local_round - 1] else 0.0
+        return 0.0
+
+    def horizon(self) -> int:
+        return len(self.pattern)
+
+    def sample_rounds(self, rng, max_local):
+        if not self.direct:
+            return None
+        rounds = [
+            i
+            for i in range(1, min(len(self.pattern), max_local) + 1)
+            if self.pattern[i - 1]
+        ]
+        return np.asarray(rounds, dtype=np.int64)
+
+
+class FixedJammer(Jammer):
+    """Jam exactly the given set of global rounds (oblivious)."""
+
+    def __init__(self, rounds):
+        self.rounds = frozenset(int(r) for r in rounds)
+        self.name = f"fixed-jammer({len(self.rounds)})"
+
+    def jams(self, round_index: int, history) -> bool:
+        return round_index in self.rounds
+
+
+@st.composite
+def engine_configs(c, *, with_jamming: bool):
+    k = c(st.integers(1, 10))
+    wakes = c(st.lists(st.integers(0, MAX_WAKE), min_size=k, max_size=k))
+    pattern = c(st.lists(st.booleans(), min_size=1, max_size=MAX_PATTERN))
+    direct = c(st.booleans())
+    ack = c(st.booleans())
+    stop = c(st.sampled_from(sorted(StopCondition, key=lambda s: s.value)))
+    max_rounds = c(st.integers(MIN_ROUNDS, MAX_ROUNDS))
+    if with_jamming:
+        jam = frozenset(c(st.sets(st.integers(1, MAX_ROUNDS), min_size=1, max_size=40)))
+    else:
+        jam = None
+    return k, wakes, pattern, direct, ack, stop, max_rounds, jam
+
+
+def run_both(config) -> tuple[RunResult, RunResult]:
+    k, wakes, pattern, direct, ack, stop, max_rounds, jam = config
+    schedule = DeterministicSchedule(pattern, direct=direct)
+    wake = FixedSchedule(wakes)
+    # Different seeds on purpose: a deterministic configuration must not
+    # depend on either engine's random stream.
+    obj = SlotSimulator(
+        k,
+        lambda: ScheduleProtocol(schedule, switch_off_on_ack=ack),
+        wake,
+        stop=stop,
+        max_rounds=max_rounds,
+        seed=0,
+        jammer=None if jam is None else FixedJammer(jam),
+    ).run()
+    vec = VectorizedSimulator(
+        k,
+        schedule,
+        wake,
+        switch_off_on_ack=ack,
+        stop=stop,
+        max_rounds=max_rounds,
+        seed=1,
+        jam_rounds=jam,
+    ).run()
+    return obj, vec
+
+
+def record_keys(result: RunResult, up_to_round: int):
+    """Station records as a sorted multiset, ignoring engine-specific ids.
+
+    The object engine only materialises stations the adversary woke before
+    the run stopped; the vectorised engine always materialises all ``k``.
+    A station woken after the stop round has no observable behaviour, so
+    both views agree once restricted to ``wake_round <= up_to_round``.
+    """
+    return sorted(
+        (r.wake_round, r.first_success_round, r.switch_off_round, r.transmissions)
+        for r in result.records
+        if r.wake_round <= up_to_round
+    )
+
+
+def assert_engines_agree(config) -> None:
+    obj, vec = run_both(config)
+    assert obj.completed == vec.completed
+    assert obj.rounds_executed == vec.rounds_executed
+    assert obj.first_success_round == vec.first_success_round
+    assert obj.success_count == vec.success_count
+    assert obj.total_transmissions == vec.total_transmissions
+    assert sorted(obj.latencies) == sorted(vec.latencies)
+    assert obj.max_latency == vec.max_latency
+    assert record_keys(obj, obj.rounds_executed) == record_keys(
+        vec, obj.rounds_executed
+    )
+
+
+@settings(max_examples=140, deadline=None)
+@given(engine_configs(with_jamming=False))
+def test_engines_agree_on_events_and_metrics(config):
+    """Both engines produce identical records and metrics over random
+    (k, wake schedule, deterministic schedule, ack/no-ack, stop condition,
+    horizon) configurations, on both vectorised sampling paths."""
+    assert_engines_agree(config)
+
+
+@settings(max_examples=80, deadline=None)
+@given(engine_configs(with_jamming=True))
+def test_engines_agree_under_jamming(config):
+    """Jamming semantics agree: a jammed round with transmitters is a
+    collision (attempts still cost energy), a jammed empty round is a
+    non-event, in both engines."""
+    assert_engines_agree(config)
+
+
+@settings(max_examples=40, deadline=None)
+@given(engine_configs(with_jamming=False))
+def test_no_ack_switch_off_rounds_exact(config):
+    """The no-ack variant generalisation of
+    ``TestNoAckSwitchOffAgreement``: with switch-off driven purely by the
+    schedule horizon, switch-off rounds equal ``wake + horizon + 1``
+    whenever the run lasted long enough to observe them."""
+    k, wakes, pattern, direct, _ack, _stop, max_rounds, jam = config
+    config = (
+        k, wakes, pattern, direct, False,
+        StopCondition.ALL_SWITCHED_OFF, max_rounds, jam,
+    )
+    obj, vec = run_both(config)
+    horizon = len(pattern)
+    expected = sorted(
+        (
+            w + horizon + 1 if w + horizon + 1 <= obj.rounds_executed else None
+            for w in wakes
+        ),
+        key=lambda x: (x is None, x),
+    )
+    for result in (obj, vec):
+        got = sorted(
+            (r.switch_off_round for r in result.records),
+            key=lambda x: (x is None, x),
+        )
+        assert got == expected

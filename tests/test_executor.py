@@ -1,10 +1,15 @@
 """Tests for the process-pool execution layer and its determinism contract:
 the same seed must produce bit-identical ``MetricSample`` rows regardless of
-worker count (``--jobs 1`` == ``--jobs 4``)."""
+worker count (``--jobs 1`` == ``--jobs 4``) and regardless of injected
+failures — crashed, hung and killed workers are retried with the same
+pre-assigned task, so recovery never changes results."""
 
 from __future__ import annotations
 
+import multiprocessing
 import os
+import signal
+import time
 
 import pytest
 
@@ -13,11 +18,15 @@ from repro.core.protocols.non_adaptive_with_k import NonAdaptiveWithK
 from repro.core.protocols.suniform import SUniform
 from repro.experiments.executor import (
     RunExecutor,
+    TaskFailedError,
+    execution_stats,
+    get_default_failure_policy,
     get_default_jobs,
     in_worker,
     parallelism_available,
     resolve_jobs,
     set_default_jobs,
+    use_failure_policy,
     use_jobs,
 )
 from repro.experiments.harness import (
@@ -203,3 +212,232 @@ class TestJobsDeterminism:
         )
         assert len(sample.run_seconds) == 3
         assert all(seconds >= 0.0 for seconds in sample.run_seconds)
+
+    def test_per_run_retry_capture(self):
+        sample = repeat_schedule_runs(
+            8,
+            lambda k: NonAdaptiveWithK(k, 4),
+            StaticSchedule(),
+            reps=3,
+            seed=0,
+            max_rounds=lambda k: 40 * k,
+            jobs=2,
+        )
+        assert sample.run_retries == [0, 0, 0]
+        assert sample.total_retries == 0
+
+
+def _attempt_count(path) -> int:
+    """Cross-process attempt counter: one appended byte per attempt."""
+    return os.path.getsize(path) if os.path.exists(path) else 0
+
+
+def _bump(path) -> int:
+    with open(path, "ab") as handle:
+        handle.write(b"x")
+    return _attempt_count(path)
+
+
+class TestFailurePolicyDefaults:
+    def test_use_failure_policy_round_trip(self):
+        previous = get_default_failure_policy()
+        with use_failure_policy(task_timeout=2.5, max_retries=3):
+            assert get_default_failure_policy() == (2.5, 3)
+            executor = RunExecutor(1)
+            assert executor.task_timeout == 2.5
+            assert executor.max_retries == 3
+        assert get_default_failure_policy() == previous
+
+    def test_explicit_args_override_defaults(self):
+        with use_failure_policy(task_timeout=2.5, max_retries=3):
+            executor = RunExecutor(1, task_timeout=9.0, max_retries=1)
+            assert executor.task_timeout == 9.0
+            assert executor.max_retries == 1
+
+    def test_invalid_policy_rejected(self):
+        with pytest.raises(ValueError):
+            RunExecutor(1, task_timeout=0.0)
+        with pytest.raises(ValueError):
+            RunExecutor(1, max_retries=-1)
+
+
+class TestFaultInjection:
+    """Crashed, hung and killed workers: retries happen, results stay
+    order-preserving and deterministic, and every failure is counted."""
+
+    def test_serial_retry_on_exception(self, tmp_path):
+        counter = tmp_path / "attempts"
+
+        def flaky():
+            if _bump(counter) < 3:
+                raise RuntimeError("transient failure")
+            return "recovered"
+
+        executor = RunExecutor(1, max_retries=3, retry_backoff=0.0)
+        assert executor.map([flaky, lambda: 7]) == ["recovered", 7]
+        assert executor.last_retry_counts == [2, 0]
+        assert executor.last_failures == 2
+        assert _attempt_count(counter) == 3
+
+    def test_serial_retries_exhausted_reraises(self, tmp_path):
+        def always_fails():
+            raise ValueError("permanent failure")
+
+        executor = RunExecutor(1, max_retries=2, retry_backoff=0.0)
+        with pytest.raises(ValueError, match="permanent failure"):
+            executor.map([always_fails])
+        assert executor.last_failures == 3  # 1 attempt + 2 retries
+
+    @needs_fork
+    def test_pool_retry_on_exception(self, tmp_path):
+        counter = tmp_path / "attempts"
+
+        def flaky():
+            if _bump(counter) < 2:
+                raise RuntimeError("worker crash")
+            return 99
+
+        executor = RunExecutor(2, max_retries=2, retry_backoff=0.01)
+        results = executor.map([flaky, lambda: 1, lambda: 2])
+        assert results == [99, 1, 2]
+        assert executor.last_retry_counts == [1, 0, 0]
+        assert executor.last_failures == 1
+
+    @needs_fork
+    def test_pool_retries_exhausted_reraises_original(self):
+        def boom():
+            raise RuntimeError("permanent worker failure")
+
+        executor = RunExecutor(2, max_retries=1, retry_backoff=0.0)
+        with pytest.raises(RuntimeError, match="permanent worker failure"):
+            executor.map([boom, lambda: 1])
+
+    @needs_fork
+    def test_hung_task_times_out_and_retries(self, tmp_path):
+        flag = tmp_path / "hung-once"
+
+        def hangs_once():
+            if not flag.exists():
+                flag.touch()
+                time.sleep(60.0)
+            return "past the hang"
+
+        executor = RunExecutor(2, task_timeout=1.0, max_retries=2, retry_backoff=0.01)
+        results = executor.map([hangs_once, lambda: 5])
+        assert results == ["past the hang", 5]
+        assert executor.last_timeouts == 1
+        assert executor.last_retry_counts[0] == 1
+
+    @needs_fork
+    def test_hang_exhaustion_raises_task_failed(self):
+        def hangs_forever():
+            time.sleep(60.0)
+
+        executor = RunExecutor(2, task_timeout=0.3, max_retries=1, retry_backoff=0.0)
+        with pytest.raises(TaskFailedError, match="timed out"):
+            executor.map([hangs_forever, lambda: 1])
+        assert executor.last_timeouts == 2
+
+    @needs_fork
+    def test_killed_worker_is_retried(self, tmp_path):
+        flag = tmp_path / "killed-once"
+
+        def kills_own_worker_once():
+            if in_worker() and not flag.exists():
+                flag.touch()
+                os.kill(os.getpid(), signal.SIGKILL)
+            return "survived the kill"
+
+        executor = RunExecutor(2, task_timeout=1.0, max_retries=2, retry_backoff=0.01)
+        results = executor.map([kills_own_worker_once, lambda: 3])
+        assert results == ["survived the kill", 3]
+        assert executor.last_failures >= 1
+        assert executor.last_retry_counts[0] >= 1
+
+    @needs_fork
+    def test_results_deterministic_under_injected_failures(self, tmp_path):
+        """A task bag with injected crashes produces exactly the results a
+        clean serial executor produces, in the same order."""
+        counter = tmp_path / "attempts"
+
+        def make_task(i):
+            def task():
+                if i == 3 and _bump(counter) < 2:
+                    raise RuntimeError("crash on first attempt")
+                return i * i
+            return task
+
+        tasks = [make_task(i) for i in range(8)]
+        clean = RunExecutor(1).map([lambda i=i: i * i for i in range(8)])
+        executor = RunExecutor(4, task_timeout=5.0, max_retries=2, retry_backoff=0.01)
+        assert executor.map(tasks) == clean
+
+    def test_pool_infrastructure_breakage_degrades_to_serial(self, monkeypatch):
+        """If workers cannot be forked at all, the bag still completes
+        in-process and the degradation is counted, not silent."""
+        class BrokenContext:
+            def Pool(self, *args, **kwargs):
+                raise OSError("cannot allocate worker processes")
+
+        monkeypatch.setattr(
+            multiprocessing, "get_context", lambda method: BrokenContext()
+        )
+        before = execution_stats()["degraded"]
+        executor = RunExecutor(4)
+        assert executor.map([_square(i) for i in range(6)]) == [
+            i * i for i in range(6)
+        ]
+        assert executor.last_degraded
+        assert execution_stats()["degraded"] == before + 1
+
+    def test_on_result_streams_in_order(self):
+        seen = []
+        executor = RunExecutor(1)
+        executor.map(
+            [_square(i) for i in range(5)],
+            on_result=lambda i, result, seconds: seen.append((i, result)),
+        )
+        assert seen == [(i, i * i) for i in range(5)]
+
+    @needs_fork
+    def test_on_result_streams_in_order_parallel(self):
+        seen = []
+        executor = RunExecutor(3)
+        executor.map(
+            [_square(i) for i in range(9)],
+            on_result=lambda i, result, seconds: seen.append((i, result)),
+        )
+        assert seen == [(i, i * i) for i in range(9)]
+
+
+class TestFailureVisibility:
+    """Executor failures surface on the experiment report, never silently."""
+
+    def test_flaky_driver_failures_land_on_report_timings(self, tmp_path):
+        from repro.experiments.harness import ExperimentReport
+        from repro.experiments.registry import EXPERIMENTS
+
+        counter = tmp_path / "attempts"
+
+        def flaky_driver(**overrides):
+            def flaky():
+                if _bump(counter) < 2:
+                    raise RuntimeError("transient")
+                return 1
+
+            executor = RunExecutor(1, max_retries=2, retry_backoff=0.0)
+            executor.map([flaky])
+            return ExperimentReport(experiment_id="_flaky", title="flaky")
+
+        EXPERIMENTS["_flaky"] = flaky_driver
+        try:
+            report = run_experiment("_flaky")
+        finally:
+            del EXPERIMENTS["_flaky"]
+        assert report.timings["task_failures"] == 1.0
+        assert report.timings["task_retries"] == 1.0
+
+    def test_clean_run_reports_no_failure_keys(self):
+        report = run_experiment("thm51_wakeup", ks=(8, 12), reps=1)
+        assert "task_failures" not in report.timings
+        assert "task_retries" not in report.timings
