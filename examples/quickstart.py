@@ -6,6 +6,10 @@ prints the two metrics the paper is about — latency (rounds from a
 station's activation to its own successful transmission, max over
 stations) and energy (total broadcast attempts).
 
+Each run is one declarative ``RunSpec``; ``execute`` picks the engine
+(the vectorised sampler for the non-adaptive schedules, the object
+engine for the adaptive protocol) — see docs/engines.md.
+
 Run:  python examples/quickstart.py
 """
 
@@ -14,10 +18,10 @@ from __future__ import annotations
 from repro import (
     AdaptiveNoK,
     NonAdaptiveWithK,
-    SlotSimulator,
+    RunSpec,
     SublinearDecrease,
     UniformRandomSchedule,
-    VectorizedSimulator,
+    execute,
 )
 
 K = 256
@@ -42,36 +46,35 @@ def main() -> None:
     print(f"k = {K} stations, adversarial wake-up, no collision detection\n")
 
     # 1. Non-adaptive, contention size known (Algorithm 1): O(k) latency.
-    result = VectorizedSimulator(
-        K,
-        NonAdaptiveWithK(K, c=6),
-        adversary,
-        max_rounds=30 * K,
+    result = execute(RunSpec(
+        k=K,
+        protocol=NonAdaptiveWithK(K, c=6),
+        adversary=adversary,
         seed=SEED,
-    ).run()
+    ))
     show("NonAdaptiveWithK (knows k)", result)
 
     # 2. Non-adaptive universal code (Algorithm 2): no knowledge of k,
-    #    pays the paper's provable polylog penalty.
-    result = VectorizedSimulator(
-        K,
-        SublinearDecrease(b=4),
-        adversary,
+    #    pays the paper's provable polylog penalty.  The horizon is the
+    #    theorem's latency bound plus slack — part of the claim on show.
+    result = execute(RunSpec(
+        k=K,
+        protocol=SublinearDecrease(b=4),
+        adversary=adversary,
         max_rounds=SublinearDecrease.latency_bound_with_ack(K, 4) + 4 * K,
         seed=SEED,
-    ).run()
+    ))
     show("SublinearDecrease (k unknown)", result)
 
     # 3. Adaptive protocol (Algorithm 3): no knowledge of k, O(k) latency
-    #    via leader election + coordinated dissemination.  Needs the
-    #    object engine (it reacts to channel feedback).
-    result = SlotSimulator(
-        K,
-        lambda: AdaptiveNoK(),
-        adversary,
-        max_rounds=120 * K,
+    #    via leader election + coordinated dissemination.  Dispatch sends
+    #    this to the object engine (it reacts to channel feedback).
+    result = execute(RunSpec(
+        k=K,
+        protocol=lambda: AdaptiveNoK(),
+        adversary=adversary,
         seed=SEED,
-    ).run()
+    ))
     show("AdaptiveNoK (adaptive)", result)
 
     print(

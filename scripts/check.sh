@@ -12,6 +12,16 @@ if ! python3 -m pip install -e . --quiet 2>/dev/null; then
     python3 setup.py develop >/dev/null
 fi
 
+echo "== engine-dispatch lint =="
+# Experiment drivers must go through execute(RunSpec(...)) — constructing
+# an engine directly bypasses dispatch, the table cache and the
+# checkpoint fingerprint derivation.
+if grep -rnE "(SlotSimulator|VectorizedSimulator)\(" src/repro/experiments/; then
+    echo "error: direct engine construction under src/repro/experiments/;"
+    echo "build a RunSpec and call repro.engine.execute instead."
+    exit 1
+fi
+
 echo "== unit/integration/property tests =="
 # The coverage floor (fail_under) is checked into pyproject.toml under
 # [tool.coverage.report]; the gate runs wherever pytest-cov is installed

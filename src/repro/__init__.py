@@ -6,20 +6,19 @@ version of the PODC 2017 paper *"Asynchronous Shared Channel"*).
 
 Quick start::
 
-    from repro import (
-        NonAdaptiveWithK, UniformRandomSchedule, VectorizedSimulator,
-    )
+    from repro import NonAdaptiveWithK, RunSpec, UniformRandomSchedule, execute
 
     k = 256
-    sim = VectorizedSimulator(
-        k,
-        NonAdaptiveWithK(k),
-        UniformRandomSchedule(span=lambda k: 2 * k),
-        max_rounds=40 * k,
+    result = execute(RunSpec(
+        k=k,
+        protocol=NonAdaptiveWithK(k),
+        adversary=UniformRandomSchedule(span=lambda k: 2 * k),
         seed=7,
-    )
-    result = sim.run()
+    ))
     print(result.max_latency, result.total_transmissions)
+
+``execute`` routes the spec to the right engine automatically (here the
+vectorised sampler); the engine classes remain importable for direct use.
 
 See ``examples/`` for runnable scenarios and ``benchmarks/`` for the
 table/figure reproductions indexed in DESIGN.md.
@@ -68,6 +67,8 @@ from repro.core.protocols import (
     SublinearDecrease,
     SUniform,
 )
+from repro.core.spec import RunSpec
+from repro.engine import execute
 
 __version__ = "1.0.0"
 
@@ -111,4 +112,7 @@ __all__ = [
     "NonAdaptiveWithK",
     "SublinearDecrease",
     "SUniform",
+    # engine dispatch
+    "RunSpec",
+    "execute",
 ]

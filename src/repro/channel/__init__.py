@@ -13,6 +13,7 @@ from repro.channel.jamming import (
     PeriodicJammer,
     RandomJammer,
     ReactiveJammer,
+    ScheduledJammer,
     draw_jam_rounds,
 )
 from repro.channel.results import RunResult, StopCondition
@@ -31,6 +32,7 @@ __all__ = [
     "PeriodicJammer",
     "RandomJammer",
     "ReactiveJammer",
+    "ScheduledJammer",
     "draw_jam_rounds",
     "dump_run_result",
     "load_run_result",

@@ -20,7 +20,13 @@ from collections.abc import Sequence
 
 import numpy as np
 
-__all__ = ["Jammer", "RandomJammer", "PeriodicJammer", "ReactiveJammer"]
+__all__ = [
+    "Jammer",
+    "RandomJammer",
+    "PeriodicJammer",
+    "ReactiveJammer",
+    "ScheduledJammer",
+]
 
 
 class Jammer(abc.ABC):
@@ -102,6 +108,23 @@ class ReactiveJammer(Jammer):
             self._remaining -= 1
             return True
         return False
+
+
+class ScheduledJammer(Jammer):
+    """Jam exactly a fixed, pre-drawn set of global rounds (oblivious).
+
+    This is the object-engine counterpart of the vectorised engine's
+    ``jam_rounds`` argument: both consume the same round set (e.g. from
+    :func:`draw_jam_rounds`), so a jammed configuration can run — and be
+    cross-checked — on either engine.
+    """
+
+    def __init__(self, rounds):
+        self.rounds = frozenset(int(r) for r in rounds)
+        self.name = f"scheduled-jammer({len(self.rounds)} rounds)"
+
+    def jams(self, round_index: int, history: Sequence) -> bool:
+        return round_index in self.rounds
 
 
 def draw_jam_rounds(

@@ -195,13 +195,14 @@ class VectorizedSimulator:
 
         local_rounds = self._sample_transmissions(station_rng, cum_hazard, max_local)
 
-        # Build the flat (global_round, station) event stream.
+        # Build the flat (global_round, station) event stream.  k >= 1 is
+        # enforced at construction, so local_rounds is never empty.
         stations_flat = np.concatenate(
             [np.full(len(r), i, dtype=np.int64) for i, r in enumerate(local_rounds)]
-        ) if local_rounds else np.empty(0, dtype=np.int64)
+        )
         globals_flat = np.concatenate(
             [r + wake[i] for i, r in enumerate(local_rounds)]
-        ) if local_rounds else np.empty(0, dtype=np.int64)
+        )
         keep = globals_flat <= self.max_rounds
         stations_flat = stations_flat[keep]
         globals_flat = globals_flat[keep]

@@ -89,6 +89,13 @@ def main(argv: list[str] | None = None) -> int:
         "(default 0 = fail fast); retried runs reuse their seed, so "
         "recovery never changes results",
     )
+    run_parser.add_argument(
+        "--engine", choices=("auto", "object", "vectorized", "cross-check"),
+        default=None,
+        help="engine dispatch override: auto (default) picks the vectorised "
+        "engine when admissible; cross-check shadows each run with the "
+        "reference engine and asserts agreement",
+    )
 
     suite_parser = subparsers.add_parser(
         "suite", help="run every experiment at a chosen scale"
@@ -123,6 +130,11 @@ def main(argv: list[str] | None = None) -> int:
         "--max-retries", metavar="N", type=int, default=None,
         help="re-submissions allowed per crashed/hung run (default 0)",
     )
+    suite_parser.add_argument(
+        "--engine", choices=("auto", "object", "vectorized", "cross-check"),
+        default=None,
+        help="engine dispatch override for every run in the suite",
+    )
 
     args, extra = parser.parse_known_args(argv)
 
@@ -144,6 +156,7 @@ def main(argv: list[str] | None = None) -> int:
                 resume_dir=args.resume,
                 task_timeout=args.task_timeout,
                 max_retries=args.max_retries,
+                engine=args.engine,
             )
         except KeyError as error:
             print(error.args[0], file=sys.stderr)
@@ -159,6 +172,7 @@ def main(argv: list[str] | None = None) -> int:
             resume_dir=args.resume,
             task_timeout=args.task_timeout,
             max_retries=args.max_retries,
+            engine=args.engine,
             **overrides,
         )
     except KeyError as error:

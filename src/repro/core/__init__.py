@@ -8,7 +8,20 @@ from repro.core.protocol import (
 )
 from repro.core.station import Station, StationRecord
 
+
+def __getattr__(name: str):
+    # RunSpec is exposed lazily: repro.core.spec imports channel enums for
+    # its field defaults, and the channel package imports repro.core.station
+    # during its own init — an eager import here would close that cycle.
+    if name == "RunSpec":
+        from repro.core.spec import RunSpec
+
+        return RunSpec
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 __all__ = [
+    "RunSpec",
     "ProbabilitySchedule",
     "Protocol",
     "ScheduleProtocol",

@@ -1,0 +1,286 @@
+"""RunSpec: one declarative, fingerprint-able description of a simulation run.
+
+Every execution in this repository — a slot-by-slot :class:`SlotSimulator`
+run or a Poisson-thinning :class:`VectorizedSimulator` run — is a pure
+function of a small set of inputs: contention size, the protocol (a
+non-adaptive :class:`~repro.core.protocol.ProbabilitySchedule` or a
+stateful :class:`~repro.core.protocol.Protocol` factory), the adversary,
+the feedback model, the stop condition, jamming, the horizon and the seed.
+:class:`RunSpec` captures exactly that set in one frozen dataclass, so
+
+* engine selection is a *property of the spec*, not of the caller
+  (see :func:`repro.engine.execute` and the admissibility rules there);
+* checkpoint journal keys are derived from the spec
+  (:meth:`RunSpec.fingerprint`), so the journal key and the run
+  construction can never drift apart;
+* probability/hazard tables are cached per schedule fingerprint
+  (:mod:`repro.engine.cache`) instead of being recomputed per repetition.
+
+A spec is *declarative*: constructing one performs no simulation work and
+touches no RNG.  ``execute(spec)`` (or ``execute(spec, engine=...)``) runs
+it.  Two specs that fingerprint identically describe runs drawn from the
+same distribution; adding the seed pins one exact execution.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Callable, Iterable
+from dataclasses import dataclass
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.adversary.base import AdaptiveAdversary, WakeSchedule
+from repro.channel.feedback import FeedbackModel
+from repro.channel.results import StopCondition
+from repro.core.protocol import ProbabilitySchedule, Protocol, ScheduleProtocol
+
+__all__ = ["RunSpec", "stable_token", "adversary_token"]
+
+ProtocolFactory = Callable[[], Protocol]
+ProtocolLike = Union[ProbabilitySchedule, ProtocolFactory]
+Adversary = Union[WakeSchedule, AdaptiveAdversary]
+
+
+def stable_token(value: object) -> object:
+    """A process-independent fingerprint token for a config attribute.
+
+    Primitives pass through; objects contribute their ``name`` (the
+    convention every schedule/adversary here follows) or class name —
+    never their ``repr``, which may embed a memory address and would
+    break fingerprint stability across resumed processes.
+    """
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    if isinstance(value, (tuple, list)):
+        return tuple(stable_token(v) for v in value)
+    name = getattr(value, "name", None)
+    if isinstance(name, str):
+        return name
+    return type(value).__name__
+
+
+def adversary_token(adversary: Adversary, k: int) -> object:
+    """Fingerprint an adversary: its name plus, for oblivious schedules, a
+    canonical wake draw (distinguishes e.g. two ``FixedSchedule`` instances
+    that share the generic name but carry different rounds)."""
+    if isinstance(adversary, WakeSchedule):
+        try:
+            sample = tuple(
+                int(r) for r in adversary.wake_rounds(k, np.random.default_rng(0))
+            )
+        except Exception:
+            sample = None
+        return (stable_token(adversary), sample)
+    return ("adaptive", stable_token(adversary), type(adversary).__name__)
+
+
+@dataclass(frozen=True)
+class RunSpec:
+    """One simulation run, described declaratively.
+
+    Args:
+        k: number of contending stations (>= 1).
+        protocol: either a :class:`ProbabilitySchedule` instance (shared by
+            every station, the paper's anonymity) or a zero-argument
+            callable producing a fresh :class:`Protocol` per station.
+        adversary: a :class:`WakeSchedule` (oblivious) or
+            :class:`AdaptiveAdversary` (online).
+        feedback: channel feedback model; the paper's protocols use
+            ACK_ONLY.  Only consulted by the object engine.
+        stop: completion criterion.
+        switch_off_on_ack: the paper's default semantics; False for the
+            no-acknowledgement variant.  Only meaningful for schedule runs
+            (protocol factories own their switch-off logic).
+        max_rounds: explicit global-round horizon; ``None`` defers to the
+            :meth:`resolve_horizon` policy
+            (:func:`~repro.channel.simulator.default_max_rounds`).
+        record_trace: keep the full per-round event log on the result
+            (forces the object engine).
+        jammer: an adaptive/stateful :class:`~repro.channel.jamming.Jammer`
+            (forces the object engine).
+        jam_rounds: an oblivious set of jammed global rounds; runs on both
+            engines (the object engine wraps it in a
+            :class:`~repro.channel.jamming.ScheduledJammer`).  Mutually
+            exclusive with ``jammer``.
+        seed: base seed for all randomness (None = OS entropy; such a spec
+            cannot be journaled).
+        label: reporting label; folded into protocol-run fingerprints to
+            disambiguate configurations a class cannot express.
+    """
+
+    k: int
+    protocol: ProtocolLike
+    adversary: Adversary
+    feedback: FeedbackModel = FeedbackModel.ACK_ONLY
+    stop: StopCondition = StopCondition.ALL_SWITCHED_OFF
+    switch_off_on_ack: bool = True
+    max_rounds: Optional[int] = None
+    record_trace: bool = False
+    jammer: Optional[object] = None
+    jam_rounds: Optional[tuple[int, ...]] = None
+    seed: Optional[int] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.k < 1:
+            raise ValueError(f"need at least one station, got k={self.k}")
+        if not isinstance(self.protocol, ProbabilitySchedule) and not callable(
+            self.protocol
+        ):
+            raise TypeError(
+                "protocol must be a ProbabilitySchedule or a zero-argument "
+                f"Protocol factory, got {type(self.protocol).__name__}"
+            )
+        if not isinstance(self.adversary, (WakeSchedule, AdaptiveAdversary)):
+            raise TypeError(
+                "adversary must be a WakeSchedule or AdaptiveAdversary, "
+                f"got {type(self.adversary).__name__}"
+            )
+        if self.max_rounds is not None and self.max_rounds < 1:
+            raise ValueError(f"max_rounds must be >= 1, got {self.max_rounds}")
+        if self.jammer is not None and self.jam_rounds is not None:
+            raise ValueError(
+                "jammer and jam_rounds are mutually exclusive: jam_rounds is "
+                "the oblivious (engine-portable) form, jammer the stateful one"
+            )
+        if self.jam_rounds is not None:
+            rounds: Iterable[int] = self.jam_rounds  # type: ignore[assignment]
+            object.__setattr__(
+                self, "jam_rounds", tuple(sorted({int(r) for r in rounds}))
+            )
+
+    # ------------------------------------------------------------------ kind
+
+    @property
+    def is_schedule_run(self) -> bool:
+        """True when the protocol is a non-adaptive probability schedule."""
+        return isinstance(self.protocol, ProbabilitySchedule)
+
+    @property
+    def schedule(self) -> ProbabilitySchedule:
+        if not self.is_schedule_run:
+            raise TypeError("this RunSpec describes a protocol-factory run")
+        return self.protocol  # type: ignore[return-value]
+
+    @property
+    def protocol_factory(self) -> ProtocolFactory:
+        """A zero-argument factory for the object engine, for either kind.
+
+        Schedule specs are adapted through :class:`ScheduleProtocol`, which
+        is exactly how the object engine has always run non-adaptive
+        schedules — the two views stay byte-identical per seed.
+        """
+        if self.is_schedule_run:
+            schedule = self.schedule
+            ack = self.switch_off_on_ack
+
+            def factory() -> Protocol:
+                return ScheduleProtocol(schedule, switch_off_on_ack=ack)
+
+            factory.protocol_name = getattr(  # type: ignore[attr-defined]
+                schedule, "name", "schedule"
+            )
+            return factory
+        return self.protocol  # type: ignore[return-value]
+
+    @property
+    def display_label(self) -> str:
+        """The reporting label: explicit ``label`` or the protocol's name."""
+        if self.label:
+            return self.label
+        if self.is_schedule_run:
+            return getattr(self.schedule, "name", "schedule")
+        return getattr(self.protocol, "protocol_name", "protocol")
+
+    # --------------------------------------------------------------- horizon
+
+    def resolve_horizon(self) -> int:
+        """The effective global-round horizon of this run.
+
+        Explicit ``max_rounds`` wins; otherwise the single repository-wide
+        policy :func:`~repro.channel.simulator.default_max_rounds` applies
+        (generous enough for every paper protocol at any realistic
+        constant, bounded enough to stop runaway executions).  Drivers
+        should only pass ``max_rounds`` when the horizon is itself part of
+        the experiment (a theorem's bound, a jamming budget).
+        """
+        if self.max_rounds is not None:
+            return self.max_rounds
+        from repro.channel.simulator import default_max_rounds
+
+        return default_max_rounds(self.k)
+
+    # ----------------------------------------------------------- convenience
+
+    def with_seed(self, seed: Optional[int]) -> "RunSpec":
+        """A copy of this spec pinned to ``seed`` (repetition fan-out)."""
+        return dataclasses.replace(self, seed=seed)
+
+    def replace(self, **changes: object) -> "RunSpec":
+        """``dataclasses.replace`` with revalidation."""
+        return dataclasses.replace(self, **changes)  # type: ignore[arg-type]
+
+    # ------------------------------------------------------------ fingerprint
+
+    def fingerprint(self, prob_table: Optional[np.ndarray] = None) -> str:
+        """The checkpoint journal key of this configuration (seed excluded).
+
+        Everything that shapes the run's outcome besides the seed is
+        digested.  For schedule runs the probability table itself is hashed
+        (truncated to its first 4096 entries plus a checksum of the whole),
+        so two configurations that differ only in a schedule constant can
+        never satisfy each other's journal entries; ``prob_table`` may be
+        passed to reuse a table already in hand, otherwise it is fetched
+        from the per-process cache.  Protocol-factory runs capture the
+        probe instance's public attributes (primitives and named
+        sub-objects only) plus the caller's ``label``.
+        """
+        from repro.experiments.checkpoint import config_fingerprint
+
+        horizon = self.resolve_horizon()
+        jam_token: object = None
+        if self.jam_rounds is not None:
+            jam_token = ("jam_rounds", self.jam_rounds)
+        elif self.jammer is not None:
+            jam_token = ("jammer", stable_token(self.jammer))
+        if self.is_schedule_run:
+            if prob_table is None:
+                from repro.engine.cache import probability_table
+
+                prob_table = probability_table(self.schedule, horizon)
+            table = np.asarray(prob_table, dtype=float)
+            return config_fingerprint(
+                "schedule",
+                self.k,
+                stable_token(self.schedule),
+                self.schedule.horizon(),
+                horizon,
+                table[:4096].tobytes(),
+                float(table.sum()),
+                int(table.size),
+                adversary_token(self.adversary, self.k),
+                self.switch_off_on_ack,
+                self.stop.value,
+                jam_token,
+            )
+        probe = self.protocol_factory()
+        attrs = tuple(
+            (key, stable_token(value))
+            for key, value in sorted(getattr(probe, "__dict__", {}).items())
+            if not key.startswith("_")
+        )
+        return config_fingerprint(
+            "protocol",
+            self.k,
+            type(probe).__name__,
+            getattr(self.protocol, "protocol_name", ""),
+            self.label,
+            attrs,
+            horizon,
+            adversary_token(self.adversary, self.k),
+            self.feedback.value if hasattr(self.feedback, "value") else str(self.feedback),
+            self.stop.value,
+            jam_token,
+        )

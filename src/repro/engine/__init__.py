@@ -1,0 +1,55 @@
+"""Engine dispatch: declarative :class:`RunSpec` in, :class:`RunResult` out.
+
+The one import most callers need::
+
+    from repro.engine import RunSpec, execute
+
+    result = execute(RunSpec(k=8, protocol=schedule, adversary=wake, seed=7))
+
+See :mod:`repro.engine.dispatch` for the admissibility rules and
+:mod:`repro.engine.cache` for the probability/hazard table cache.
+"""
+
+from repro.core.spec import RunSpec
+from repro.engine.cache import (
+    clear_table_cache,
+    cumulative_hazard,
+    probability_table,
+    schedule_fingerprint,
+    set_table_cache_limit,
+    table_cache_info,
+)
+from repro.engine.dispatch import (
+    ENGINE_NAMES,
+    EngineDisagreement,
+    EngineSelectionError,
+    assert_results_agree,
+    build_simulator,
+    execute,
+    get_default_engine,
+    select_engine,
+    set_default_engine,
+    use_engine,
+    vectorized_inadmissibility,
+)
+
+__all__ = [
+    "RunSpec",
+    "ENGINE_NAMES",
+    "EngineSelectionError",
+    "EngineDisagreement",
+    "vectorized_inadmissibility",
+    "select_engine",
+    "build_simulator",
+    "execute",
+    "assert_results_agree",
+    "set_default_engine",
+    "get_default_engine",
+    "use_engine",
+    "schedule_fingerprint",
+    "probability_table",
+    "cumulative_hazard",
+    "table_cache_info",
+    "clear_table_cache",
+    "set_table_cache_limit",
+]

@@ -1,0 +1,175 @@
+"""Bounded per-process cache of probability and hazard tables.
+
+``ProbabilitySchedule.probabilities(horizon)`` is a pure-Python loop over
+the horizon — O(horizon) calls into ``probability(i)`` — and the paper's
+sweeps re-ran it once per repetition before the dispatch layer existed.
+The table is a pure function of (schedule, horizon), so this module keeps
+a small LRU keyed by ``(schedule fingerprint, horizon)``: a table1-style
+sweep now computes each configuration's table exactly once per process,
+and forked pool workers inherit the warm cache through the parent's
+address space.
+
+The schedule fingerprint digests the schedule's class, ``name``,
+``horizon()``, public primitive attributes *and* a probe of its actual
+probability values at fixed rounds — two schedules that would collide must
+agree on every probe, which no distinct paper configuration does.  As a
+second line of defence, the vectorised engine spot-checks any supplied
+table against the live schedule before sampling from it
+(``vectorized.py``), so a hash collision cannot silently poison results.
+
+Cached arrays are marked read-only; callers share them, never mutate them.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.channel.vectorized import hazard_table
+from repro.core.protocol import ProbabilitySchedule
+from repro.core.spec import stable_token
+
+__all__ = [
+    "schedule_fingerprint",
+    "probability_table",
+    "cumulative_hazard",
+    "table_cache_info",
+    "clear_table_cache",
+    "set_table_cache_limit",
+]
+
+#: Local rounds probed by :func:`schedule_fingerprint` — a dense prefix
+#: (where every paper schedule does its distinctive work) plus a geometric
+#: tail covering any realistic horizon.
+_PROBE_ROUNDS = tuple(range(1, 17)) + tuple(2**i for i in range(5, 21))
+
+_lock = threading.Lock()
+_tables: OrderedDict[tuple[str, int], np.ndarray] = OrderedDict()
+_hazards: OrderedDict[tuple[str, int], np.ndarray] = OrderedDict()
+_max_entries = 32
+_hits = 0
+_misses = 0
+
+
+def schedule_fingerprint(schedule: ProbabilitySchedule) -> str:
+    """A stable identity for a schedule's probability function.
+
+    Process-independent (no ``id``/``repr``), so it doubles as a checkpoint
+    key component and stays valid across resumed processes.
+    """
+    attrs = tuple(
+        (key, stable_token(value))
+        for key, value in sorted(getattr(schedule, "__dict__", {}).items())
+        if not key.startswith("_")
+    )
+    horizon = schedule.horizon()
+    probes = []
+    for i in _PROBE_ROUNDS:
+        if horizon is not None and i > horizon:
+            probes.append(0.0)
+        else:
+            probes.append(float(schedule.probability(i)))
+    digest = hashlib.sha256()
+    digest.update(
+        repr(
+            (
+                type(schedule).__name__,
+                getattr(schedule, "name", ""),
+                horizon,
+                attrs,
+            )
+        ).encode()
+    )
+    digest.update(np.asarray(probes, dtype=float).tobytes())
+    return digest.hexdigest()[:24]
+
+
+def _get(
+    store: OrderedDict[tuple[str, int], np.ndarray], key: tuple[str, int]
+) -> np.ndarray | None:
+    global _hits
+    entry = store.get(key)
+    if entry is not None:
+        store.move_to_end(key)
+        _hits += 1
+    return entry
+
+
+def _put(
+    store: OrderedDict[tuple[str, int], np.ndarray],
+    key: tuple[str, int],
+    value: np.ndarray,
+) -> np.ndarray:
+    global _misses
+    _misses += 1
+    value.setflags(write=False)
+    store[key] = value
+    while len(store) > _max_entries:
+        store.popitem(last=False)
+    return value
+
+
+def probability_table(
+    schedule: ProbabilitySchedule, horizon: int
+) -> np.ndarray:
+    """``schedule.probabilities(horizon)``, cached and read-only."""
+    key = (schedule_fingerprint(schedule), int(horizon))
+    with _lock:
+        cached = _get(_tables, key)
+    if cached is not None:
+        return cached
+    table = np.asarray(schedule.probabilities(int(horizon)), dtype=float)
+    with _lock:
+        return _put(_tables, key, table)
+
+
+def cumulative_hazard(schedule: ProbabilitySchedule, horizon: int) -> np.ndarray:
+    """The cumulative-hazard table over the probability table, cached."""
+    key = (schedule_fingerprint(schedule), int(horizon))
+    with _lock:
+        cached = _get(_hazards, key)
+    if cached is not None:
+        return cached
+    hazards = hazard_table(probability_table(schedule, horizon))
+    with _lock:
+        return _put(_hazards, key, hazards)
+
+
+def table_cache_info() -> dict[str, int]:
+    """Hit/miss/occupancy counters (process-wide, since import or the last
+    :func:`clear_table_cache`)."""
+    with _lock:
+        return {
+            "hits": _hits,
+            "misses": _misses,
+            "tables": len(_tables),
+            "hazards": len(_hazards),
+            "max_entries": _max_entries,
+        }
+
+
+def clear_table_cache() -> None:
+    """Drop every cached table and reset the counters."""
+    global _hits, _misses
+    with _lock:
+        _tables.clear()
+        _hazards.clear()
+        _hits = 0
+        _misses = 0
+
+
+def set_table_cache_limit(max_entries: int) -> None:
+    """Bound the cache (per store).  Tables are O(horizon) floats each, so
+    the default of 32 caps worst-case memory at a few tens of megabytes."""
+    global _max_entries
+    if max_entries < 1:
+        raise ValueError(f"max_entries must be >= 1, got {max_entries}")
+    with _lock:
+        _max_entries = int(max_entries)
+        while len(_tables) > _max_entries:
+            _tables.popitem(last=False)
+        while len(_hazards) > _max_entries:
+            _hazards.popitem(last=False)

@@ -1,0 +1,326 @@
+"""Capability-based engine dispatch: ``execute(spec, engine="auto")``.
+
+The repository ships two exact engines — the slot-by-slot
+:class:`~repro.channel.simulator.SlotSimulator` (runs everything) and the
+Poisson-thinning :class:`~repro.channel.vectorized.VectorizedSimulator`
+(runs the non-adaptive subset ~100x faster).  Before this layer existed,
+every experiment driver hand-picked an engine and re-spelled its
+constructor kwargs; now the choice is a property of the
+:class:`~repro.core.spec.RunSpec`:
+
+===============================  ======================================
+spec property                    vectorised-admissible?
+===============================  ======================================
+protocol is a factory            no — stateful protocols need the round loop
+adaptive adversary               no — reacts to history the batch sampler
+                                 never materialises
+``jammer`` object                no — may be adaptive (``jam_rounds`` is
+                                 the oblivious, engine-portable form)
+``record_trace=True``            no — the fast engine keeps no event log
+non-ACK feedback                 no — CD feedback only exists in the
+                                 object engine's observation path
+everything else                  yes
+===============================  ======================================
+
+``engine="auto"`` (the default) routes admissible specs to the vectorised
+engine and everything else to the object engine — exactly the choice every
+driver made by hand before.  ``engine="object"`` forces the reference
+engine (always legal); ``engine="vectorized"`` on an inadmissible spec
+raises :class:`EngineSelectionError` instead of silently running the wrong
+semantics.  ``engine="cross-check"`` runs *both* engines and asserts
+agreement (see :func:`assert_results_agree`): exact record-level equality
+for deterministic schedules (every probability 0 or 1 — the regime where
+an execution is a pure function of the configuration), and model-invariant
+agreement (identical wake draws, both results passing the invariant
+validator) for stochastic ones, whose per-seed outcomes legitimately
+differ between sampling mechanisms.
+
+The adaptive/oblivious boundary here mirrors the feedback distinction
+stressed in the contention-resolution literature (Bender et al.; De
+Marco–Kowalski–Stachowiak): an oblivious wake schedule plus a non-adaptive
+transmission schedule is a product distribution the thinning sampler can
+draw in one shot, while anything that *reacts* needs the round loop.
+
+The process-wide default engine (:func:`use_engine` /
+:func:`set_default_engine`, wired to the CLI's ``--engine`` flag) lets a
+whole experiment run under ``cross-check`` without touching any driver.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional, Union
+
+import numpy as np
+
+from repro.adversary.base import WakeSchedule
+from repro.channel.jamming import ScheduledJammer
+from repro.channel.feedback import FeedbackModel
+from repro.channel.results import RunResult
+from repro.channel.simulator import SlotSimulator
+from repro.channel.validate import validate_run
+from repro.channel.vectorized import VectorizedSimulator
+from repro.core.spec import RunSpec
+from repro.engine.cache import probability_table
+
+__all__ = [
+    "ENGINE_NAMES",
+    "EngineSelectionError",
+    "EngineDisagreement",
+    "vectorized_inadmissibility",
+    "select_engine",
+    "build_simulator",
+    "execute",
+    "assert_results_agree",
+    "set_default_engine",
+    "get_default_engine",
+    "use_engine",
+]
+
+Engine = Union[SlotSimulator, VectorizedSimulator]
+
+#: Legal values of the ``engine`` argument (and the CLI's ``--engine``).
+ENGINE_NAMES = ("auto", "object", "vectorized", "cross-check")
+
+#: Process-wide default consulted when ``execute`` is called with
+#: ``engine=None`` — the hook the CLI's ``--engine`` flag sets.
+_default_engine = "auto"
+
+
+class EngineSelectionError(ValueError):
+    """A spec was forced onto an engine that cannot express it."""
+
+
+class EngineDisagreement(AssertionError):
+    """Cross-check mode found the two engines producing different results."""
+
+
+def set_default_engine(engine: str) -> None:
+    """Set the process default for ``execute(spec, engine=None)``."""
+    global _default_engine
+    if engine not in ENGINE_NAMES:
+        raise ValueError(f"unknown engine {engine!r}; known: {ENGINE_NAMES}")
+    _default_engine = engine
+
+
+def get_default_engine() -> str:
+    """The process default engine (``"auto"`` unless overridden)."""
+    return _default_engine
+
+
+@contextmanager
+def use_engine(engine: Optional[str]):
+    """Scope a default-engine override (None = leave the default alone)."""
+    global _default_engine
+    previous = _default_engine
+    if engine is not None:
+        set_default_engine(engine)
+    try:
+        yield
+    finally:
+        _default_engine = previous
+
+
+def vectorized_inadmissibility(spec: RunSpec) -> Optional[str]:
+    """Why ``spec`` cannot run on the vectorised engine, or None if it can.
+
+    The returned string is the human-readable dispatch reason used in
+    error messages and in the docs' dispatch table.
+    """
+    if not spec.is_schedule_run:
+        return "protocol-factory runs need the object engine's round loop"
+    if not isinstance(spec.adversary, WakeSchedule):
+        return (
+            "adaptive adversaries react to channel history, which the "
+            "batch sampler never materialises"
+        )
+    if spec.jammer is not None:
+        return (
+            "jammer objects may be adaptive; use jam_rounds for oblivious "
+            "jamming on the fast engine"
+        )
+    if spec.record_trace:
+        return "the vectorised engine keeps no per-round event log"
+    if spec.feedback is not FeedbackModel.ACK_ONLY:
+        return (
+            "non-ACK feedback models only exist in the object engine's "
+            "observation path"
+        )
+    return None
+
+
+def select_engine(spec: RunSpec) -> str:
+    """The engine ``engine="auto"`` resolves to: ``"vectorized"`` exactly
+    when the spec is admissible, else ``"object"``."""
+    return "object" if vectorized_inadmissibility(spec) else "vectorized"
+
+
+def build_simulator(spec: RunSpec, engine: str = "auto") -> Engine:
+    """Construct (but do not run) the simulator for ``spec``.
+
+    The vectorised path shares the per-process probability-table cache, so
+    repeated constructions of the same configuration reuse one table.
+    """
+    if engine == "auto":
+        engine = select_engine(spec)
+    if engine == "vectorized":
+        reason = vectorized_inadmissibility(spec)
+        if reason is not None:
+            raise EngineSelectionError(
+                f"spec is not vectorised-admissible: {reason}"
+            )
+        horizon = spec.resolve_horizon()
+        return VectorizedSimulator(
+            spec.k,
+            spec.schedule,
+            spec.adversary,
+            switch_off_on_ack=spec.switch_off_on_ack,
+            stop=spec.stop,
+            max_rounds=horizon,
+            seed=spec.seed,
+            prob_table=probability_table(spec.schedule, horizon),
+            jam_rounds=spec.jam_rounds,
+        )
+    if engine == "object":
+        jammer = spec.jammer
+        if jammer is None and spec.jam_rounds is not None:
+            jammer = ScheduledJammer(spec.jam_rounds)
+        return SlotSimulator(
+            spec.k,
+            spec.protocol_factory,
+            spec.adversary,
+            feedback=spec.feedback,
+            stop=spec.stop,
+            max_rounds=spec.resolve_horizon(),
+            seed=spec.seed,
+            record_trace=spec.record_trace,
+            jammer=jammer,
+        )
+    raise ValueError(
+        f"unknown engine {engine!r}; known: {ENGINE_NAMES}"
+        + (" (cross-check is execute()-only)" if engine == "cross-check" else "")
+    )
+
+
+def execute(spec: RunSpec, engine: Optional[str] = None) -> RunResult:
+    """Run one spec on the right engine and return its :class:`RunResult`.
+
+    ``engine=None`` uses the process default (``"auto"`` unless the CLI's
+    ``--engine`` flag or :func:`use_engine` changed it).  ``"auto"`` picks
+    the vectorised engine exactly when the spec is admissible and is
+    byte-identical, per seed, to constructing that engine directly.
+    ``"cross-check"`` runs both engines, asserts agreement, and returns
+    the result ``"auto"`` would have returned.
+    """
+    if engine is None:
+        engine = _default_engine
+    if engine == "cross-check":
+        return _cross_check(spec)
+    return build_simulator(spec, engine).run()
+
+
+def _is_deterministic(spec: RunSpec) -> bool:
+    """True when every per-round probability is 0 or 1 over the horizon —
+    the regime where both engines are pure functions of the configuration
+    and must agree exactly (cf. ``tests/test_engine_fuzz.py``)."""
+    table = probability_table(spec.schedule, spec.resolve_horizon())
+    return bool(np.all((table == 0.0) | (table == 1.0)))
+
+
+def _record_keys(result: RunResult, up_to_round: int) -> list[tuple]:
+    """Station records as a sorted multiset, ignoring engine-specific ids.
+
+    The object engine only materialises stations the adversary woke before
+    the run stopped; the vectorised engine always materialises all ``k``.
+    A station woken after the stop round has no observable behaviour, so
+    both views agree once restricted to ``wake_round <= up_to_round``.
+    """
+    return sorted(
+        (r.wake_round, r.first_success_round, r.switch_off_round, r.transmissions)
+        for r in result.records
+        if r.wake_round <= up_to_round
+    )
+
+
+def assert_results_agree(
+    spec: RunSpec, object_result: RunResult, vectorized_result: RunResult
+) -> None:
+    """Raise :class:`EngineDisagreement` unless the two engines agree.
+
+    Deterministic schedules demand full agreement: completion, rounds
+    executed, every metric, and the station-record multiset.  Stochastic
+    schedules use different sampling mechanisms (per-round Bernoulli vs
+    Poisson thinning), so per-seed equality cannot hold; both results must
+    instead pass the model-invariant validator and report identical wake
+    draws (the adversary stream is shared), restricted to stations woken
+    before either run stopped.
+    """
+    obj, vec = object_result, vectorized_result
+
+    def _require(condition: bool, message: str) -> None:
+        if not condition:
+            raise EngineDisagreement(
+                f"engines disagree on {spec.display_label!r} "
+                f"(k={spec.k}, seed={spec.seed}): {message}"
+            )
+
+    try:
+        validate_run(obj)
+        validate_run(vec)
+    except Exception as error:  # InvariantViolation carries the detail
+        raise EngineDisagreement(
+            f"invariant violation on {spec.display_label!r} "
+            f"(k={spec.k}, seed={spec.seed}): {error}"
+        ) from error
+
+    if _is_deterministic(spec):
+        _require(obj.completed == vec.completed, "completed flags differ")
+        _require(
+            obj.rounds_executed == vec.rounds_executed, "rounds_executed differ"
+        )
+        _require(
+            obj.first_success_round == vec.first_success_round,
+            "first_success_round differs",
+        )
+        _require(obj.success_count == vec.success_count, "success counts differ")
+        _require(
+            obj.total_transmissions == vec.total_transmissions,
+            "energy differs",
+        )
+        _require(
+            sorted(obj.latencies) == sorted(vec.latencies), "latencies differ"
+        )
+        _require(
+            _record_keys(obj, obj.rounds_executed)
+            == _record_keys(vec, obj.rounds_executed),
+            "station records differ",
+        )
+        return
+
+    horizon = min(obj.rounds_executed, vec.rounds_executed)
+    obj_wakes = sorted(
+        r.wake_round for r in obj.records if r.wake_round <= horizon
+    )
+    vec_wakes = sorted(
+        r.wake_round for r in vec.records if r.wake_round <= horizon
+    )
+    _require(
+        obj_wakes == vec_wakes,
+        "wake draws differ (the adversary stream must be shared)",
+    )
+
+
+def _cross_check(spec: RunSpec) -> RunResult:
+    """Run both engines (when the spec admits both) and assert agreement.
+
+    Returns the result ``engine="auto"`` would have produced, so flipping
+    a whole experiment to cross-check changes no reported number — it only
+    adds the object-engine shadow run and the agreement assertion.
+    Object-only specs degrade to a plain object-engine run.
+    """
+    if vectorized_inadmissibility(spec) is not None:
+        return build_simulator(spec, "object").run()
+    vec = build_simulator(spec, "vectorized").run()
+    obj = build_simulator(spec, "object").run()
+    assert_results_agree(spec, obj, vec)
+    return vec

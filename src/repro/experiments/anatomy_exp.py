@@ -24,8 +24,8 @@ import numpy as np
 
 from repro.adversary.oblivious import BatchSchedule
 from repro.channel.messages import DataPacket
-from repro.channel.simulator import SlotSimulator
 from repro.core.protocols.adaptive_no_k import AdaptiveNoK, Mode
+from repro.engine import RunSpec, execute
 from repro.experiments.harness import ExperimentReport
 from repro.util.ascii_chart import render_table
 
@@ -87,10 +87,10 @@ def run_adaptive_anatomy(
         protocols.append(protocol)
         return protocol
 
-    result = SlotSimulator(
-        k, factory, BatchSchedule(batch=batch, gap=gap),
-        max_rounds=800 * k + 8192, seed=seed, record_trace=True,
-    ).run()
+    result = execute(RunSpec(
+        k=k, protocol=factory, adversary=BatchSchedule(batch=batch, gap=gap),
+        seed=seed, record_trace=True,
+    ))
 
     wake_by_station = {r.station_id: r.wake_round for r in result.records}
 

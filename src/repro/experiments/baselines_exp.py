@@ -50,7 +50,6 @@ def run_baseline_compare(
     """Head-to-head at one contention size, static and dynamic workloads."""
     dynamic = UniformRandomSchedule(span=lambda kk: 2 * kk)
     static = StaticSchedule()
-    generous = lambda kk: 600 * kk + 20_000
     rows = []
 
     def add(label, workload, sample):
@@ -75,24 +74,23 @@ def run_baseline_compare(
             max_rounds=_sublinear_rounds_factory(b, with_ack=True)))
         add("Aloha(1/k)", workload_name, repeat_schedule_runs(
             k, lambda kk: SlottedAlohaKnownK(kk), adversary,
-            reps=reps, seed=seed + 2, max_rounds=generous))
+            reps=reps, seed=seed + 2))
         add("Aloha(p=0.05)", workload_name, repeat_schedule_runs(
             k, lambda kk: SlottedAlohaFixed(0.05), adversary,
-            reps=reps, seed=seed + 3, max_rounds=generous))
+            reps=reps, seed=seed + 3))
         add("AdaptiveNoK", workload_name, repeat_protocol_runs(
             k, lambda: AdaptiveNoK(), adversary,
-            reps=max(2, reps // 2), seed=seed + 4,
-            max_rounds=lambda kk: 120 * kk + 8192))
+            reps=max(2, reps // 2), seed=seed + 4))
         add("BEB", workload_name, repeat_protocol_runs(
             k, lambda: BinaryExponentialBackoff(), adversary,
-            reps=max(2, reps // 2), seed=seed + 5, max_rounds=generous))
+            reps=max(2, reps // 2), seed=seed + 5))
         add("PolyBackoff(2)", workload_name, repeat_protocol_runs(
             k, lambda: PolynomialBackoff(2), adversary,
-            reps=max(2, reps // 2), seed=seed + 6, max_rounds=generous))
+            reps=max(2, reps // 2), seed=seed + 6))
         add("SplittingTree(CD)", workload_name, repeat_protocol_runs(
             k, lambda: SplittingTree(), adversary,
             reps=max(2, reps // 2), seed=seed + 7,
-            max_rounds=generous, feedback=FeedbackModel.COLLISION_DETECTION))
+            feedback=FeedbackModel.COLLISION_DETECTION))
 
     # TDMA: aligned under static starts, breaks under offsets.
     add("TDMA", "static", repeat_protocol_runs(

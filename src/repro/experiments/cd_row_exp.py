@@ -48,7 +48,6 @@ def run_cd_row(
         ): repeat_protocol_runs(
             k, lambda: CdAimdProtocol(), adversary,
             reps=reps, seed=s,
-            max_rounds=lambda kk: 200 * kk + 4096,
             feedback=FeedbackModel.COLLISION_DETECTION,
             label="CdAimd",
         )
@@ -62,7 +61,6 @@ def run_cd_row(
             k, lambda: AdaptiveNoK(), adversary,
             reps=max(2, reps // 2),
             seed=s,
-            max_rounds=lambda kk: 400 * kk + 8192,
             label="AdaptiveNoK",
         )
         for i, k in enumerate(ks)

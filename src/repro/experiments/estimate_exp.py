@@ -20,8 +20,8 @@ from collections.abc import Sequence
 
 import numpy as np
 
-from repro.channel.vectorized import VectorizedSimulator
 from repro.core.protocols.non_adaptive_with_k import NonAdaptiveWithK
+from repro.engine import RunSpec, execute
 from repro.experiments.harness import ExperimentReport
 from repro.util.ascii_chart import render_table
 
@@ -50,15 +50,16 @@ def run_estimate_robustness(
     for factor in factors:
         k_hat = max(1, int(round(factor * k)))
         schedule = NonAdaptiveWithK(k_hat, c)
+        # Theorem 3.1's ladder length is a function of the estimate, so the
+        # horizon is an experiment parameter here, not a default.
         horizon = 3 * c * k_hat + 3 * k + 4096
-        prob_table = schedule.probabilities(horizon)
+        base = RunSpec(
+            k=k, protocol=schedule, adversary=adversary, max_rounds=horizon
+        )
         latencies, energies, failures = [], [], 0
         delivered = []
         for r in range(reps):
-            result = VectorizedSimulator(
-                k, schedule, adversary, max_rounds=horizon,
-                seed=seed + r, prob_table=prob_table,
-            ).run()
+            result = execute(base.with_seed(seed + r))
             delivered.append(result.success_count)
             if result.completed:
                 latencies.append(result.max_latency)

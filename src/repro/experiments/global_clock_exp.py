@@ -54,7 +54,6 @@ def run_global_clock(
             adversary,
             reps=reps,
             seed=s,
-            max_rounds=lambda kk: 400 * kk + 8192,
             label=f"GlobalClockUFR@{adversary.name}",
         )
         for i, k in enumerate(ks)

@@ -1,5 +1,12 @@
 """Experiment harness: repeated runs, sweeps over ``k``, worst-case pools.
 
+Every run goes through the engine-dispatch layer: the harness builds one
+:class:`~repro.core.spec.RunSpec` per configuration, fans seeded copies out
+through the executor, and lets :func:`repro.engine.execute` pick the engine
+(the vectorised sampler exactly when the spec is admissible, the object
+engine otherwise — or whatever the process default engine says, so
+``--engine cross-check`` shadows every run with the reference engine).
+
 Seeding contract
 ----------------
 
@@ -19,8 +26,10 @@ default set by the CLI's ``--jobs`` flag) and fans its runs out through
 :class:`~repro.experiments.executor.RunExecutor`.  Because each run's seed
 is pre-assigned before submission, results are bit-identical for any
 worker count; sweeps parallelize across *both* sweep points and
-repetitions.  Per-run wall-clock durations land in
-``MetricSample.run_seconds``.
+repetitions.  Probability tables are warmed in the parent process (the
+:mod:`repro.engine.cache` LRU), so forked workers inherit them read-only
+instead of recomputing per repetition.  Per-run wall-clock durations land
+in ``MetricSample.run_seconds``.
 
 Fault tolerance
 ---------------
@@ -33,7 +42,7 @@ run retry counts land in ``MetricSample.run_retries``.
 
 When a checkpoint journal is active (``--resume <dir>``, see
 :mod:`repro.experiments.checkpoint`), every completed run is journaled as
-soon as it finishes — keyed by ``(config fingerprint, run seed)`` — and
+soon as it finishes — keyed by ``(RunSpec.fingerprint(), run seed)`` — and
 journaled runs are *skipped* on re-execution, folding the stored result in
 their place.  The fold is deterministic, so an interrupted-and-resumed
 experiment reproduces its report byte-for-byte.
@@ -45,16 +54,17 @@ from collections.abc import Callable, Iterable, Sequence
 from dataclasses import dataclass, field
 from typing import Optional
 
-import numpy as np
-
 from repro.adversary.base import AdaptiveAdversary, WakeSchedule
 from repro.analysis.metrics import MetricSample
 from repro.channel.feedback import FeedbackModel
 from repro.channel.results import RunResult, StopCondition
-from repro.channel.simulator import SlotSimulator
-from repro.channel.vectorized import VectorizedSimulator
 from repro.core.protocol import ProbabilitySchedule, Protocol
-from repro.experiments.checkpoint import config_fingerprint, current_checkpoint
+from repro.core.spec import RunSpec
+from repro.core.spec import adversary_token as _adversary_token  # noqa: F401 back-compat
+from repro.core.spec import stable_token as _stable_token  # noqa: F401 back-compat
+from repro.engine.cache import probability_table
+from repro.engine.dispatch import execute
+from repro.experiments.checkpoint import current_checkpoint
 from repro.experiments.executor import RunExecutor
 
 __all__ = [
@@ -129,37 +139,6 @@ def _fold_sample(
     return sample
 
 
-def _stable_token(value: object) -> object:
-    """A process-independent fingerprint token for a config attribute.
-
-    Primitives pass through; objects contribute their ``name`` (the
-    convention every schedule/adversary here follows) or class name —
-    never their ``repr``, which may embed a memory address and would
-    break fingerprint stability across resumed processes.
-    """
-    if value is None or isinstance(value, (bool, int, float, str)):
-        return value
-    if isinstance(value, (tuple, list)):
-        return tuple(_stable_token(v) for v in value)
-    name = getattr(value, "name", None)
-    if isinstance(name, str):
-        return name
-    return type(value).__name__
-
-
-def _adversary_token(adversary: WakeSchedule | AdaptiveAdversary, k: int) -> object:
-    """Fingerprint an adversary: its name plus, for oblivious schedules, a
-    canonical wake draw (distinguishes e.g. two ``FixedSchedule`` instances
-    that share the generic name but carry different rounds)."""
-    if isinstance(adversary, WakeSchedule):
-        try:
-            sample = tuple(int(r) for r in adversary.wake_rounds(k, np.random.default_rng(0)))
-        except Exception:
-            sample = None
-        return (_stable_token(adversary), sample)
-    return ("adaptive", _stable_token(adversary), type(adversary).__name__)
-
-
 def _schedule_fingerprint(
     k: int,
     schedule: ProbabilitySchedule,
@@ -170,26 +149,20 @@ def _schedule_fingerprint(
     switch_off_on_ack: bool,
     stop: StopCondition,
 ) -> str:
-    """Journal key for one schedule-run configuration (seed excluded).
+    """Back-compat shim: journal key for one schedule-run configuration.
 
-    The probability table itself is hashed (truncated to its first 4096
-    entries plus a checksum of the whole), so two configurations that
-    differ only in a schedule constant can never satisfy each other's
-    journal entries."""
-    table = np.asarray(prob_table, dtype=float)
-    return config_fingerprint(
-        "schedule",
-        k,
-        _stable_token(schedule),
-        schedule.horizon(),
-        horizon,
-        table[:4096].tobytes(),
-        float(table.sum()),
-        int(table.size),
-        _adversary_token(adversary, k),
-        switch_off_on_ack,
-        stop.value,
-    )
+    The journal key is now derived from :meth:`RunSpec.fingerprint`; this
+    wrapper keeps the pre-RunSpec call signature working for existing
+    callers and tests.
+    """
+    return RunSpec(
+        k=k,
+        protocol=schedule,
+        adversary=adversary,
+        switch_off_on_ack=switch_off_on_ack,
+        stop=stop,
+        max_rounds=horizon,
+    ).fingerprint(prob_table=prob_table)
 
 
 def _protocol_fingerprint(
@@ -202,29 +175,17 @@ def _protocol_fingerprint(
     stop: StopCondition,
     label: str,
 ) -> str:
-    """Journal key for one object-engine configuration (seed excluded).
-
-    Protocol constants are captured best-effort from the instance's public
-    attributes (primitives and named sub-objects only); the caller-supplied
-    ``label`` disambiguates configurations a class cannot express."""
-    probe = protocol_factory()
-    attrs = tuple(
-        (key, _stable_token(value))
-        for key, value in sorted(getattr(probe, "__dict__", {}).items())
-        if not key.startswith("_")
-    )
-    return config_fingerprint(
-        "protocol",
-        k,
-        type(probe).__name__,
-        getattr(protocol_factory, "protocol_name", ""),
-        label,
-        attrs,
-        horizon,
-        _adversary_token(adversary, k),
-        feedback.value if hasattr(feedback, "value") else str(feedback),
-        stop.value,
-    )
+    """Back-compat shim: journal key for one object-engine configuration
+    (see :meth:`RunSpec.fingerprint`)."""
+    return RunSpec(
+        k=k,
+        protocol=protocol_factory,
+        adversary=adversary,
+        feedback=feedback,
+        stop=stop,
+        max_rounds=horizon,
+        label=label,
+    ).fingerprint()
 
 
 def _execute_runs(
@@ -277,58 +238,30 @@ def _execute_runs(
     return results, seconds, retries  # type: ignore[return-value]
 
 
-def _schedule_run_task(
-    k: int,
-    schedule: ProbabilitySchedule,
-    adversary: WakeSchedule,
-    *,
-    seed: int,
-    horizon: int,
-    prob_table,
-    switch_off_on_ack: bool,
-    stop: StopCondition,
-) -> Callable[[], RunResult]:
-    """One pre-seeded fast-engine run, sharing the precomputed prob_table."""
+def _spec_task(spec: RunSpec) -> Callable[[], RunResult]:
+    """One pre-seeded run, dispatched at execution time.
+
+    The engine choice is deferred into the task so forked workers honour
+    the process-default engine (``--engine``) they inherited; the
+    probability-table cache is warmed by the caller before the fork, so the
+    vectorised path never recomputes a table inside a worker.
+    """
 
     def task() -> RunResult:
-        return VectorizedSimulator(
-            k,
-            schedule,
-            adversary,
-            switch_off_on_ack=switch_off_on_ack,
-            stop=stop,
-            max_rounds=horizon,
-            seed=seed,
-            prob_table=prob_table,
-        ).run()
+        return execute(spec)
 
     return task
 
 
-def _protocol_run_task(
-    k: int,
-    protocol_factory: Callable[[], Protocol],
-    adversary: WakeSchedule | AdaptiveAdversary,
-    *,
-    seed: int,
-    horizon: int,
-    feedback: FeedbackModel,
-    stop: StopCondition,
-) -> Callable[[], RunResult]:
-    """One pre-seeded object-engine run."""
+def _warm_tables(spec: RunSpec) -> Optional[object]:
+    """Precompute (and cache) the spec's probability table in this process.
 
-    def task() -> RunResult:
-        return SlotSimulator(
-            k,
-            protocol_factory,
-            adversary,
-            feedback=feedback,
-            stop=stop,
-            max_rounds=horizon,
-            seed=seed,
-        ).run()
-
-    return task
+    Returns the table for schedule specs (handy for fingerprinting), None
+    for protocol-factory specs, which have no table.
+    """
+    if spec.is_schedule_run:
+        return probability_table(spec.schedule, spec.resolve_horizon())
+    return None
 
 
 def repeat_schedule_runs(
@@ -338,7 +271,7 @@ def repeat_schedule_runs(
     *,
     reps: int,
     seed: int,
-    max_rounds: Callable[[int], int],
+    max_rounds: Optional[Callable[[int], int]] = None,
     switch_off_on_ack: bool = True,
     stop: StopCondition = StopCondition.ALL_SWITCHED_OFF,
     label: Optional[str] = None,
@@ -346,37 +279,30 @@ def repeat_schedule_runs(
     task_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
 ) -> MetricSample:
-    """Run a non-adaptive schedule ``reps`` times on the fast engine.
+    """Run a non-adaptive schedule ``reps`` times (fast engine under
+    ``auto`` dispatch).
 
-    The probability table is computed once here and shared with every
-    repetition (and, under ``jobs > 1``, inherited read-only by the
-    worker processes) instead of being rebuilt per run.
+    ``max_rounds`` maps ``k`` to an explicit horizon; ``None`` defers to
+    the :meth:`RunSpec.resolve_horizon` policy.  The probability table is
+    computed once here and shared with every repetition (and, under
+    ``jobs > 1``, inherited read-only by the worker processes) instead of
+    being rebuilt per run.
     """
     schedule = schedule_factory(k)
-    horizon = max_rounds(k)
-    prob_table = schedule.probabilities(horizon)
+    base = RunSpec(
+        k=k,
+        protocol=schedule,
+        adversary=adversary,
+        switch_off_on_ack=switch_off_on_ack,
+        stop=stop,
+        max_rounds=max_rounds(k) if max_rounds is not None else None,
+    )
+    prob_table = _warm_tables(base)
     seeds = [seed + r for r in range(reps)]
-    tasks = [
-        _schedule_run_task(
-            k,
-            schedule,
-            adversary,
-            seed=s,
-            horizon=horizon,
-            prob_table=prob_table,
-            switch_off_on_ack=switch_off_on_ack,
-            stop=stop,
-        )
-        for s in seeds
-    ]
+    tasks = [_spec_task(base.with_seed(s)) for s in seeds]
     fingerprints = None
     if current_checkpoint() is not None:
-        fingerprints = [
-            _schedule_fingerprint(
-                k, schedule, adversary, horizon=horizon, prob_table=prob_table,
-                switch_off_on_ack=switch_off_on_ack, stop=stop,
-            )
-        ] * reps
+        fingerprints = [base.fingerprint(prob_table=prob_table)] * reps
     results, seconds, retries = _execute_runs(
         fingerprints, seeds, tasks,
         jobs=jobs, task_timeout=task_timeout, max_retries=max_retries,
@@ -391,7 +317,7 @@ def repeat_protocol_runs(
     *,
     reps: int,
     seed: int,
-    max_rounds: Callable[[int], int],
+    max_rounds: Optional[Callable[[int], int]] = None,
     feedback: FeedbackModel = FeedbackModel.ACK_ONLY,
     stop: StopCondition = StopCondition.ALL_SWITCHED_OFF,
     label: str = "",
@@ -399,30 +325,23 @@ def repeat_protocol_runs(
     task_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
 ) -> MetricSample:
-    """Run an arbitrary protocol ``reps`` times on the object engine."""
-    horizon = max_rounds(k)
+    """Run an arbitrary protocol ``reps`` times (object engine under
+    ``auto`` dispatch)."""
     label = label or getattr(protocol_factory, "protocol_name", "protocol")
+    base = RunSpec(
+        k=k,
+        protocol=protocol_factory,
+        adversary=adversary,
+        feedback=feedback,
+        stop=stop,
+        max_rounds=max_rounds(k) if max_rounds is not None else None,
+        label=label,
+    )
     seeds = [seed + r for r in range(reps)]
-    tasks = [
-        _protocol_run_task(
-            k,
-            protocol_factory,
-            adversary,
-            seed=s,
-            horizon=horizon,
-            feedback=feedback,
-            stop=stop,
-        )
-        for s in seeds
-    ]
+    tasks = [_spec_task(base.with_seed(s)) for s in seeds]
     fingerprints = None
     if current_checkpoint() is not None:
-        fingerprints = [
-            _protocol_fingerprint(
-                k, protocol_factory, adversary,
-                horizon=horizon, feedback=feedback, stop=stop, label=label,
-            )
-        ] * reps
+        fingerprints = [base.fingerprint()] * reps
     results, seconds, retries = _execute_runs(
         fingerprints, seeds, tasks,
         jobs=jobs, task_timeout=task_timeout, max_retries=max_retries,
@@ -437,7 +356,7 @@ def sweep_schedule(
     *,
     reps: int,
     seed: int,
-    max_rounds: Callable[[int], int],
+    max_rounds: Optional[Callable[[int], int]] = None,
     switch_off_on_ack: bool = True,
     stop: StopCondition = StopCondition.ALL_SWITCHED_OFF,
     label: Optional[str] = None,
@@ -457,29 +376,21 @@ def sweep_schedule(
     fingerprints: Optional[list[str]] = [] if journaling else None
     for i, k in enumerate(ks):
         schedule = schedule_factory(k)
-        horizon = max_rounds(k)
-        prob_table = schedule.probabilities(horizon)
+        base = RunSpec(
+            k=k,
+            protocol=schedule,
+            adversary=adversary,
+            switch_off_on_ack=switch_off_on_ack,
+            stop=stop,
+            max_rounds=max_rounds(k) if max_rounds is not None else None,
+        )
+        prob_table = _warm_tables(base)
         labels.append(label or schedule.name)
         if journaling:
-            fingerprint = _schedule_fingerprint(
-                k, schedule, adversary, horizon=horizon, prob_table=prob_table,
-                switch_off_on_ack=switch_off_on_ack, stop=stop,
-            )
-            fingerprints.extend([fingerprint] * reps)
+            fingerprints.extend([base.fingerprint(prob_table=prob_table)] * reps)
         for r in range(reps):
             seeds.append(run_seed(seed, i, r))
-            tasks.append(
-                _schedule_run_task(
-                    k,
-                    schedule,
-                    adversary,
-                    seed=seeds[-1],
-                    horizon=horizon,
-                    prob_table=prob_table,
-                    switch_off_on_ack=switch_off_on_ack,
-                    stop=stop,
-                )
-            )
+            tasks.append(_spec_task(base.with_seed(seeds[-1])))
     results, seconds, retries = _execute_runs(
         fingerprints, seeds, tasks,
         jobs=jobs, task_timeout=task_timeout, max_retries=max_retries,
@@ -503,7 +414,7 @@ def sweep_protocol(
     *,
     reps: int,
     seed: int,
-    max_rounds: Callable[[int], int],
+    max_rounds: Optional[Callable[[int], int]] = None,
     feedback: FeedbackModel = FeedbackModel.ACK_ONLY,
     stop: StopCondition = StopCondition.ALL_SWITCHED_OFF,
     label: str = "",
@@ -518,26 +429,20 @@ def sweep_protocol(
     seeds = []
     fingerprints: Optional[list[str]] = [] if journaling else None
     for i, k in enumerate(ks):
-        horizon = max_rounds(k)
+        base = RunSpec(
+            k=k,
+            protocol=protocol_factory,
+            adversary=adversary,
+            feedback=feedback,
+            stop=stop,
+            max_rounds=max_rounds(k) if max_rounds is not None else None,
+            label=sample_label,
+        )
         if journaling:
-            fingerprint = _protocol_fingerprint(
-                k, protocol_factory, adversary, horizon=horizon,
-                feedback=feedback, stop=stop, label=sample_label,
-            )
-            fingerprints.extend([fingerprint] * reps)
+            fingerprints.extend([base.fingerprint()] * reps)
         for r in range(reps):
             seeds.append(run_seed(seed, i, r))
-            tasks.append(
-                _protocol_run_task(
-                    k,
-                    protocol_factory,
-                    adversary,
-                    seed=seeds[-1],
-                    horizon=horizon,
-                    feedback=feedback,
-                    stop=stop,
-                )
-            )
+            tasks.append(_spec_task(base.with_seed(seeds[-1])))
     results, seconds, retries = _execute_runs(
         fingerprints, seeds, tasks,
         jobs=jobs, task_timeout=task_timeout, max_retries=max_retries,

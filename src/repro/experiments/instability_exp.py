@@ -30,8 +30,8 @@ from repro.adversary.oblivious import PoissonSchedule
 from repro.analysis.backlog import backlog_statistics, backlog_trace
 from repro.baselines.aloha import SlottedAlohaFixed
 from repro.channel.results import StopCondition
-from repro.channel.vectorized import VectorizedSimulator
 from repro.core.protocols.sublinear_decrease import SublinearDecrease
+from repro.engine import RunSpec, execute
 from repro.experiments.harness import ExperimentReport
 from repro.util.ascii_chart import line_chart, render_table
 
@@ -70,11 +70,13 @@ def run_aloha_instability(
             (f"Aloha(p={p})", SlottedAlohaFixed(p)),
             (f"SublinearDecrease(b={b})", SublinearDecrease(b)),
         ):
-            result = VectorizedSimulator(
-                k, schedule, adversary,
+            # The horizon is the arrival window plus the drain window —
+            # both experiment parameters, not defaults.
+            result = execute(RunSpec(
+                k=k, protocol=schedule, adversary=adversary,
                 stop=StopCondition.ALL_SWITCHED_OFF,
                 max_rounds=horizon, seed=seed,
-            ).run()
+            ))
             stats = backlog_statistics(result.records, horizon)
             rows.append(
                 {

@@ -25,11 +25,10 @@ import numpy as np
 
 from repro.adversary.oblivious import UniformRandomSchedule
 from repro.channel.jamming import RandomJammer, draw_jam_rounds
-from repro.channel.simulator import SlotSimulator
-from repro.channel.vectorized import VectorizedSimulator
 from repro.core.protocols.adaptive_no_k import AdaptiveNoK
 from repro.core.protocols.non_adaptive_with_k import NonAdaptiveWithK
 from repro.core.protocols.sublinear_decrease import SublinearDecrease
+from repro.engine import RunSpec, execute
 from repro.experiments.harness import ExperimentReport
 from repro.util.ascii_chart import render_table
 
@@ -58,14 +57,17 @@ def run_jamming(
                 SublinearDecrease.latency_bound_no_ack(k, 4) + 4 * k,
             ),
         ):
+            # The horizon is the failure budget the jam rate is judged
+            # against, so it stays an explicit experiment parameter.
             latencies, failures = [], 0
             for r in range(reps):
                 rng = np.random.default_rng(seed + 13 * r)
                 jam = draw_jam_rounds(rate, horizon, rng)
-                result = VectorizedSimulator(
-                    k, schedule, adversary, max_rounds=horizon,
-                    seed=seed + r, jam_rounds=jam,
-                ).run()
+                result = execute(RunSpec(
+                    k=k, protocol=schedule, adversary=adversary,
+                    max_rounds=horizon, seed=seed + r,
+                    jam_rounds=tuple(int(j) for j in jam),
+                ))
                 if result.completed:
                     latencies.append(result.max_latency)
                 else:
@@ -84,11 +86,11 @@ def run_jamming(
         # --- the adaptive protocol on the object engine -------------------
         latencies, failures = [], 0
         for r in range(max(2, reps // 2)):
-            result = SlotSimulator(
-                k, lambda: AdaptiveNoK(), adversary,
+            result = execute(RunSpec(
+                k=k, protocol=lambda: AdaptiveNoK(), adversary=adversary,
                 max_rounds=600 * k + 8192, seed=seed + r,
                 jammer=RandomJammer(rate),
-            ).run()
+            ))
             if result.completed:
                 latencies.append(result.max_latency)
             else:

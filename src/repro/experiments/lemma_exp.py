@@ -27,9 +27,9 @@ from repro.adversary.oblivious import (
     UniformRandomSchedule,
 )
 from repro.analysis.sigma import sigma_trace
-from repro.channel.vectorized import VectorizedSimulator
 from repro.core.protocols.non_adaptive_with_k import NonAdaptiveWithK
 from repro.core.protocols.sublinear_decrease import SublinearDecrease
+from repro.engine import RunSpec, execute
 from repro.experiments.harness import ExperimentReport
 from repro.util.ascii_chart import render_table
 
@@ -50,9 +50,10 @@ def _sigma_invariant_rows(k, c, reps, seed):
     for adversary in pool:
         fractions, peaks = [], []
         for r in range(reps):
-            result = VectorizedSimulator(
-                k, schedule, adversary, max_rounds=horizon, seed=seed + r
-            ).run()
+            result = execute(RunSpec(
+                k=k, protocol=schedule, adversary=adversary,
+                max_rounds=horizon, seed=seed + r,
+            ))
             wake = [rec.wake_round for rec in result.records]
             offs = [rec.switch_off_round for rec in result.records]
             last = max(
@@ -86,8 +87,6 @@ def _fact2_rows(k, c, reps, seed):
     attempt removes the q_v factor).
     """
     from repro.adversary.base import FixedSchedule
-    from repro.channel.simulator import SlotSimulator
-    from repro.core.protocol import ScheduleProtocol
 
     schedule = NonAdaptiveWithK(k, c)
     horizon = 3 * c * k + 3 * k + 512
@@ -96,14 +95,16 @@ def _fact2_rows(k, c, reps, seed):
     rng = np.random.default_rng(seed)
     for r in range(reps):
         wake = sorted(int(x) for x in rng.integers(0, 2 * k, size=k))
-        result = SlotSimulator(
-            k,
-            lambda: ScheduleProtocol(schedule),
-            FixedSchedule(wake),
+        # record_trace forces the object engine through dispatch; the
+        # schedule is wrapped in ScheduleProtocol by the spec.
+        result = execute(RunSpec(
+            k=k,
+            protocol=schedule,
+            adversary=FixedSchedule(wake),
             max_rounds=horizon,
             seed=seed + r,
             record_trace=True,
-        ).run()
+        ))
         offs = [rec.switch_off_round for rec in result.records]
         trace = sigma_trace(wake, schedule, result.rounds_executed, offs)
         for event in result.trace:

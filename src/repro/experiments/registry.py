@@ -16,6 +16,7 @@ import time
 from collections.abc import Callable
 from typing import Optional
 
+from repro.engine.dispatch import use_engine
 from repro.experiments.checkpoint import CheckpointJournal, use_checkpoint
 from repro.experiments.executor import (
     execution_stats,
@@ -92,6 +93,7 @@ def run_experiment(
     resume_dir: Optional[str] = None,
     task_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
+    engine: Optional[str] = None,
     **overrides,
 ) -> ExperimentReport:
     """Run one experiment from the registry by its DESIGN.md id.
@@ -101,6 +103,12 @@ def run_experiment(
     results are bit-identical for any worker count.  ``task_timeout`` /
     ``max_retries`` set the failure policy the same way (see
     :mod:`repro.experiments.executor`).
+
+    ``engine`` overrides the dispatch default for every run the driver
+    makes (``"auto"``, ``"object"``, ``"vectorized"``, ``"cross-check"``;
+    see :mod:`repro.engine.dispatch`) — ``"cross-check"`` shadows each
+    admissible run with the reference engine and asserts agreement without
+    changing any reported number.
 
     ``resume_dir`` activates crash-safe checkpointing: every completed run
     is journaled to ``<resume_dir>/<experiment_id>.runs.jsonl`` and runs
@@ -123,7 +131,8 @@ def run_experiment(
         journal.load()
     stats_before = execution_stats()
     start = time.perf_counter()
-    with use_jobs(jobs), use_failure_policy(task_timeout, max_retries), use_checkpoint(journal):
+    with use_jobs(jobs), use_failure_policy(task_timeout, max_retries), \
+            use_checkpoint(journal), use_engine(engine):
         report = EXPERIMENTS[experiment_id](**overrides)
     report.timings["wall_s"] = time.perf_counter() - start
     report.timings["jobs"] = float(resolve_jobs(jobs))

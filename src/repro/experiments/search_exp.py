@@ -15,8 +15,8 @@ import numpy as np
 from repro.adversary.base import FixedSchedule
 from repro.adversary.oblivious import StaticSchedule, UniformRandomSchedule
 from repro.adversary.search import search_worst_schedule
-from repro.channel.vectorized import VectorizedSimulator
 from repro.core.protocols.non_adaptive_with_k import NonAdaptiveWithK
+from repro.engine import RunSpec, execute
 from repro.experiments.harness import ExperimentReport
 from repro.util.ascii_chart import render_table
 
@@ -33,16 +33,16 @@ def run_adversary_search(
 ) -> ExperimentReport:
     """Search for latency-maximising schedules against the known-k ladder."""
     schedule = NonAdaptiveWithK(k, c)
+    # Theorem-derived horizon: the search's fitness is defined against it.
     horizon = 3 * c * k + 4 * k + 4096
-    prob_table = schedule.probabilities(horizon)
 
     def evaluate(instance: FixedSchedule) -> float:
         latencies = []
         for r in range(eval_reps):
-            result = VectorizedSimulator(
-                k, schedule, instance, max_rounds=horizon,
-                seed=seed + r, prob_table=prob_table,
-            ).run()
+            result = execute(RunSpec(
+                k=k, protocol=schedule, adversary=instance,
+                max_rounds=horizon, seed=seed + r,
+            ))
             if not result.completed:
                 # An incomplete run is "worse than any latency": steer the
                 # search toward it aggressively.
@@ -62,10 +62,10 @@ def run_adversary_search(
     ):
         latencies = []
         for r in range(eval_reps):
-            result = VectorizedSimulator(
-                k, schedule, adversary, max_rounds=horizon,
-                seed=seed + r, prob_table=prob_table,
-            ).run()
+            result = execute(RunSpec(
+                k=k, protocol=schedule, adversary=adversary,
+                max_rounds=horizon, seed=seed + r,
+            ))
             latencies.append(result.max_latency)
         references[name] = float(np.mean(latencies))
 

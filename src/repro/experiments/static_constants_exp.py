@@ -25,21 +25,22 @@ from repro.adversary.oblivious import StaticSchedule, UniformRandomSchedule
 from repro.baselines.hybrid_gfl import HybridEstimateSplit
 from repro.baselines.splitting import SplittingTree
 from repro.channel.feedback import FeedbackModel
-from repro.channel.simulator import SlotSimulator
 from repro.core.protocols.suniform import SUniform
+from repro.engine import RunSpec, execute
 from repro.experiments.harness import ExperimentReport
 from repro.util.ascii_chart import render_table
 
 __all__ = ["run_static_constants"]
 
 
-def _measure(k, factory, adversary, feedback, reps, seed, horizon_factor=60):
+def _measure(k, factory, adversary, feedback, reps, seed, horizon_factor=None):
     rounds, failures = [], 0
     for r in range(reps):
-        result = SlotSimulator(
-            k, factory, adversary, feedback=feedback,
-            max_rounds=horizon_factor * k + 4096, seed=seed + r,
-        ).run()
+        result = execute(RunSpec(
+            k=k, protocol=factory, adversary=adversary, feedback=feedback,
+            max_rounds=horizon_factor * k + 4096 if horizon_factor else None,
+            seed=seed + r,
+        ))
         if result.completed:
             rounds.append(result.rounds_executed)
         else:

@@ -91,6 +91,7 @@ def run_suite(
     resume_dir: Optional[str | Path] = None,
     task_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
+    engine: Optional[str] = None,
     progress: Callable[[str], None] = print,
 ) -> dict[str, ExperimentReport]:
     """Run every (or a subset of) registered experiment(s) at a scale.
@@ -106,6 +107,10 @@ def run_suite(
     every journaled run, re-executing only what is missing while writing
     byte-identical reports.  ``task_timeout`` / ``max_retries`` set the
     worker failure policy (see :mod:`repro.experiments.executor`).
+
+    ``engine`` overrides engine dispatch for every run in the suite
+    (``"cross-check"`` turns the whole suite into an engine-agreement
+    sweep without changing any reported number).
     """
     overrides = suite_overrides(scale)
     wanted = set(only) if only is not None else set(EXPERIMENTS)
@@ -126,6 +131,7 @@ def run_suite(
             resume_dir=None if resume_dir is None else str(resume_dir),
             task_timeout=task_timeout,
             max_retries=max_retries,
+            engine=engine,
             **overrides.get(experiment_id, {}),
         )
         reports[experiment_id] = report

@@ -14,8 +14,8 @@ import numpy as np
 
 from repro.adversary.oblivious import StaticSchedule
 from repro.analysis.scaling import fit_all
-from repro.channel.simulator import SlotSimulator
 from repro.core.protocols.suniform import SUniform
+from repro.engine import RunSpec, execute
 from repro.experiments.harness import ExperimentReport
 from repro.util.ascii_chart import render_table
 
@@ -37,7 +37,6 @@ def run_suniform_static(
     sampler, extending the linear-shape evidence well past what the
     object engine can reach.
     """
-    from repro.channel.vectorized import VectorizedSimulator
     from repro.core.protocols.sawtooth_schedule import SawtoothSchedule
 
     rows = []
@@ -45,13 +44,12 @@ def run_suniform_static(
     for i, k in enumerate(ks):
         lat, tx_max, rounds = [], [], []
         for r in range(reps):
-            result = SlotSimulator(
-                k,
-                lambda: SUniform(),
-                StaticSchedule(),
-                max_rounds=64 * k + 4096,
+            result = execute(RunSpec(
+                k=k,
+                protocol=lambda: SUniform(),
+                adversary=StaticSchedule(),
                 seed=seed + 1000 * i + r,
-            ).run()
+            ))
             if not result.completed:
                 continue
             lat.append(result.max_latency)
@@ -75,10 +73,10 @@ def run_suniform_static(
     for j, k in enumerate(large_ks):
         lat, tx_max, rounds = [], [], []
         for r in range(max(2, reps // 2)):
-            result = VectorizedSimulator(
-                k, SawtoothSchedule(), StaticSchedule(),
-                max_rounds=64 * k + 4096, seed=seed + 5000 * (j + 1) + r,
-            ).run()
+            result = execute(RunSpec(
+                k=k, protocol=SawtoothSchedule(), adversary=StaticSchedule(),
+                seed=seed + 5000 * (j + 1) + r,
+            ))
             if not result.completed:
                 continue
             lat.append(result.max_latency)

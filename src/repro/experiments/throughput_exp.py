@@ -13,11 +13,11 @@ from __future__ import annotations
 
 from repro.adversary.oblivious import BatchSchedule
 from repro.analysis.throughput import summarize_throughput, throughput_timeline
-from repro.channel.simulator import SlotSimulator
 from repro.core.protocol import ScheduleProtocol
 from repro.core.protocols.adaptive_no_k import AdaptiveNoK
 from repro.core.protocols.non_adaptive_with_k import NonAdaptiveWithK
 from repro.core.protocols.sublinear_decrease import SublinearDecrease
+from repro.engine import RunSpec, execute
 from repro.experiments.harness import ExperimentReport
 from repro.util.ascii_chart import line_chart, render_table
 
@@ -42,11 +42,13 @@ def run_throughput(
         ("AdaptiveNoK", lambda: AdaptiveNoK()),
     ]
     for name, factory in configs:
-        result = SlotSimulator(
-            k, factory, adversary,
+        # One shared theorem-derived horizon keeps the three timelines
+        # comparable slot-for-slot.
+        result = execute(RunSpec(
+            k=k, protocol=factory, adversary=adversary,
             max_rounds=SublinearDecrease.latency_bound_no_ack(k, 4) + 8 * k,
             seed=seed, record_trace=True,
-        ).run()
+        ))
         summary = summarize_throughput(result.trace, window=max(32, gap // 2))
         centres, rates = throughput_timeline(result.trace, window=max(32, gap // 2))
         timelines[name] = (centres, rates)

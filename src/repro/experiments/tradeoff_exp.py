@@ -13,10 +13,10 @@ from __future__ import annotations
 
 from repro.adversary.oblivious import UniformRandomSchedule
 from repro.baselines.aloha import SlottedAlohaKnownK
-from repro.channel.simulator import SlotSimulator
 from repro.core.protocols.adaptive_no_k import AdaptiveNoK
 from repro.core.protocols.non_adaptive_with_k import NonAdaptiveWithK
 from repro.core.protocols.sublinear_decrease import SublinearDecrease
+from repro.engine import RunSpec, execute
 from repro.experiments.harness import ExperimentReport, repeat_schedule_runs
 from repro.util.ascii_chart import line_chart, render_table
 
@@ -68,7 +68,6 @@ def run_tradeoff(
     sample = repeat_schedule_runs(
         k, lambda kk: SlottedAlohaKnownK(kk), adversary,
         reps=reps, seed=seed + 99,
-        max_rounds=lambda kk: 600 * kk,
         label="aloha",
     )
     row = sample.row()
@@ -80,10 +79,10 @@ def run_tradeoff(
 
     latencies, energies = [], []
     for r in range(max(2, reps // 2)):
-        result = SlotSimulator(
-            k, lambda: AdaptiveNoK(), adversary,
-            max_rounds=120 * k + 8192, seed=seed + 200 + r,
-        ).run()
+        result = execute(RunSpec(
+            k=k, protocol=lambda: AdaptiveNoK(), adversary=adversary,
+            seed=seed + 200 + r,
+        ))
         if result.completed:
             latencies.append(result.max_latency)
             energies.append(result.total_transmissions / k)

@@ -29,6 +29,7 @@ from repro.core.protocols.wakeup_variants import (
     FixedRateWakeup,
     GeometricDecayWakeup,
 )
+from repro.engine import RunSpec, execute
 from repro.experiments.harness import ExperimentReport, repeat_schedule_runs
 from repro.util.ascii_chart import render_table
 
@@ -61,7 +62,6 @@ def run_wakeup_variants(
                 adversary,
                 reps=reps,
                 seed=seed,
-                max_rounds=lambda kk: 64 * kk + 8192,
                 stop=StopCondition.FIRST_SUCCESS,
                 switch_off_on_ack=False,
                 label=schedule_name,
@@ -83,16 +83,17 @@ def run_wakeup_variants(
     # is the gap between this row and DecreaseSlowly's O(k).
     from repro.baselines.willard import WillardSelection
     from repro.channel.feedback import FeedbackModel
-    from repro.channel.simulator import SlotSimulator
 
     willard_times = []
     for r in range(reps):
-        result = SlotSimulator(
-            k, lambda: WillardSelection(), StaticSchedule(),
+        result = execute(RunSpec(
+            k=k,
+            protocol=lambda: WillardSelection(),
+            adversary=StaticSchedule(),
             feedback=FeedbackModel.COLLISION_DETECTION,
             stop=StopCondition.FIRST_SUCCESS,
-            max_rounds=8192, seed=seed + 77 + r,
-        ).run()
+            seed=seed + 77 + r,
+        ))
         if result.completed:
             willard_times.append(result.first_success_round)
     rows.append(
@@ -114,18 +115,16 @@ def run_wakeup_variants(
     # crowd most stations spend it during the collision phase and then go
     # silent forever; the divergent harmonic schedule never does.
     starvation_rows = []
-    from repro.channel.vectorized import VectorizedSimulator
-
     for schedule_name, schedule in (
         ("DecreaseSlowly(q=2)", DecreaseSlowly(2)),
         ("GeometricDecay(.5,.9)", GeometricDecayWakeup(0.5, 0.9)),
     ):
         counts = []
         for r in range(max(3, reps // 2)):
-            result = VectorizedSimulator(
-                k, schedule, StaticSchedule(),
-                max_rounds=400 * k, seed=seed + 99 + r,
-            ).run()
+            result = execute(RunSpec(
+                k=k, protocol=schedule, adversary=StaticSchedule(),
+                seed=seed + 99 + r,
+            ))
             counts.append(result.success_count)
         starvation_rows.append(
             {

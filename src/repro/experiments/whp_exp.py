@@ -20,10 +20,10 @@ from __future__ import annotations
 from repro.adversary.oblivious import UniformRandomSchedule
 from repro.analysis.stats import proportion_ci
 from repro.channel.results import StopCondition
-from repro.channel.vectorized import VectorizedSimulator
 from repro.core.protocols.decrease_slowly import DecreaseSlowly
 from repro.core.protocols.non_adaptive_with_k import NonAdaptiveWithK
 from repro.core.protocols.sublinear_decrease import SublinearDecrease
+from repro.engine import RunSpec, execute
 from repro.experiments.harness import ExperimentReport
 from repro.theory.bounds import (
     theorem31_failure_exponent,
@@ -50,15 +50,16 @@ def run_whp_validation(
     rows = []
 
     def trial_block(label, schedule, horizon, stop, analytic, switch_off=True):
-        prob_table = schedule.probabilities(horizon)
+        # Horizons here are the theorems' own bounds (plus wake-span
+        # slack) — "failure" is defined relative to them, so they stay
+        # explicit experiment parameters.
+        base = RunSpec(
+            k=k, protocol=schedule, adversary=adversary, max_rounds=horizon,
+            stop=stop, switch_off_on_ack=switch_off,
+        )
         failures = 0
         for r in range(runs):
-            result = VectorizedSimulator(
-                k, schedule, adversary, max_rounds=horizon,
-                stop=stop, switch_off_on_ack=switch_off,
-                seed=seed + r, prob_table=prob_table,
-            ).run()
-            if not result.completed:
+            if not execute(base.with_seed(seed + r)).completed:
                 failures += 1
         low, high = proportion_ci(failures, runs)
         rows.append(

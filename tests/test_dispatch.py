@@ -1,0 +1,396 @@
+"""RunSpec + engine dispatch: admissibility, overrides, cache, fidelity.
+
+The dispatch layer (``repro.engine``) promises three things:
+
+1. ``execute(spec, engine="auto")`` routes to the vectorised engine
+   *exactly* when the spec is admissible (non-adaptive schedule, oblivious
+   adversary, no jammer object, no trace, ACK-only feedback) and is
+   byte-identical, per seed, to constructing that engine by hand;
+2. explicit ``engine=`` overrides either force the reference engine or
+   fail loudly (``EngineSelectionError``) — never silently run the wrong
+   semantics;
+3. probability/hazard tables are cached per (schedule fingerprint,
+   horizon) with an LRU bound, and cached runs stay byte-identical to
+   uncached ones.
+
+This suite pins all three, plus the RunSpec contract itself (validation,
+horizon policy, fingerprints) that the checkpoint layer builds on.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.adversary.base import FixedSchedule
+from repro.adversary.adaptive import WakeOnSuccessAdversary
+from repro.channel.feedback import FeedbackModel
+from repro.channel.jamming import RandomJammer, ScheduledJammer
+from repro.channel.results import StopCondition
+from repro.channel.simulator import SlotSimulator, default_max_rounds
+from repro.channel.vectorized import VectorizedSimulator
+from repro.core.protocol import ScheduleProtocol
+from repro.core.protocols import AdaptiveNoK, NonAdaptiveWithK
+from repro.core.spec import RunSpec
+from repro.engine import (
+    EngineSelectionError,
+    assert_results_agree,
+    build_simulator,
+    clear_table_cache,
+    cumulative_hazard,
+    execute,
+    get_default_engine,
+    probability_table,
+    select_engine,
+    set_default_engine,
+    set_table_cache_limit,
+    table_cache_info,
+    use_engine,
+    vectorized_inadmissibility,
+)
+
+K = 4
+WAKES = FixedSchedule([0, 3, 7, 11])
+
+
+def schedule_spec(**overrides) -> RunSpec:
+    base = dict(
+        k=K,
+        protocol=NonAdaptiveWithK(16, 4),
+        adversary=WAKES,
+        max_rounds=5000,
+        seed=42,
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+def protocol_spec(**overrides) -> RunSpec:
+    base = dict(
+        k=K,
+        protocol=lambda: AdaptiveNoK(),
+        adversary=WAKES,
+        max_rounds=5000,
+        seed=42,
+    )
+    base.update(overrides)
+    return RunSpec(**base)
+
+
+def result_key(result):
+    return (
+        result.completed,
+        result.rounds_executed,
+        result.first_success_round,
+        result.success_count,
+        result.total_transmissions,
+        sorted(result.latencies),
+        sorted(
+            (r.wake_round, r.first_success_round, r.switch_off_round, r.transmissions)
+            for r in result.records
+        ),
+    )
+
+
+# --------------------------------------------------------- admissibility
+
+
+def test_admissible_spec_selects_vectorized():
+    spec = schedule_spec()
+    assert vectorized_inadmissibility(spec) is None
+    assert select_engine(spec) == "vectorized"
+    assert isinstance(build_simulator(spec), VectorizedSimulator)
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"protocol": lambda: AdaptiveNoK()},
+        {"adversary": WakeOnSuccessAdversary(seed_group=2, refill=2)},
+        {"jammer": RandomJammer(0.1)},
+        {"record_trace": True},
+        {"feedback": FeedbackModel.COLLISION_DETECTION},
+    ],
+    ids=["protocol-factory", "adaptive-adversary", "jammer", "trace", "feedback"],
+)
+def test_inadmissible_specs_fall_back_to_object(overrides):
+    spec = schedule_spec(**overrides)
+    reason = vectorized_inadmissibility(spec)
+    assert isinstance(reason, str) and reason
+    assert select_engine(spec) == "object"
+    assert isinstance(build_simulator(spec, "auto"), SlotSimulator)
+
+
+def test_jam_rounds_stay_vectorized_admissible():
+    spec = schedule_spec(jam_rounds=(5, 9, 9, 2))
+    assert vectorized_inadmissibility(spec) is None
+    assert spec.jam_rounds == (2, 5, 9)  # sorted, deduped at construction
+
+
+def test_every_stop_condition_is_admissible():
+    for stop in StopCondition:
+        assert select_engine(schedule_spec(stop=stop)) == "vectorized"
+
+
+def test_forced_vectorized_on_inadmissible_raises():
+    with pytest.raises(EngineSelectionError, match="round loop"):
+        build_simulator(protocol_spec(), "vectorized")
+    with pytest.raises(EngineSelectionError, match="event log"):
+        execute(schedule_spec(record_trace=True), engine="vectorized")
+
+
+def test_forced_object_always_legal():
+    assert isinstance(build_simulator(schedule_spec(), "object"), SlotSimulator)
+    assert isinstance(build_simulator(protocol_spec(), "object"), SlotSimulator)
+
+
+def test_unknown_engine_rejected():
+    with pytest.raises(ValueError, match="unknown engine"):
+        build_simulator(schedule_spec(), "warp")
+    with pytest.raises(ValueError, match="execute"):
+        build_simulator(schedule_spec(), "cross-check")
+
+
+# ------------------------------------------------- byte-identical dispatch
+
+
+def test_execute_matches_direct_vectorized_construction():
+    spec = schedule_spec()
+    direct = VectorizedSimulator(
+        spec.k,
+        spec.schedule,
+        spec.adversary,
+        max_rounds=spec.max_rounds,
+        seed=spec.seed,
+    ).run()
+    assert result_key(execute(spec)) == result_key(direct)
+    assert result_key(execute(spec, engine="auto")) == result_key(direct)
+
+
+def test_execute_matches_direct_object_construction():
+    spec = schedule_spec()
+    schedule = spec.schedule
+    direct = SlotSimulator(
+        spec.k,
+        lambda: ScheduleProtocol(schedule),
+        spec.adversary,
+        max_rounds=spec.max_rounds,
+        seed=spec.seed,
+    ).run()
+    assert result_key(execute(spec, engine="object")) == result_key(direct)
+
+
+def test_jam_rounds_match_on_both_engines_per_spec():
+    spec = schedule_spec(jam_rounds=(2, 3, 4, 5))
+    direct = VectorizedSimulator(
+        spec.k,
+        spec.schedule,
+        spec.adversary,
+        max_rounds=spec.max_rounds,
+        seed=spec.seed,
+        jam_rounds=spec.jam_rounds,
+    ).run()
+    assert result_key(execute(spec)) == result_key(direct)
+    # The object engine sees the same rounds through a ScheduledJammer.
+    simulator = build_simulator(spec, "object")
+    assert isinstance(simulator.jammer, ScheduledJammer)
+    assert simulator.jammer.rounds == frozenset(spec.jam_rounds)
+
+
+def test_scheduled_jammer_jams_exactly_its_rounds():
+    jammer = ScheduledJammer([4, 1, 4])
+    assert [jammer.jams(r, []) for r in range(6)] == [
+        False, True, False, False, True, False,
+    ]
+
+
+def test_execute_repetition_fanout_is_deterministic():
+    base = schedule_spec(seed=None)
+    first = [result_key(execute(base.with_seed(s))) for s in range(3)]
+    second = [result_key(execute(base.with_seed(s))) for s in range(3)]
+    assert first == second
+
+
+# ----------------------------------------------------- default + override
+
+
+def test_use_engine_scopes_the_process_default():
+    assert get_default_engine() == "auto"
+    with use_engine("object"):
+        assert get_default_engine() == "object"
+        assert isinstance(build_simulator(schedule_spec(), get_default_engine()),
+                          SlotSimulator)
+        with use_engine(None):  # None = leave alone (CLI default)
+            assert get_default_engine() == "object"
+    assert get_default_engine() == "auto"
+
+
+def test_set_default_engine_validates():
+    with pytest.raises(ValueError, match="unknown engine"):
+        set_default_engine("warp")
+    assert get_default_engine() == "auto"
+
+
+def test_execute_consults_default_engine():
+    spec = schedule_spec()
+    with use_engine("object"):
+        obj = execute(spec)
+    direct = build_simulator(spec, "object").run()
+    assert result_key(obj) == result_key(direct)
+
+
+# ------------------------------------------------------------ cross-check
+
+
+def test_cross_check_agrees_on_seeded_specs():
+    for seed in range(5):
+        spec = schedule_spec(seed=seed)
+        checked = execute(spec, engine="cross-check")
+        # Cross-check returns what "auto" would have (the vectorised run).
+        assert result_key(checked) == result_key(execute(spec))
+
+
+def test_cross_check_degrades_to_object_for_inadmissible():
+    spec = protocol_spec()
+    checked = execute(spec, engine="cross-check")
+    assert result_key(checked) == result_key(execute(spec, engine="object"))
+
+
+def test_assert_results_agree_flags_divergence():
+    # Stochastic schedules are only comparable through their shared
+    # adversary stream, so a run with *different* wake draws must be
+    # flagged as a disagreement.
+    spec = schedule_spec()
+    honest = execute(spec, engine="object")
+    other_wakes = execute(
+        spec.replace(adversary=FixedSchedule([0, 1, 2, 3])), engine="object"
+    )
+    with pytest.raises(AssertionError, match="wake draws differ"):
+        assert_results_agree(spec, honest, other_wakes)
+
+
+# ------------------------------------------------------------ table cache
+
+
+def test_probability_table_is_cached_and_read_only():
+    clear_table_cache()
+    schedule = NonAdaptiveWithK(16, 4)
+    first = probability_table(schedule, 2000)
+    info = table_cache_info()
+    assert info["misses"] == 1 and info["tables"] == 1
+    # A *fresh but equivalent* schedule instance hits the same entry.
+    again = probability_table(NonAdaptiveWithK(16, 4), 2000)
+    assert table_cache_info()["hits"] == 1
+    assert again is first
+    assert not first.flags.writeable
+    with pytest.raises(ValueError):
+        first[0] = 0.5
+    np.testing.assert_array_equal(first, schedule.probabilities(2000))
+
+
+def test_hazard_table_is_cached_per_horizon():
+    clear_table_cache()
+    schedule = NonAdaptiveWithK(16, 4)
+    h1 = cumulative_hazard(schedule, 1000)
+    h2 = cumulative_hazard(schedule, 1000)
+    assert h2 is h1
+    assert cumulative_hazard(schedule, 2000) is not h1
+    assert not h1.flags.writeable
+
+
+def test_cache_respects_lru_bound():
+    clear_table_cache()
+    set_table_cache_limit(2)
+    try:
+        probability_table(NonAdaptiveWithK(16, 4), 100)
+        probability_table(NonAdaptiveWithK(32, 4), 100)
+        probability_table(NonAdaptiveWithK(64, 4), 100)
+        assert table_cache_info()["tables"] == 2
+        # The oldest entry (16) was evicted: refetching misses again.
+        misses = table_cache_info()["misses"]
+        probability_table(NonAdaptiveWithK(16, 4), 100)
+        assert table_cache_info()["misses"] == misses + 1
+    finally:
+        set_table_cache_limit(32)
+        clear_table_cache()
+
+
+def test_cached_execution_is_byte_identical_to_cold():
+    spec = schedule_spec()
+    clear_table_cache()
+    cold = result_key(execute(spec))
+    warm = result_key(execute(spec))
+    assert table_cache_info()["hits"] >= 1
+    assert warm == cold
+
+
+# -------------------------------------------------------- RunSpec contract
+
+
+def test_runspec_validation():
+    with pytest.raises(ValueError, match="at least one station"):
+        schedule_spec(k=0)
+    with pytest.raises(TypeError, match="protocol"):
+        schedule_spec(protocol="not-a-protocol")
+    with pytest.raises(TypeError, match="adversary"):
+        schedule_spec(adversary="not-an-adversary")
+    with pytest.raises(ValueError, match="max_rounds"):
+        schedule_spec(max_rounds=0)
+    with pytest.raises(ValueError, match="mutually exclusive"):
+        schedule_spec(jammer=RandomJammer(0.1), jam_rounds=(1, 2))
+
+
+def test_runspec_is_frozen():
+    spec = schedule_spec()
+    with pytest.raises(AttributeError):
+        spec.k = 8
+
+
+def test_resolve_horizon_policy():
+    assert schedule_spec(max_rounds=123).resolve_horizon() == 123
+    assert schedule_spec(max_rounds=None).resolve_horizon() == default_max_rounds(K)
+
+
+def test_with_seed_and_replace_revalidate():
+    spec = schedule_spec()
+    assert spec.with_seed(9).seed == 9
+    assert spec.with_seed(9).k == spec.k
+    assert spec.replace(max_rounds=77).max_rounds == 77
+    with pytest.raises(ValueError):
+        spec.replace(k=-1)
+
+
+def test_schedule_kind_properties():
+    sched = schedule_spec()
+    assert sched.is_schedule_run
+    proto = sched.protocol_factory()
+    assert isinstance(proto, ScheduleProtocol)
+
+    factory = protocol_spec()
+    assert not factory.is_schedule_run
+    with pytest.raises(TypeError):
+        factory.schedule
+
+
+def test_fingerprint_is_stable_and_sensitive():
+    base = schedule_spec()
+    assert base.fingerprint() == schedule_spec().fingerprint()
+    # Seed never enters the fingerprint (it keys the journal per config).
+    assert base.fingerprint() == schedule_spec(seed=0).fingerprint()
+    distinct = {
+        base.fingerprint(),
+        schedule_spec(protocol=NonAdaptiveWithK(32, 4)).fingerprint(),
+        schedule_spec(adversary=FixedSchedule([0, 1, 2, 3])).fingerprint(),
+        schedule_spec(max_rounds=4096).fingerprint(),
+        schedule_spec(jam_rounds=(1, 2)).fingerprint(),
+        schedule_spec(switch_off_on_ack=False).fingerprint(),
+        schedule_spec(stop=StopCondition.FIRST_SUCCESS).fingerprint(),
+    }
+    assert len(distinct) == 7
+
+
+def test_protocol_fingerprint_uses_label():
+    assert (
+        protocol_spec(label="a").fingerprint()
+        != protocol_spec(label="b").fingerprint()
+    )
