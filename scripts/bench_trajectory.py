@@ -1,0 +1,163 @@
+#!/usr/bin/env python3
+"""Run the engine benchmarks and append the medians to BENCH_engines.json.
+
+The perf trajectory: every invocation runs the pytest-benchmark suites
+under ``benchmarks/`` (engine micro-benchmarks + the batched-kernel
+benchmark), normalises each case to its *median* ns per operation, and
+records the result in ``BENCH_engines.json`` at the repository root,
+keyed by the current git SHA.  Re-running on the same commit overwrites
+that commit's entry; entries for other commits are preserved, so the file
+accumulates a commit-by-commit throughput history.
+
+Usage::
+
+    python scripts/bench_trajectory.py                 # full (1000 reps)
+    python scripts/bench_trajectory.py --reps 200      # CI-sized batch
+    python scripts/bench_trajectory.py --min-speedup 5 # gate: batched
+                                                       # must beat the
+                                                       # per-run loop 5x
+
+Exit status is non-zero when the benchmarks fail or the measured batched
+speedup falls below ``--min-speedup``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from datetime import datetime, timezone
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+BENCH_FILE = REPO_ROOT / "BENCH_engines.json"
+BENCH_SUITES = [
+    "benchmarks/test_bench_engines.py",
+    "benchmarks/test_bench_batched.py",
+]
+#: The two cases whose median ratio is the batching speedup.
+BASELINE_CASE = "test_bench_per_run_vectorized_loop"
+BATCHED_CASE = "test_bench_batched_kernel"
+
+
+def git_sha() -> str:
+    out = subprocess.run(
+        ["git", "rev-parse", "HEAD"],
+        cwd=REPO_ROOT,
+        capture_output=True,
+        text=True,
+        check=True,
+    )
+    return out.stdout.strip()
+
+
+def run_benchmarks(reps: int | None, extra_args: list[str]) -> dict:
+    """Run the benchmark suites; return pytest-benchmark's JSON report."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+        os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else ""
+    )
+    if reps is not None:
+        env["REPRO_BENCH_REPS"] = str(reps)
+    with tempfile.TemporaryDirectory() as tmp:
+        report_path = Path(tmp) / "benchmark.json"
+        cmd = [
+            sys.executable,
+            "-m",
+            "pytest",
+            *BENCH_SUITES,
+            "-q",
+            "-p",
+            "no:cacheprovider",
+            "--benchmark-json",
+            str(report_path),
+            *extra_args,
+        ]
+        proc = subprocess.run(cmd, cwd=REPO_ROOT, env=env)
+        if proc.returncode != 0:
+            raise SystemExit(proc.returncode)
+        return json.loads(report_path.read_text())
+
+
+def normalise(report: dict, reps: int | None) -> dict:
+    """pytest-benchmark report -> {case: median ns/op} plus metadata."""
+    cases = {}
+    for bench in report.get("benchmarks", []):
+        cases[bench["name"]] = {
+            "median_ns": round(bench["stats"]["median"] * 1e9, 1),
+            "rounds": bench["stats"]["rounds"],
+        }
+    entry = {
+        "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
+        "reps": reps if reps is not None else int(
+            os.environ.get("REPRO_BENCH_REPS", "1000")
+        ),
+        "cases": cases,
+    }
+    baseline = cases.get(BASELINE_CASE)
+    batched = cases.get(BATCHED_CASE)
+    if baseline and batched and batched["median_ns"] > 0:
+        entry["batched_speedup"] = round(
+            baseline["median_ns"] / batched["median_ns"], 2
+        )
+    return entry
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--reps", type=int, default=None,
+        help="repetition count for the batched suite "
+        "(sets REPRO_BENCH_REPS; default 1000)",
+    )
+    parser.add_argument(
+        "--min-speedup", type=float, default=None,
+        help="fail unless batched median throughput beats the per-run "
+        "vectorized loop by this factor",
+    )
+    parser.add_argument(
+        "--out", type=Path, default=BENCH_FILE,
+        help="trajectory file to update (default BENCH_engines.json at "
+        "the repo root)",
+    )
+    args, extra = parser.parse_known_args(argv)
+
+    report = run_benchmarks(args.reps, extra)
+    entry = normalise(report, args.reps)
+    sha = git_sha()
+
+    trajectory: dict = {"schema": 1, "runs": {}}
+    if args.out.exists():
+        existing = json.loads(args.out.read_text())
+        if isinstance(existing.get("runs"), dict):
+            trajectory = existing
+    trajectory["runs"][sha] = entry
+    args.out.write_text(json.dumps(trajectory, indent=2, sort_keys=True) + "\n")
+
+    for name, case in sorted(entry["cases"].items()):
+        print(f"{name}: median {case['median_ns'] / 1e6:.2f} ms")
+    speedup = entry.get("batched_speedup")
+    if speedup is not None:
+        print(f"batched speedup over per-run loop: {speedup:.2f}x")
+    print(f"trajectory updated: {args.out} @ {sha[:12]}")
+
+    if args.min_speedup is not None:
+        if speedup is None:
+            print("error: speedup cases missing from the benchmark report",
+                  file=sys.stderr)
+            return 1
+        if speedup < args.min_speedup:
+            print(
+                f"error: batched speedup {speedup:.2f}x is below the "
+                f"--min-speedup gate {args.min_speedup:g}x",
+                file=sys.stderr,
+            )
+            return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -42,12 +42,17 @@ class WakeSchedule(abc.ABC):
 
     def validate(self, rounds: Sequence[int], k: int) -> list[int]:
         """Check and normalise a produced schedule (used by implementations)."""
-        rounds = [int(r) for r in rounds]
-        if len(rounds) != k:
-            raise ValueError(f"{self.name}: produced {len(rounds)} wake rounds for k={k}")
-        if any(r < 0 for r in rounds):
-            raise ValueError(f"{self.name}: wake rounds must be >= 0, got {min(rounds)}")
-        return rounds
+        arr = np.asarray(rounds)
+        if arr.dtype.kind not in "iuf":
+            arr = np.asarray([int(r) for r in rounds])
+        if arr.shape != (k,):
+            raise ValueError(f"{self.name}: produced {len(arr)} wake rounds for k={k}")
+        arr = arr.astype(np.int64, copy=False)  # truncates like int()
+        if arr.size and arr.min() < 0:
+            raise ValueError(
+                f"{self.name}: wake rounds must be >= 0, got {int(arr.min())}"
+            )
+        return arr.tolist()
 
 
 class AdaptiveAdversary(abc.ABC):

@@ -50,7 +50,7 @@ class UniformRandomSchedule(WakeSchedule):
         span = self._span(k) if callable(self._span) else int(self._span)
         if span < 1:
             raise ValueError(f"span must be >= 1, got {span}")
-        return self.validate(rng.integers(0, span, size=k).tolist(), k)
+        return self.validate(rng.integers(0, span, size=k), k)
 
 
 class StaggeredSchedule(WakeSchedule):
@@ -108,7 +108,7 @@ class PoissonSchedule(WakeSchedule):
     def wake_rounds(self, k: int, rng: np.random.Generator) -> list[int]:
         gaps = rng.exponential(1.0 / self.rate, size=k)
         rounds = np.floor(np.cumsum(gaps)).astype(np.int64)
-        return self.validate(rounds.tolist(), k)
+        return self.validate(rounds, k)
 
 
 class TwoWavesSchedule(WakeSchedule):

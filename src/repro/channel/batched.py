@@ -1,0 +1,499 @@
+"""Batched vectorised engine: R repetitions in one set of numpy passes.
+
+Every experiment in this repository is a Monte Carlo estimate —
+``repeat_schedule_runs`` / ``sweep_schedule`` execute hundreds to
+thousands of statistically independent repetitions of the same
+:class:`~repro.core.spec.RunSpec`.  The single-run
+:class:`~repro.channel.vectorized.VectorizedSimulator` already samples
+each station's transmission set in one shot, but still pays per-run
+overhead: its own construction, its own hazard-table slice, and — the
+actual hot path — a pure-Python ``while`` sweep over every transmission
+event to resolve collisions.  :func:`run_batch` fuses all R repetitions
+into one ``(rep, station)`` batch:
+
+1. wake schedules and Poisson transmission points are drawn per
+   repetition from that repetition's own seeded generators (the draw
+   sequence is *exactly* the sequential engine's, which is what makes the
+   results byte-identical), then concatenated into flat batch arrays;
+2. collisions are resolved for the whole batch at once with array-segment
+   reductions: events are sorted by ``(rep, global_round)``, per-round
+   attempt counts come from run-length boundaries, and singleton rounds —
+   the successes — fall out of a ``counts == 1`` mask;
+3. the acknowledgement-triggered switch-off (a success *removes the
+   winner's future events*, which can turn a later collision into a new
+   singleton) is handled by an iterative fixpoint: recompute counts only
+   for repetitions whose switch-off set changed, until nothing changes.
+   Deaths are monotone (a station's estimated switch-off round only moves
+   earlier, and never before its true one), so the fixpoint converges to
+   exactly the sequential sweep's outcome; typical schedules settle in a
+   handful of passes.
+
+Exactness contract
+------------------
+
+``run_batch(spec, seeds=[s0, ..., s(R-1)])`` returns ``RunResult``s
+byte-identical to ``[execute(spec.with_seed(s)) for s in seeds]`` on the
+vectorised engine — same wake draws, same transmission samples, same
+records, metrics, completion flags and stop rounds.  The property suite
+``tests/test_batched.py`` fuzzes this equality across the cross-engine
+config space (stochastic and deterministic schedules, jamming, the no-ack
+switch-off variant, every stop condition).
+
+Admissibility is the vectorised engine's: non-adaptive schedule,
+oblivious wake adversary, no stateful jammer, no trace, ACK feedback.
+Route through :func:`repro.engine.dispatch.execute_batch` to get
+transparent per-run fallback for everything else.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Optional
+
+import numpy as np
+
+from repro.adversary.base import WakeSchedule
+from repro.channel.feedback import FeedbackModel
+from repro.channel.results import RunResult, StopCondition
+from repro.channel.vectorized import check_prob_table, sample_station_events
+from repro.core.protocol import ProbabilitySchedule
+from repro.core.spec import RunSpec
+from repro.core.station import StationRecord
+
+__all__ = ["run_batch"]
+
+#: "Never happens" sentinel for round numbers (first success / switch-off).
+_INF = np.iinfo(np.int64).max
+
+
+def _resolve_seeds(
+    spec: RunSpec, n_reps: Optional[int], seeds: Optional[Sequence[int]]
+) -> list[int]:
+    if seeds is None:
+        if n_reps is None:
+            raise ValueError("run_batch needs n_reps or an explicit seed list")
+        if spec.seed is None:
+            raise ValueError(
+                "run_batch(spec, n_reps) derives per-rep seeds from spec.seed; "
+                "set spec.seed or pass seeds explicitly"
+            )
+        return [spec.seed + r for r in range(n_reps)]
+    seed_list = [int(s) for s in seeds]
+    if n_reps is not None and n_reps != len(seed_list):
+        raise ValueError(
+            f"n_reps={n_reps} disagrees with len(seeds)={len(seed_list)}"
+        )
+    return seed_list
+
+
+def _rep_generators(seed: int) -> tuple[np.random.Generator, np.random.Generator]:
+    """The sequential engine's (adversary, station) generator pair.
+
+    :class:`~repro.util.rng.RngFactory` hands these out as two successive
+    ``spawn(1)`` children of ``SeedSequence(seed)``; one ``spawn(2)`` call
+    yields the same two children (spawn keys ``(0,)`` and ``(1,)``) with
+    half the per-repetition SeedSequence overhead, keeping the streams —
+    and therefore the batch results — byte-identical.
+    """
+    adversary_child, station_child = np.random.SeedSequence(seed).spawn(2)
+    return (
+        np.random.Generator(np.random.PCG64(adversary_child)),
+        np.random.Generator(np.random.PCG64(station_child)),
+    )
+
+
+def _map_points_to_rounds(full_cum: np.ndarray, flat: np.ndarray) -> np.ndarray:
+    """Exact ``np.searchsorted(full_cum, flat, side="right")``, faster.
+
+    Binary search pays ~90 ns per point; a batch has millions.  A uniform
+    grid over the hazard axis precomputes, per grid bucket, the smallest
+    insertion index of any value in the bucket; each point then starts at
+    its bucket's index and walks forward at most ``max bucket span`` steps
+    (whole-array compare-and-add passes).  A trailing backward pass
+    corrects the rare float-rounding overshoot of the bucket computation,
+    so the result is exactly the binary search's for every input.  Tables
+    whose hazard mass concentrates in few buckets (span > 32) — and small
+    batches, where the grid setup doesn't amortise — fall back to plain
+    ``searchsorted``.
+    """
+    n = int(full_cum.shape[0])
+    total = float(full_cum[-1]) if n else 0.0
+    if flat.size < 65536 or n < 2 or not total > 0.0:
+        return np.searchsorted(full_cum, flat, side="right")
+    m = 1 << ((n - 1).bit_length() + 1)  # ~2-4 buckets per round
+    edges = np.arange(m, dtype=np.float64) * (total / m)
+    lo = np.searchsorted(full_cum, edges, side="right")
+    spans = np.diff(lo)
+    max_span = int(spans.max()) if spans.size else 0
+    if max_span > 32:
+        return np.searchsorted(full_cum, flat, side="right")
+    bucket = np.minimum((flat * (m / total)).astype(np.int64), m - 1)
+    np.maximum(bucket, 0, out=bucket)
+    idx = lo[bucket]
+    cum_pad = np.append(full_cum, np.inf)
+    # One whole-array pass finds the points still left of their round;
+    # subsequent passes touch only the shrinking unresolved subset.
+    active = np.flatnonzero(cum_pad[idx] <= flat)
+    for _ in range(max_span + 2):
+        if active.size == 0:
+            break
+        idx[active] += 1
+        still = cum_pad[idx[active]] <= flat[active]
+        active = active[still]
+    else:  # pragma: no cover - loop bound is exact by construction
+        return np.searchsorted(full_cum, flat, side="right")
+    behind = np.flatnonzero(
+        (idx > 0) & (full_cum[np.maximum(idx, 1) - 1] > flat)
+    )
+    while behind.size:
+        idx[behind] -= 1
+        sub = idx[behind]
+        still = (sub > 0) & (full_cum[np.maximum(sub, 1) - 1] > flat[behind])
+        behind = behind[still]
+    return idx
+
+
+def _check_batchable(spec: RunSpec) -> None:
+    """Defensive admissibility check (dispatch performs the routed one)."""
+    if not spec.is_schedule_run:
+        raise TypeError("run_batch only supports non-adaptive schedule specs")
+    if not isinstance(spec.adversary, WakeSchedule):
+        raise TypeError("run_batch only supports oblivious WakeSchedule adversaries")
+    if spec.jammer is not None or spec.record_trace:
+        raise ValueError("run_batch supports neither stateful jammers nor traces")
+    if spec.feedback is not FeedbackModel.ACK_ONLY:
+        raise ValueError("run_batch only supports ACK_ONLY feedback")
+
+
+def _segment_singletons(
+    keys: np.ndarray, jammed: np.ndarray
+) -> np.ndarray:
+    """Positions (into ``keys``) of non-jammed singleton segments.
+
+    ``keys`` is the sorted ``(rep, global_round)`` composite key; a
+    segment is one channel round of one repetition, and a singleton
+    segment is a round with exactly one attempt — a success unless jammed.
+    """
+    if keys.size == 0:
+        return np.empty(0, dtype=np.int64)
+    first = np.empty(keys.size, dtype=bool)
+    first[0] = True
+    np.not_equal(keys[1:], keys[:-1], out=first[1:])
+    starts = np.flatnonzero(first)
+    counts = np.diff(np.append(starts, keys.size))
+    singles = starts[counts == 1]
+    return singles[~jammed[singles]]
+
+
+def run_batch(
+    spec: RunSpec,
+    n_reps: Optional[int] = None,
+    seeds: Optional[Sequence[int]] = None,
+) -> list[RunResult]:
+    """Execute ``spec`` for every seed in one batched numpy pass.
+
+    Args:
+        spec: a vectorised-admissible run description (see module docs).
+        n_reps: repetition count; seeds default to ``spec.seed + r``
+            (the harness's repetition layout).
+        seeds: explicit per-repetition seeds (overrides ``n_reps``-derived
+            ones; both may be given if consistent).
+
+    Returns:
+        One :class:`RunResult` per seed, in order, byte-identical to
+        sequential ``execute(spec.with_seed(seed))`` calls.
+    """
+    _check_batchable(spec)
+    seed_list = _resolve_seeds(spec, n_reps, seeds)
+    R = len(seed_list)
+    if R == 0:
+        return []
+
+    k = spec.k
+    schedule = spec.schedule
+    adversary = spec.adversary
+    ack = spec.switch_off_on_ack
+    stop = spec.stop
+    max_rounds = spec.resolve_horizon()
+    sched_horizon = schedule.horizon()
+
+    # One shared probability/hazard table for the whole batch (the PR-3
+    # LRU); each repetition slices the prefix its own wake draw allows.
+    from repro.engine.cache import cumulative_hazard, probability_table
+
+    full_table = probability_table(schedule, max_rounds)
+    check_prob_table(schedule, full_table, max_rounds)
+    full_cum = cumulative_hazard(schedule, max_rounds)
+
+    # --- per-repetition draws (seed-exact, so they stay per-rep calls;
+    # everything after this loop is whole-batch array work) --------------
+    # Schedules without a sample_rounds override draw nothing but the
+    # Poisson counts and uniform points per repetition, so the
+    # searchsorted / dedup passes can run once over the whole batch.
+    direct = (
+        type(schedule).sample_rounds is not ProbabilitySchedule.sample_rounds
+    )
+    wake_all = np.empty((R, k), dtype=np.int64)
+    if direct:
+        station_parts: list[np.ndarray] = []
+        global_parts: list[np.ndarray] = []
+        for r, seed in enumerate(seed_list):
+            adversary_rng, station_rng = _rep_generators(seed)
+            wake = np.asarray(
+                adversary.wake_rounds(k, adversary_rng), dtype=np.int64
+            )
+            if wake.shape != (k,):
+                raise ValueError("adversary produced a malformed wake schedule")
+            max_local = int(max_rounds - wake.min())
+            if sched_horizon is not None:
+                max_local = min(max_local, sched_horizon)
+            max_local = max(max_local, 1)
+            stations, local_rounds = sample_station_events(
+                station_rng, schedule, k, full_cum[:max_local], max_local
+            )
+            wake_all[r] = wake
+            station_parts.append(stations + np.int64(r) * k)
+            global_parts.append(local_rounds + wake[stations])
+        ev_station = (
+            np.concatenate(station_parts)
+            if station_parts
+            else np.empty(0, dtype=np.int64)
+        )
+        ev_global = (
+            np.concatenate(global_parts)
+            if global_parts
+            else np.empty(0, dtype=np.int64)
+        )
+    else:
+        counts_all = np.zeros((R, k), dtype=np.int64)
+        flat_parts: list[np.ndarray] = []
+        for r, seed in enumerate(seed_list):
+            adversary_rng, station_rng = _rep_generators(seed)
+            wake = np.asarray(
+                adversary.wake_rounds(k, adversary_rng), dtype=np.int64
+            )
+            if wake.shape != (k,):
+                raise ValueError("adversary produced a malformed wake schedule")
+            max_local = int(max_rounds - wake.min())
+            if sched_horizon is not None:
+                max_local = min(max_local, sched_horizon)
+            max_local = max(max_local, 1)
+            wake_all[r] = wake
+            total = float(full_cum[max_local - 1])
+            if total <= 0.0:
+                continue  # no transmissions: the sequential path draws nothing
+            counts = station_rng.poisson(total, size=k)
+            counts_all[r] = counts
+            flat_parts.append(
+                station_rng.uniform(0.0, total, size=int(counts.sum()))
+            )
+        # One batch-wide binary search: each point was drawn on its own
+        # repetition's prefix of the cumulative-hazard axis, so mapping it
+        # against the full table lands on the same round.
+        flat = (
+            np.concatenate(flat_parts)
+            if flat_parts
+            else np.empty(0, dtype=float)
+        )
+        local = _map_points_to_rounds(full_cum, flat)
+        local += 1
+        ev_station = None  # assembled straight into keys below
+
+    # --- flat batch event stream, sorted by (rep, global round) ---------
+    # Composite key: rep | global_round | station in power-of-two bit
+    # fields, so the decompose after sorting is shifts and masks rather
+    # than integer division.  The round field leaves room for the largest
+    # possible global round (local ≤ max_rounds - min wake, plus any
+    # wake), so past-horizon events stay inside their repetition's key
+    # space until the post-sort mask drops them.
+    max_g = int(max_rounds) + int(wake_all.max()) + 1
+    sp = max_g.bit_length()
+    kp = (k - 1).bit_length()
+    key_bits = (R - 1).bit_length() + sp + kp
+    if key_bits > 62:  # pragma: no cover - absurd sizes
+        raise ValueError(
+            "batch composite keys would overflow int64; reduce the batch size"
+        )
+    # Narrow keys halve the memory traffic of the sort and of every
+    # whole-batch pass; typical batches (R=1000, k=64) need < 28 bits.
+    key_dtype = np.int32 if key_bits <= 31 else np.int64
+    if ev_station is not None:
+        # Direct-path events: the per-rep sampling loop already produced
+        # flat (rep * k + station, global_round) arrays.
+        key = (
+            ((ev_station // k) << np.int64(sp)) + ev_global
+        ) << np.int64(kp) | (ev_station % k)
+        key = key.astype(key_dtype, copy=False)
+    else:
+        # Poisson-path events: the key decomposes into a per-(rep,
+        # station) base — ((rep << sp) + wake) << kp | station — plus
+        # local << kp, so per-event assembly is one repeat and one add.
+        base = (
+            (np.arange(R, dtype=np.int64) << np.int64(sp))[:, None] + wake_all
+        ) << np.int64(kp) | np.arange(k, dtype=np.int64)[None, :]
+        key = np.repeat(
+            base.reshape(-1).astype(key_dtype, copy=False),
+            counts_all.reshape(-1),
+        )
+        local = local.astype(key_dtype, copy=False)
+        local <<= kp
+        key += local
+    # One sort both orders the sweep and puts duplicate (station, round)
+    # samples side by side for the dedup mask (the direct path
+    # pre-dedupes; the mask is then a no-op).  Past-horizon events are
+    # dropped by the same mask.
+    key.sort()
+    gk = key >> kp  # (rep, global_round) composite segment key
+    g = gk & ((1 << sp) - 1)
+    if key.size:
+        m = np.empty(key.size, dtype=bool)
+        m[0] = True
+        np.not_equal(key[1:], key[:-1], out=m[1:])
+        m &= g <= max_rounds
+        key = key[m]
+        gk = gk[m]
+        g = g[m]
+    ev_rep = gk >> sp
+    s = ev_rep * k + (key & ((1 << kp) - 1))
+    if spec.jam_rounds:
+        ev_jammed = np.isin(g, np.asarray(spec.jam_rounds, dtype=np.int64))
+    else:
+        ev_jammed = np.zeros(g.size, dtype=bool)
+
+    # --- collision resolution: segment reductions + ack fixpoint --------
+    # win[rep*k + station] = the station's first successful round (_INF =
+    # never).  Under ack semantics this is also its switch-off round.
+    win = np.full(R * k, _INF, dtype=np.int64)
+    if not ack or stop is StopCondition.FIRST_SUCCESS:
+        # Single counting pass.  Without switch-off feedback the live set
+        # never changes; under FIRST_SUCCESS the run ends at the first
+        # success, so no ack can have removed events before any round the
+        # result reports (everything past the stop round is masked below).
+        singles = _segment_singletons(gk, ev_jammed)
+        np.minimum.at(win, s[singles], g[singles])
+    else:
+        # A win at round t removes the winner's events after t, which can
+        # create new singletons at later rounds of the same repetition.
+        # Deaths are monotone (estimates only move earlier and never
+        # before the true switch-off), so iterating to a fixpoint over
+        # the repetitions whose death set changed reproduces the
+        # sequential sweep exactly.  Events are sorted by repetition, so
+        # after the first whole-batch pass each iteration re-counts only
+        # the changed repetitions' contiguous event segments.
+        rep_bounds = np.searchsorted(ev_rep, np.arange(R + 1))
+        active_reps: Optional[np.ndarray] = None  # None = every repetition
+        # Each productive pass strictly lowers at least one win estimate,
+        # and every estimate is one of the event rounds, so the pass count
+        # is bounded by the event count (plus the final no-change pass).
+        for _ in range(int(g.size) + 2):
+            if active_reps is None:
+                sl_s, sl_g, sl_gk, sl_j = s, g, gk, ev_jammed
+            else:
+                if active_reps.size == 0:
+                    break
+                idx = np.concatenate(
+                    [
+                        np.arange(rep_bounds[r], rep_bounds[r + 1])
+                        for r in active_reps
+                    ]
+                )
+                sl_s, sl_g, sl_gk, sl_j = s[idx], g[idx], gk[idx], ev_jammed[idx]
+            valid = sl_g <= win[sl_s]
+            sv = sl_s[valid]
+            gv = sl_g[valid]
+            singles = _segment_singletons(sl_gk[valid], sl_j[valid])
+            new_win = win.copy()
+            np.minimum.at(new_win, sv[singles], gv[singles])
+            changed = np.flatnonzero(new_win != win)
+            win = new_win
+            active_reps = np.unique(changed // k)
+        else:  # pragma: no cover - deaths strictly decrease, so unreachable
+            raise RuntimeError("batched ack fixpoint failed to converge")
+
+    # --- stop conditions, per repetition --------------------------------
+    fs = win.reshape(R, k)
+    if stop is StopCondition.FIRST_SUCCESS:
+        t_stop = fs.min(axis=1)
+    elif stop is StopCondition.ALL_SWITCHED_OFF and not ack:
+        # Without acks a station keeps transmitting until its schedule
+        # horizon runs out; the sweep consumes every event (no early stop).
+        t_stop = np.full(R, _INF, dtype=np.int64)
+    else:
+        # ALL_SUCCEEDED, or ALL_SWITCHED_OFF under ack semantics: the run
+        # stops at the k-th distinct first success.
+        all_won = (fs < _INF).all(axis=1)
+        t_stop = np.where(all_won, np.where(fs < _INF, fs, 0).max(axis=1), _INF)
+
+    # Successes after the stop round were never observed by the sweep.
+    fs_rep = np.where(fs <= t_stop[:, None], fs, _INF)
+
+    # Attempts: every event up to the stop round from a still-live station
+    # (under ack, a station's events end at its own first success).
+    cutoff = t_stop[ev_rep]
+    if ack:
+        cutoff = np.minimum(cutoff, win[s])
+    attempts = np.bincount(s[g <= cutoff], minlength=R * k).reshape(R, k)
+
+    completed = t_stop < _INF
+    rounds_executed = np.where(completed, t_stop, max_rounds)
+    if stop is StopCondition.ALL_SWITCHED_OFF:
+        # A station switches off on its ack (ack semantics) or one round
+        # past its schedule horizon; with neither it never does and the
+        # run cannot complete — matching the sequential engines.
+        pend = ~completed
+        if pend.any():
+            acked = np.logical_and(ack, fs_rep < _INF)
+            if sched_horizon is not None:
+                off = np.where(acked, fs_rep, wake_all + sched_horizon + 1)
+            else:
+                off = np.where(acked, fs_rep, _INF)
+            done = pend & (off.max(axis=1) <= max_rounds)
+            completed |= done
+            rounds_executed = np.where(done, off.max(axis=1), rounds_executed)
+
+    # --- materialise per-repetition RunResults ---------------------------
+    # Success and switch-off rounds are resolved into whole-batch arrays
+    # first; the -1 "never" sentinel becomes None inside object arrays, so
+    # tolist() converts every field to its final json-safe value in one C
+    # pass and the loop is pure record construction.
+    protocol_name = getattr(schedule, "name", "")
+    adversary_name = getattr(adversary, "name", "")
+    won = fs_rep != _INF
+    success = np.where(won, fs_rep, -1)
+    if sched_horizon is not None:
+        off_sched = wake_all + (sched_horizon + 1)
+        switch_off = np.where(off_sched <= rounds_executed[:, None], off_sched, -1)
+    else:
+        switch_off = np.full((R, k), -1, dtype=np.int64)
+    if ack:
+        switch_off = np.where(won, fs_rep, switch_off)
+    success_obj = success.astype(object)
+    success_obj[success < 0] = None
+    switch_off_obj = switch_off.astype(object)
+    switch_off_obj[switch_off < 0] = None
+    wake_l = wake_all.tolist()
+    suc_l = success_obj.tolist()
+    off_l = switch_off_obj.tolist()
+    att_l = attempts.tolist()
+    rounds_l = rounds_executed.tolist()
+    comp_l = completed.tolist()
+    station_ids = range(k)
+    record = StationRecord  # positional: id, wake, first_success, off, tx
+    results: list[RunResult] = []
+    for r in range(R):
+        records = list(
+            map(record, station_ids, wake_l[r], suc_l[r], off_l[r], att_l[r])
+        )
+        results.append(
+            RunResult(
+                records,
+                rounds_l[r],
+                comp_l[r],
+                stop,
+                None,
+                seed_list[r],
+                protocol_name,
+                adversary_name,
+            )
+        )
+    return results

@@ -37,7 +37,13 @@ from repro.core.protocol import ProbabilitySchedule
 from repro.core.station import StationRecord
 from repro.util.rng import RngFactory
 
-__all__ = ["VectorizedSimulator", "hazard_table"]
+__all__ = [
+    "VectorizedSimulator",
+    "hazard_table",
+    "check_prob_table",
+    "dedup_station_events",
+    "sample_station_events",
+]
 
 #: Hazard assigned to probability-1 rounds (P(miss) ~ 1e-15, i.e. never).
 _MAX_HAZARD = 34.538776394910684
@@ -55,6 +61,97 @@ def hazard_table(probabilities: np.ndarray) -> np.ndarray:
         lam = -np.log1p(-p)
     lam = np.where(np.isfinite(lam), lam, _MAX_HAZARD)
     return np.cumsum(lam)
+
+
+def check_prob_table(
+    schedule: ProbabilitySchedule, p: np.ndarray, max_local: int
+) -> None:
+    """Spot-check a supplied probability table against the live schedule.
+
+    Guards the cache-passing API: a table built from a different schedule
+    silently poisons every result, so a few entries are compared against
+    the live schedule.  Probe indices are deduplicated: at ``max_local == 1``
+    the naive triple ``(1, max_local // 2 or 1, max_local)`` would check
+    round 1 three times and sample nothing else.
+    """
+    horizon = schedule.horizon()
+    for i in sorted({1, max_local // 2 or 1, max_local}):
+        if horizon is not None and i > horizon:
+            expected = 0.0
+        else:
+            expected = min(1.0, max(0.0, schedule.probability(i)))
+        if abs(p[i - 1] - expected) > 1e-9:
+            raise ValueError(
+                f"prob_table disagrees with {schedule.name} at "
+                f"local round {i}: table {p[i - 1]!r} vs schedule "
+                f"{expected!r}"
+            )
+
+
+def dedup_station_events(
+    stations: np.ndarray, rounds: np.ndarray, max_round: int
+) -> tuple[np.ndarray, np.ndarray]:
+    """Unique ``(station, round)`` pairs, sorted by station then round.
+
+    One composite-key ``np.unique`` replaces the historical per-station
+    ``np.unique`` loop; the output order (station-major, rounds ascending
+    within a station) is identical.  ``max_round`` bounds the round values
+    so the composite key is collision-free.
+    """
+    if rounds.size == 0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    stride = np.int64(max_round) + 1
+    key = np.unique(stations.astype(np.int64) * stride + rounds)
+    out_stations = key // stride
+    return out_stations, key - out_stations * stride
+
+
+def sample_station_events(
+    rng: np.random.Generator,
+    schedule: ProbabilitySchedule,
+    k: int,
+    cumulative_hazard: np.ndarray,
+    max_local: int,
+) -> tuple[np.ndarray, np.ndarray]:
+    """Sample the flat ``(stations, local_rounds)`` event stream for ``k``
+    stations (ignoring switch-off, which is applied during the sweep).
+
+    Schedules with dependent rounds provide their own sampler via
+    :meth:`ProbabilitySchedule.sample_rounds`; independent-Bernoulli
+    schedules go through the exact Poisson-thinning path.  Both the RNG
+    draw order and the returned event order match the historical
+    per-station loop exactly, so results are byte-identical per seed; the
+    batched engine (:mod:`repro.channel.batched`) reuses this helper with
+    one per-repetition generator each.
+    """
+    probe = schedule.sample_rounds(rng, max_local)
+    if probe is not None:
+        parts = [np.asarray(probe, dtype=np.int64)]
+        for _ in range(k - 1):
+            drawn = schedule.sample_rounds(rng, max_local)
+            parts.append(np.asarray(drawn, dtype=np.int64))
+        rounds = np.concatenate(parts)
+        if rounds.size and (rounds.min() < 1 or rounds.max() > max_local):
+            raise ValueError(
+                f"{schedule.name}: sample_rounds produced local "
+                f"rounds outside [1, {max_local}]"
+            )
+        lengths = np.fromiter((len(part) for part in parts), np.int64, count=k)
+        stations = np.repeat(np.arange(k, dtype=np.int64), lengths)
+        return dedup_station_events(stations, rounds, max_local)
+    total = float(cumulative_hazard[-1]) if cumulative_hazard.size else 0.0
+    if total <= 0.0:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, empty
+    counts = rng.poisson(total, size=k)
+    flat = rng.uniform(0.0, total, size=int(counts.sum()))
+    # A point at hazard position u lands in the round whose cumulative
+    # hazard first reaches past u; +1 converts 0-based step to local
+    # round (local rounds start at 1).
+    rounds = np.searchsorted(cumulative_hazard, flat, side="right") + 1
+    stations = np.repeat(np.arange(k, dtype=np.int64), counts)
+    return dedup_station_events(stations, rounds.astype(np.int64), max_local)
 
 
 class VectorizedSimulator:
@@ -116,45 +213,6 @@ class VectorizedSimulator:
             frozenset(int(r) for r in jam_rounds) if jam_rounds is not None else None
         )
 
-    def _sample_transmissions(
-        self, rng: np.random.Generator, cumulative_hazard: np.ndarray, max_local: int
-    ) -> list[np.ndarray]:
-        """Sample, per station, the sorted local rounds it would transmit in
-        (ignoring switch-off, which is applied during the sweep).
-
-        Schedules with dependent rounds provide their own sampler via
-        :meth:`ProbabilitySchedule.sample_rounds`; independent-Bernoulli
-        schedules go through the exact Poisson-thinning path.
-        """
-        probe = self.schedule.sample_rounds(rng, max_local)
-        if probe is not None:
-            samples = [np.asarray(probe, dtype=np.int64)]
-            for _ in range(self.k - 1):
-                drawn = self.schedule.sample_rounds(rng, max_local)
-                samples.append(np.asarray(drawn, dtype=np.int64))
-            for rounds in samples:
-                if rounds.size and (rounds.min() < 1 or rounds.max() > max_local):
-                    raise ValueError(
-                        f"{self.schedule.name}: sample_rounds produced local "
-                        f"rounds outside [1, {max_local}]"
-                    )
-            return samples
-        total = float(cumulative_hazard[-1]) if cumulative_hazard.size else 0.0
-        per_station: list[np.ndarray] = []
-        if total <= 0.0:
-            return [np.empty(0, dtype=np.int64) for _ in range(self.k)]
-        counts = rng.poisson(total, size=self.k)
-        flat = rng.uniform(0.0, total, size=int(counts.sum()))
-        offsets = np.concatenate(([0], np.cumsum(counts)))
-        for i in range(self.k):
-            points = flat[offsets[i] : offsets[i + 1]]
-            # A point at hazard position u lands in the round whose cumulative
-            # hazard first reaches past u; +1 converts 0-based step to local
-            # round (local rounds start at 1).
-            rounds = np.searchsorted(cumulative_hazard, points, side="right") + 1
-            per_station.append(np.unique(rounds))
-        return per_station
-
     def run(self) -> RunResult:
         rng_factory = RngFactory(self.seed)
         adversary_rng = rng_factory.next_generator()
@@ -175,34 +233,16 @@ class VectorizedSimulator:
 
         if self._prob_table is not None and len(self._prob_table) >= max_local:
             p = np.asarray(self._prob_table[:max_local], dtype=float)
-            # Guard the cache-passing API: a table built from a different
-            # schedule silently poisons every result, so spot-check a few
-            # entries against the live schedule.
-            for i in (1, max_local // 2 or 1, max_local):
-                if horizon is not None and i > horizon:
-                    expected = 0.0
-                else:
-                    expected = min(1.0, max(0.0, self.schedule.probability(i)))
-                if abs(p[i - 1] - expected) > 1e-9:
-                    raise ValueError(
-                        f"prob_table disagrees with {self.schedule.name} at "
-                        f"local round {i}: table {p[i - 1]!r} vs schedule "
-                        f"{expected!r}"
-                    )
+            check_prob_table(self.schedule, p, max_local)
         else:
             p = self.schedule.probabilities(max_local)
         cum_hazard = hazard_table(p)
 
-        local_rounds = self._sample_transmissions(station_rng, cum_hazard, max_local)
-
-        # Build the flat (global_round, station) event stream.  k >= 1 is
-        # enforced at construction, so local_rounds is never empty.
-        stations_flat = np.concatenate(
-            [np.full(len(r), i, dtype=np.int64) for i, r in enumerate(local_rounds)]
+        # The flat (station, local_round) event stream, station-major.
+        stations_flat, local_flat = sample_station_events(
+            station_rng, self.schedule, self.k, cum_hazard, max_local
         )
-        globals_flat = np.concatenate(
-            [r + wake[i] for i, r in enumerate(local_rounds)]
-        )
+        globals_flat = local_flat + wake[stations_flat]
         keep = globals_flat <= self.max_rounds
         stations_flat = stations_flat[keep]
         globals_flat = globals_flat[keep]

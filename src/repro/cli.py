@@ -96,6 +96,12 @@ def main(argv: list[str] | None = None) -> int:
         "engine when admissible; cross-check shadows each run with the "
         "reference engine and asserts agreement",
     )
+    run_parser.add_argument(
+        "--batch-size", metavar="N", type=int, default=None,
+        help="fuse up to N same-configuration repetitions into one batched "
+        "kernel call (default 64; 1 = per-run execution); results are "
+        "byte-identical for every batch size",
+    )
 
     suite_parser = subparsers.add_parser(
         "suite", help="run every experiment at a chosen scale"
@@ -135,6 +141,11 @@ def main(argv: list[str] | None = None) -> int:
         default=None,
         help="engine dispatch override for every run in the suite",
     )
+    suite_parser.add_argument(
+        "--batch-size", metavar="N", type=int, default=None,
+        help="batched-kernel chunk size for every experiment in the suite "
+        "(default 64; 1 = per-run execution)",
+    )
 
     args, extra = parser.parse_known_args(argv)
 
@@ -157,6 +168,7 @@ def main(argv: list[str] | None = None) -> int:
                 task_timeout=args.task_timeout,
                 max_retries=args.max_retries,
                 engine=args.engine,
+                batch_size=args.batch_size,
             )
         except KeyError as error:
             print(error.args[0], file=sys.stderr)
@@ -173,6 +185,7 @@ def main(argv: list[str] | None = None) -> int:
             task_timeout=args.task_timeout,
             max_retries=args.max_retries,
             engine=args.engine,
+            batch_size=args.batch_size,
             **overrides,
         )
     except KeyError as error:

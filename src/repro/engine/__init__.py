@@ -26,6 +26,7 @@ from repro.engine.dispatch import (
     assert_results_agree,
     build_simulator,
     execute,
+    execute_batch,
     get_default_engine,
     select_engine,
     set_default_engine,
@@ -42,6 +43,7 @@ __all__ = [
     "select_engine",
     "build_simulator",
     "execute",
+    "execute_batch",
     "assert_results_agree",
     "set_default_engine",
     "get_default_engine",

@@ -48,12 +48,14 @@ whole experiment run under ``cross-check`` without touching any driver.
 
 from __future__ import annotations
 
+from collections.abc import Sequence
 from contextlib import contextmanager
 from typing import Optional, Union
 
 import numpy as np
 
 from repro.adversary.base import WakeSchedule
+from repro.channel.batched import run_batch
 from repro.channel.jamming import ScheduledJammer
 from repro.channel.feedback import FeedbackModel
 from repro.channel.results import RunResult
@@ -71,6 +73,7 @@ __all__ = [
     "select_engine",
     "build_simulator",
     "execute",
+    "execute_batch",
     "assert_results_agree",
     "set_default_engine",
     "get_default_engine",
@@ -217,6 +220,41 @@ def execute(spec: RunSpec, engine: Optional[str] = None) -> RunResult:
     if engine == "cross-check":
         return _cross_check(spec)
     return build_simulator(spec, engine).run()
+
+
+def execute_batch(
+    spec: RunSpec, seeds: Sequence[int], engine: Optional[str] = None
+) -> list[RunResult]:
+    """Run ``spec`` once per seed, fusing admissible specs into one batch.
+
+    Byte-identical to ``[execute(spec.with_seed(s), engine) for s in
+    seeds]`` — the batched kernel (:func:`repro.channel.batched.run_batch`)
+    is admissible exactly where the vectorised engine is, and everything
+    else falls back to per-run execution transparently:
+
+    * ``"auto"`` (or None, with an ``auto`` default): vectorised-admissible
+      specs run through the batched kernel; inadmissible ones loop over
+      per-run object-engine executions;
+    * ``"vectorized"``: batched kernel, raising
+      :class:`EngineSelectionError` on inadmissible specs like ``execute``;
+    * ``"object"`` / ``"cross-check"``: always the per-run loop (the object
+      engine has no batch form; cross-check shadows each run).
+    """
+    seed_list = [int(s) for s in seeds]
+    if engine is None:
+        engine = _default_engine
+    if engine in ("object", "cross-check"):
+        return [execute(spec.with_seed(s), engine) for s in seed_list]
+    if engine not in ("auto", "vectorized"):
+        raise ValueError(f"unknown engine {engine!r}; known: {ENGINE_NAMES}")
+    reason = vectorized_inadmissibility(spec)
+    if reason is not None:
+        if engine == "vectorized":
+            raise EngineSelectionError(
+                f"spec is not vectorised-admissible: {reason}"
+            )
+        return [execute(spec.with_seed(s), "object") for s in seed_list]
+    return run_batch(spec, seeds=seed_list)
 
 
 def _is_deterministic(spec: RunSpec) -> bool:

@@ -2,7 +2,9 @@
 
 from repro.experiments.executor import (
     RunExecutor,
+    get_default_batch_size,
     get_default_jobs,
+    set_default_batch_size,
     set_default_jobs,
 )
 from repro.experiments.harness import (
@@ -25,7 +27,9 @@ __all__ = [
     "run_seed",
     "ExperimentReport",
     "RunExecutor",
+    "get_default_batch_size",
     "get_default_jobs",
+    "set_default_batch_size",
     "set_default_jobs",
     "repeat_protocol_runs",
     "repeat_schedule_runs",

@@ -87,6 +87,10 @@ __all__ = [
     "set_default_failure_policy",
     "get_default_failure_policy",
     "use_failure_policy",
+    "set_default_batch_size",
+    "get_default_batch_size",
+    "resolve_batch_size",
+    "use_batch_size",
     "execution_stats",
     "reset_execution_stats",
     "parallelism_available",
@@ -99,6 +103,11 @@ _default_jobs = 1
 #: ``--max-retries`` flags (see :func:`set_default_failure_policy`).
 _default_task_timeout: Optional[float] = None
 _default_max_retries = 0
+
+#: Process-wide default batch size for the harness's chunked batch
+#: submission (CLI ``--batch-size``).  ``1`` disables batching: every run
+#: is submitted as its own task, exactly the pre-batching execution path.
+_default_batch_size = 64
 
 #: Longest single backoff sleep between retry attempts, seconds.
 _MAX_BACKOFF_SECONDS = 30.0
@@ -194,6 +203,43 @@ def use_failure_policy(
         yield
     finally:
         _default_task_timeout, _default_max_retries = previous
+
+
+def _validate_batch_size(batch_size: int) -> int:
+    if batch_size < 1:
+        raise ValueError(f"batch_size must be >= 1, got {batch_size}")
+    return batch_size
+
+
+def set_default_batch_size(batch_size: int) -> None:
+    """Set the process-wide default batch size (``1`` = no batching)."""
+    global _default_batch_size
+    _default_batch_size = _validate_batch_size(int(batch_size))
+
+
+def get_default_batch_size() -> int:
+    """The current process-wide default batch size."""
+    return _default_batch_size
+
+
+def resolve_batch_size(batch_size: Optional[int]) -> int:
+    """Resolve an explicit/None batch-size request against the default."""
+    if batch_size is None:
+        return _default_batch_size
+    return _validate_batch_size(int(batch_size))
+
+
+@contextmanager
+def use_batch_size(batch_size: Optional[int]):
+    """Temporarily override the default batch size (None = no change)."""
+    global _default_batch_size
+    previous = _default_batch_size
+    if batch_size is not None:
+        _default_batch_size = _validate_batch_size(int(batch_size))
+    try:
+        yield
+    finally:
+        _default_batch_size = previous
 
 
 def execution_stats() -> dict[str, int]:

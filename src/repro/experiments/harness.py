@@ -63,9 +63,9 @@ from repro.core.spec import RunSpec
 from repro.core.spec import adversary_token as _adversary_token  # noqa: F401 back-compat
 from repro.core.spec import stable_token as _stable_token  # noqa: F401 back-compat
 from repro.engine.cache import probability_table
-from repro.engine.dispatch import execute
+from repro.engine.dispatch import execute, execute_batch
 from repro.experiments.checkpoint import current_checkpoint
-from repro.experiments.executor import RunExecutor
+from repro.experiments.executor import RunExecutor, resolve_batch_size
 
 __all__ = [
     "SEED_STRIDE",
@@ -196,6 +196,8 @@ def _execute_runs(
     jobs: Optional[int],
     task_timeout: Optional[float],
     max_retries: Optional[int],
+    batch_bases: Optional[Sequence[Optional[RunSpec]]] = None,
+    batch_size: Optional[int] = None,
 ) -> tuple[list[RunResult], list[float], list[int]]:
     """Run a pre-seeded task bag through the executor, checkpoint-aware.
 
@@ -206,6 +208,21 @@ def _execute_runs(
     moment the executor collects them, so an interruption loses at most
     the in-flight runs.  Returns results, per-run seconds and per-run
     retry counts, all in submission order.
+
+    Batched submission: ``batch_bases`` aligns with ``tasks`` and names the
+    un-seeded base :class:`RunSpec` each run was derived from (None = this
+    run must go through its own task).  Consecutive *pending* runs sharing
+    the same base object are chunked into groups of up to ``batch_size``
+    (None = the process default, CLI ``--batch-size``) and submitted as one
+    :func:`repro.engine.execute_batch` task, which fuses admissible chunks
+    into a single vectorised kernel call and transparently falls back to
+    per-run execution otherwise.  Results are byte-identical for every
+    batch size (the batched kernel's contract); journal entries stay
+    per-(fingerprint, seed) with the chunk's wall-clock split evenly, so
+    ``--resume`` is unaffected.  A ``batch_size`` of 1 — or no
+    ``batch_bases`` — is exactly the historical one-task-per-run path.
+    Under batching, ``task_timeout`` bounds a whole chunk attempt and a
+    retried chunk re-executes all of its runs (same seeds, same results).
     """
     journal = current_checkpoint() if fingerprints is not None else None
     n = len(tasks)
@@ -222,20 +239,73 @@ def _execute_runs(
             else:
                 pending.append(index)
     if pending:
+        size = resolve_batch_size(batch_size) if batch_bases is not None else 1
+        chunks: list[list[int]] = []
+        exec_tasks: list[Callable[[], object]] = []
+        if size > 1:
+            i = 0
+            while i < len(pending):
+                index = pending[i]
+                base = batch_bases[index]
+                group = [index]
+                i += 1
+                if base is not None:
+                    while (
+                        i < len(pending)
+                        and len(group) < size
+                        and batch_bases[pending[i]] is base
+                    ):
+                        group.append(pending[i])
+                        i += 1
+                if len(group) == 1:
+                    exec_tasks.append(tasks[index])
+                else:
+                    exec_tasks.append(
+                        _batch_task(base, [seeds[idx] for idx in group])
+                    )
+                chunks.append(group)
+        else:
+            chunks = [[index] for index in pending]
+            exec_tasks = [tasks[index] for index in pending]
         executor = RunExecutor(
             jobs, task_timeout=task_timeout, max_retries=max_retries
         )
         on_result = None
         if journal is not None:
-            def on_result(j: int, result: RunResult, secs: float) -> None:
-                index = pending[j]
-                journal.record(fingerprints[index], seeds[index], result, secs)
-        fresh = executor.map([tasks[i] for i in pending], on_result=on_result)
-        for j, index in enumerate(pending):
-            results[index] = fresh[j]
-            seconds[index] = executor.last_task_seconds[j]
-            retries[index] = executor.last_retry_counts[j]
+            def on_result(j: int, result: object, secs: float) -> None:
+                group = chunks[j]
+                if len(group) == 1:
+                    journal.record(fingerprints[group[0]], seeds[group[0]], result, secs)
+                    return
+                per_run = secs / len(group)
+                for index, run in zip(group, result):
+                    journal.record(fingerprints[index], seeds[index], run, per_run)
+        fresh = executor.map(exec_tasks, on_result=on_result)
+        for j, group in enumerate(chunks):
+            if len(group) == 1:
+                index = group[0]
+                results[index] = fresh[j]
+                seconds[index] = executor.last_task_seconds[j]
+                retries[index] = executor.last_retry_counts[j]
+            else:
+                per_run = executor.last_task_seconds[j] / len(group)
+                chunk_retries = executor.last_retry_counts[j]
+                for index, run in zip(group, fresh[j]):
+                    results[index] = run
+                    seconds[index] = per_run
+                    retries[index] = chunk_retries
     return results, seconds, retries  # type: ignore[return-value]
+
+
+def _batch_task(spec: RunSpec, chunk_seeds: list[int]) -> Callable[[], list[RunResult]]:
+    """One chunk of pre-seeded runs, dispatched (and possibly fused into a
+    single batched kernel call) at execution time — see :func:`_spec_task`
+    for why dispatch is deferred into the closure."""
+
+    def task() -> list[RunResult]:
+        return execute_batch(spec, chunk_seeds)
+
+    return task
 
 
 def _spec_task(spec: RunSpec) -> Callable[[], RunResult]:
@@ -278,6 +348,7 @@ def repeat_schedule_runs(
     jobs: Optional[int] = None,
     task_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ) -> MetricSample:
     """Run a non-adaptive schedule ``reps`` times (fast engine under
     ``auto`` dispatch).
@@ -286,7 +357,10 @@ def repeat_schedule_runs(
     the :meth:`RunSpec.resolve_horizon` policy.  The probability table is
     computed once here and shared with every repetition (and, under
     ``jobs > 1``, inherited read-only by the worker processes) instead of
-    being rebuilt per run.
+    being rebuilt per run.  Repetitions are submitted in chunks of
+    ``batch_size`` (None = the process default) and fused into single
+    batched-kernel calls when admissible; results are byte-identical for
+    every batch size.
     """
     schedule = schedule_factory(k)
     base = RunSpec(
@@ -306,6 +380,7 @@ def repeat_schedule_runs(
     results, seconds, retries = _execute_runs(
         fingerprints, seeds, tasks,
         jobs=jobs, task_timeout=task_timeout, max_retries=max_retries,
+        batch_bases=[base] * reps, batch_size=batch_size,
     )
     return _fold_sample(label or schedule.name, k, results, seconds, retries)
 
@@ -363,16 +438,20 @@ def sweep_schedule(
     jobs: Optional[int] = None,
     task_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ) -> list[MetricSample]:
     """One :func:`repeat_schedule_runs` per contention size.
 
     All ``len(ks) * reps`` runs are submitted to the executor as one flat
     task bag, so parallelism spans sweep points as well as repetitions.
+    Chunked batch submission applies per sweep point (chunks never span
+    configurations — each chunk shares one base spec and one table).
     """
     journaling = current_checkpoint() is not None
     tasks = []
     labels = []
     seeds = []
+    batch_bases: list[Optional[RunSpec]] = []
     fingerprints: Optional[list[str]] = [] if journaling else None
     for i, k in enumerate(ks):
         schedule = schedule_factory(k)
@@ -388,12 +467,14 @@ def sweep_schedule(
         labels.append(label or schedule.name)
         if journaling:
             fingerprints.extend([base.fingerprint(prob_table=prob_table)] * reps)
+        batch_bases.extend([base] * reps)
         for r in range(reps):
             seeds.append(run_seed(seed, i, r))
             tasks.append(_spec_task(base.with_seed(seeds[-1])))
     results, seconds, retries = _execute_runs(
         fingerprints, seeds, tasks,
         jobs=jobs, task_timeout=task_timeout, max_retries=max_retries,
+        batch_bases=batch_bases, batch_size=batch_size,
     )
     return [
         _fold_sample(

@@ -21,6 +21,7 @@ from repro.experiments.checkpoint import CheckpointJournal, use_checkpoint
 from repro.experiments.executor import (
     execution_stats,
     resolve_jobs,
+    use_batch_size,
     use_failure_policy,
     use_jobs,
 )
@@ -94,6 +95,7 @@ def run_experiment(
     task_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
     engine: Optional[str] = None,
+    batch_size: Optional[int] = None,
     **overrides,
 ) -> ExperimentReport:
     """Run one experiment from the registry by its DESIGN.md id.
@@ -102,7 +104,9 @@ def run_experiment(
     harness call the driver makes, via the executor's process default;
     results are bit-identical for any worker count.  ``task_timeout`` /
     ``max_retries`` set the failure policy the same way (see
-    :mod:`repro.experiments.executor`).
+    :mod:`repro.experiments.executor`).  ``batch_size`` (``1`` = no
+    batching) bounds the harness's chunked batch submission the same way;
+    results are byte-identical for every batch size.
 
     ``engine`` overrides the dispatch default for every run the driver
     makes (``"auto"``, ``"object"``, ``"vectorized"``, ``"cross-check"``;
@@ -132,7 +136,7 @@ def run_experiment(
     stats_before = execution_stats()
     start = time.perf_counter()
     with use_jobs(jobs), use_failure_policy(task_timeout, max_retries), \
-            use_checkpoint(journal), use_engine(engine):
+            use_batch_size(batch_size), use_checkpoint(journal), use_engine(engine):
         report = EXPERIMENTS[experiment_id](**overrides)
     report.timings["wall_s"] = time.perf_counter() - start
     report.timings["jobs"] = float(resolve_jobs(jobs))

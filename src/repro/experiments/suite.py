@@ -92,6 +92,7 @@ def run_suite(
     task_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
     engine: Optional[str] = None,
+    batch_size: Optional[int] = None,
     progress: Callable[[str], None] = print,
 ) -> dict[str, ExperimentReport]:
     """Run every (or a subset of) registered experiment(s) at a scale.
@@ -110,7 +111,9 @@ def run_suite(
 
     ``engine`` overrides engine dispatch for every run in the suite
     (``"cross-check"`` turns the whole suite into an engine-agreement
-    sweep without changing any reported number).
+    sweep without changing any reported number).  ``batch_size`` bounds
+    the harness's chunked batch submission (``1`` = per-run execution);
+    rows are byte-identical for every batch size.
     """
     overrides = suite_overrides(scale)
     wanted = set(only) if only is not None else set(EXPERIMENTS)
@@ -132,6 +135,7 @@ def run_suite(
             task_timeout=task_timeout,
             max_retries=max_retries,
             engine=engine,
+            batch_size=batch_size,
             **overrides.get(experiment_id, {}),
         )
         reports[experiment_id] = report

@@ -215,18 +215,25 @@ OVERRIDES = dict(ks=(8, 12), reps=2)
 
 class TestRegistryResume:
     def test_interrupt_then_resume_byte_identical(self, tmp_path, monkeypatch):
-        clean = run_experiment(EXPERIMENT, **OVERRIDES)
+        # batch_size=1 keeps one executor task == one journaled run, so the
+        # interrupt counter below maps exactly to journal lines (the batched
+        # path's resume folding is covered by tests/test_batched.py).
+        clean = run_experiment(EXPERIMENT, batch_size=1, **OVERRIDES)
 
         interrupter = _InterruptAfter(3)
         interrupter.install(monkeypatch)
         with pytest.raises(KeyboardInterrupt):
-            run_experiment(EXPERIMENT, resume_dir=str(tmp_path), **OVERRIDES)
+            run_experiment(
+                EXPERIMENT, resume_dir=str(tmp_path), batch_size=1, **OVERRIDES
+            )
         monkeypatch.setattr(RunExecutor, "map", interrupter.original)
 
         journal_path = tmp_path / f"{EXPERIMENT}.runs.jsonl"
         assert len(journal_path.read_text().splitlines()) == 3
 
-        resumed = run_experiment(EXPERIMENT, resume_dir=str(tmp_path), **OVERRIDES)
+        resumed = run_experiment(
+            EXPERIMENT, resume_dir=str(tmp_path), batch_size=1, **OVERRIDES
+        )
         assert resumed.text == clean.text
         assert resumed.rows == clean.rows
         assert resumed.timings["runs_resumed"] == 3.0
@@ -273,7 +280,10 @@ class TestCliResume:
     def test_cli_interrupt_then_resume_round_trip(
         self, tmp_path, monkeypatch, capsys
     ):
-        base = ["run", EXPERIMENT, "--ks", "8,12", "--reps", "2"]
+        # --batch-size 1: one executor task == one journaled run, so the
+        # interrupt-after-3 counter means exactly 3 resumable runs.
+        base = ["run", EXPERIMENT, "--ks", "8,12", "--reps", "2",
+                "--batch-size", "1"]
         assert main(base) == 0
         clean_out = report_body(capsys.readouterr().out, EXPERIMENT)
 
