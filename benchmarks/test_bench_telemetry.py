@@ -1,0 +1,133 @@
+"""Telemetry overhead benchmark: the disabled path must cost < 2%.
+
+The telemetry registry's contract (``src/repro/telemetry/registry.py``) is
+that a disabled instrument call is one module-global load and one branch —
+no allocation, no locking, no timing.  This module proves the contract on
+the acceptance configuration (the batched k=64 kernel at
+``REPRO_BENCH_REPS`` repetitions, the same spec as
+``test_bench_batched.py``) two ways:
+
+* paired pytest-benchmark cases for the disabled and enabled kernel, so
+  the trajectory records both absolute costs;
+* a direct bound proof: measure the *per-call* cost of every disabled
+  instrument with a tight timing loop, multiply by a generous allowance
+  of instrument call sites per batch (hundreds of times more than the
+  kernel actually contains), and assert the product stays under 2% of the
+  measured kernel time.  This is robust where a naive A/B median
+  comparison is noise-bound: the disabled instruments cost nanoseconds
+  against a kernel that runs for tens of milliseconds.
+
+``REPRO_BENCH_REPS`` scales the repetition count (default 1000 — the
+acceptance configuration; CI uses a smaller value).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from repro.adversary.oblivious import UniformRandomSchedule
+from repro.channel.batched import run_batch
+from repro.channel.results import StopCondition
+from repro.core.protocols.non_adaptive_with_k import NonAdaptiveWithK
+from repro.core.spec import RunSpec
+from repro.telemetry import registry as telemetry
+
+K = 64
+REPS = int(os.environ.get("REPRO_BENCH_REPS", "1000"))
+SPEC = RunSpec(
+    k=K,
+    protocol=NonAdaptiveWithK(K, 6),
+    adversary=UniformRandomSchedule(span=lambda k: 2 * k),
+    stop=StopCondition.ALL_SUCCEEDED,
+    switch_off_on_ack=False,
+    max_rounds=30 * K,
+    seed=7,
+)
+SEEDS = [SPEC.seed + r for r in range(REPS)]
+
+#: Instrument call sites one batch may pass through, with head-room: the
+#: kernel itself holds ~10 (one timer() + laps + counters), dispatch and
+#: cache add a handful more.  500 is two orders of magnitude above that,
+#: so the bound below is conservative, not tuned.
+CALLS_PER_BATCH_ALLOWANCE = 500
+
+
+def _run_disabled():
+    telemetry.disable()
+    return run_batch(SPEC, seeds=SEEDS)
+
+
+def _run_enabled():
+    telemetry.enable()
+    try:
+        return run_batch(SPEC, seeds=SEEDS)
+    finally:
+        telemetry.disable()
+        telemetry.reset()
+
+
+def test_bench_batched_telemetry_disabled(benchmark):
+    results = benchmark(_run_disabled)
+    assert len(results) == REPS
+
+
+def test_bench_batched_telemetry_enabled(benchmark):
+    results = benchmark(_run_enabled)
+    assert len(results) == REPS
+
+
+def _per_call_seconds(fn, calls: int = 200_000) -> float:
+    """Median-of-5 per-call cost of ``fn`` over a tight loop."""
+    samples = []
+    for _ in range(5):
+        start = time.perf_counter()
+        for _ in range(calls):
+            fn()
+        samples.append((time.perf_counter() - start) / calls)
+    samples.sort()
+    return samples[2]
+
+
+def test_disabled_path_under_two_percent():
+    """The acceptance bound: disabled telemetry costs < 2% of the batched
+    kernel on the k=64, 1000-rep configuration."""
+    telemetry.disable()
+    telemetry.reset()
+
+    # Kernel time on the acceptance configuration (median of 3: the bound
+    # has orders of magnitude of slack, so cheap timing suffices).
+    kernel_samples = []
+    for _ in range(3):
+        start = time.perf_counter()
+        results = run_batch(SPEC, seeds=SEEDS)
+        kernel_samples.append(time.perf_counter() - start)
+    assert len(results) == REPS
+    kernel_samples.sort()
+    kernel_seconds = kernel_samples[1]
+
+    # The most expensive disabled instrument, measured per call.
+    costs = {
+        "count": _per_call_seconds(lambda: telemetry.count("bench.counter")),
+        "span": _per_call_seconds(lambda: telemetry.span("bench.span")),
+        "timer": _per_call_seconds(telemetry.timer),
+        "gauge": _per_call_seconds(lambda: telemetry.gauge("bench.gauge", 1)),
+        "observe": _per_call_seconds(lambda: telemetry.observe("bench.h", 1.0)),
+        "trace_sample": _per_call_seconds(telemetry.trace_sample),
+    }
+    worst = max(costs.values())
+
+    overhead = worst * CALLS_PER_BATCH_ALLOWANCE
+    ratio = overhead / kernel_seconds
+    assert ratio < 0.02, (
+        f"disabled telemetry overhead {ratio:.4%} of kernel time "
+        f"(worst per-call {worst * 1e9:.0f} ns x {CALLS_PER_BATCH_ALLOWANCE} "
+        f"allowed calls vs kernel {kernel_seconds * 1e3:.1f} ms); "
+        f"per-instrument: "
+        + ", ".join(f"{k}={v * 1e9:.0f}ns" for k, v in sorted(costs.items()))
+    )
+
+    # And nothing leaked into the registry while disabled.
+    snap = telemetry.snapshot()
+    assert snap["counters"] == {}
+    assert snap["spans"] == {}

@@ -26,6 +26,7 @@ from __future__ import annotations
 import argparse
 import json
 import os
+import platform
 import subprocess
 import sys
 import tempfile
@@ -82,6 +83,25 @@ def run_benchmarks(reps: int | None, extra_args: list[str]) -> dict:
         return json.loads(report_path.read_text())
 
 
+def host_metadata() -> dict:
+    """The execution environment a trajectory entry was measured on.
+
+    Median ns/op numbers are only comparable within one environment; the
+    metadata lets the history distinguish a real regression from a
+    machine or interpreter change.
+    """
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except Exception:  # pragma: no cover - numpy is a hard dep in practice
+        numpy_version = "unavailable"
+    return {
+        "python": platform.python_version(),
+        "numpy": numpy_version,
+        "cpu_count": os.cpu_count() or 0,
+    }
+
+
 def normalise(report: dict, reps: int | None) -> dict:
     """pytest-benchmark report -> {case: median ns/op} plus metadata."""
     cases = {}
@@ -95,6 +115,7 @@ def normalise(report: dict, reps: int | None) -> dict:
         "reps": reps if reps is not None else int(
             os.environ.get("REPRO_BENCH_REPS", "1000")
         ),
+        "host": host_metadata(),
         "cases": cases,
     }
     baseline = cases.get(BASELINE_CASE)

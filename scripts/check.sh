@@ -22,6 +22,35 @@ if grep -rnE "(SlotSimulator|VectorizedSimulator)\(" src/repro/experiments/; the
     exit 1
 fi
 
+echo "== bare-print lint =="
+# Library code reports through telemetry, logging or return values; bare
+# print() belongs only to the CLI and the report renderer.  AST-based so
+# docstring examples don't false-positive.
+python3 - <<'PYEOF'
+import ast, pathlib, sys
+
+ALLOWED = {"src/repro/cli.py", "src/repro/analysis/reporting.py"}
+bad = []
+for path in sorted(pathlib.Path("src/repro").rglob("*.py")):
+    rel = path.as_posix()
+    if rel in ALLOWED:
+        continue
+    tree = ast.parse(path.read_text(), filename=rel)
+    for node in ast.walk(tree):
+        if (
+            isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Name)
+            and node.func.id == "print"
+        ):
+            bad.append(f"{rel}:{node.lineno}")
+if bad:
+    print("error: bare print() in library code (use telemetry or return")
+    print("values; printing belongs to cli.py / analysis/reporting.py):")
+    for loc in bad:
+        print(f"  {loc}")
+    sys.exit(1)
+PYEOF
+
 echo "== unit/integration/property tests =="
 # The coverage floor (fail_under) is checked into pyproject.toml under
 # [tool.coverage.report]; the gate runs wherever pytest-cov is installed

@@ -59,6 +59,7 @@ from repro.channel.vectorized import check_prob_table, sample_station_events
 from repro.core.protocol import ProbabilitySchedule
 from repro.core.spec import RunSpec
 from repro.core.station import StationRecord
+from repro.telemetry import registry as telemetry
 
 __all__ = ["run_batch"]
 
@@ -208,6 +209,11 @@ def run_batch(
     R = len(seed_list)
     if R == 0:
         return []
+    phase = telemetry.timer()
+    if phase:
+        telemetry.count("batched.batches")
+        telemetry.count("batched.reps", R)
+        telemetry.observe("batched.batch_reps", R)
 
     k = spec.k
     schedule = spec.schedule
@@ -298,6 +304,8 @@ def run_batch(
         local = _map_points_to_rounds(full_cum, flat)
         local += 1
         ev_station = None  # assembled straight into keys below
+    if phase:
+        phase.lap("batched.draws")
 
     # --- flat batch event stream, sorted by (rep, global round) ---------
     # Composite key: rep | global_round | station in power-of-two bit
@@ -342,6 +350,8 @@ def run_batch(
     # samples side by side for the dedup mask (the direct path
     # pre-dedupes; the mask is then a no-op).  Past-horizon events are
     # dropped by the same mask.
+    if phase:
+        phase.lap("batched.key_build")
     key.sort()
     gk = key >> kp  # (rep, global_round) composite segment key
     g = gk & ((1 << sp) - 1)
@@ -359,11 +369,15 @@ def run_batch(
         ev_jammed = np.isin(g, np.asarray(spec.jam_rounds, dtype=np.int64))
     else:
         ev_jammed = np.zeros(g.size, dtype=bool)
+    if phase:
+        phase.lap("batched.sort")
+        telemetry.count("batched.events", int(key.size))
 
     # --- collision resolution: segment reductions + ack fixpoint --------
     # win[rep*k + station] = the station's first successful round (_INF =
     # never).  Under ack semantics this is also its switch-off round.
     win = np.full(R * k, _INF, dtype=np.int64)
+    passes = 1
     if not ack or stop is StopCondition.FIRST_SUCCESS:
         # Single counting pass.  Without switch-off feedback the live set
         # never changes; under FIRST_SUCCESS the run ends at the first
@@ -385,7 +399,7 @@ def run_batch(
         # Each productive pass strictly lowers at least one win estimate,
         # and every estimate is one of the event rounds, so the pass count
         # is bounded by the event count (plus the final no-change pass).
-        for _ in range(int(g.size) + 2):
+        for passes in range(1, int(g.size) + 3):
             if active_reps is None:
                 sl_s, sl_g, sl_gk, sl_j = s, g, gk, ev_jammed
             else:
@@ -409,6 +423,9 @@ def run_batch(
             active_reps = np.unique(changed // k)
         else:  # pragma: no cover - deaths strictly decrease, so unreachable
             raise RuntimeError("batched ack fixpoint failed to converge")
+    if phase:
+        phase.lap("batched.resolve")
+        telemetry.count("batched.fixpoint_passes", passes)
 
     # --- stop conditions, per repetition --------------------------------
     fs = win.reshape(R, k)
@@ -496,4 +513,6 @@ def run_batch(
                 adversary_name,
             )
         )
+    if phase:
+        phase.lap("batched.materialize")
     return results

@@ -22,6 +22,7 @@ from repro.channel.feedback import FeedbackModel, make_observation
 from repro.channel.results import RunResult, StopCondition
 from repro.core.protocol import Protocol
 from repro.core.station import Station
+from repro.telemetry import registry as telemetry
 from repro.util.rng import RngFactory
 
 __all__ = ["SlotSimulator", "default_max_rounds"]
@@ -132,6 +133,10 @@ class SlotSimulator:
                 return succeeded >= self.k
             return switched_off >= self.k
 
+        # Sampled round tracing: 0 (the disabled default) keeps the hot
+        # loop's telemetry cost to one integer truthiness check per round.
+        sample = telemetry.trace_sample()
+
         # Round 0 wakes (stations present "from the very beginning").
         if adaptive:
             wake(self.adversary.wake_now(0, history), 0)
@@ -185,6 +190,18 @@ class SlotSimulator:
                 jammed=jammed,
             )
             history.append(event)
+            if sample and t % sample == 0:
+                telemetry.event(
+                    "simulator.round",
+                    {
+                        "round": t,
+                        "outcome": outcome.name,
+                        "transmitters": m,
+                        "active": len(active),
+                        "woken": woken,
+                        "jammed": jammed,
+                    },
+                )
 
             # 4. Deliver observations to every station active this round.
             transmitted_ids = {station.station_id for station, _ in transmitters}
@@ -215,6 +232,20 @@ class SlotSimulator:
                 break
 
         completed = stop_met()
+        if telemetry.enabled():
+            telemetry.count("simulator.runs")
+            telemetry.count("simulator.rounds", t)
+            telemetry.observe("simulator.run_rounds", t)
+            tallies = {
+                RoundOutcome.SUCCESS: 0,
+                RoundOutcome.COLLISION: 0,
+                RoundOutcome.SILENCE: 0,
+            }
+            for ev in history:
+                tallies[ev.outcome] = tallies.get(ev.outcome, 0) + 1
+            telemetry.count("simulator.successes", tallies[RoundOutcome.SUCCESS])
+            telemetry.count("simulator.collisions", tallies[RoundOutcome.COLLISION])
+            telemetry.count("simulator.silent_rounds", tallies[RoundOutcome.SILENCE])
         return RunResult(
             records=[s.record() for s in stations],
             rounds_executed=t,

@@ -35,6 +35,7 @@ from repro.adversary.base import WakeSchedule
 from repro.channel.results import RunResult, StopCondition
 from repro.core.protocol import ProbabilitySchedule
 from repro.core.station import StationRecord
+from repro.telemetry import registry as telemetry
 from repro.util.rng import RngFactory
 
 __all__ = [
@@ -214,6 +215,7 @@ class VectorizedSimulator:
         )
 
     def run(self) -> RunResult:
+        phase = telemetry.timer()
         rng_factory = RngFactory(self.seed)
         adversary_rng = rng_factory.next_generator()
         station_rng = rng_factory.next_generator()
@@ -249,6 +251,8 @@ class VectorizedSimulator:
         order = np.argsort(globals_flat, kind="stable")
         stations_flat = stations_flat[order]
         globals_flat = globals_flat[order]
+        if phase:
+            phase.lap("vectorized.sample")
 
         first_success = np.full(self.k, -1, dtype=np.int64)
         alive = np.ones(self.k, dtype=bool)
@@ -296,6 +300,10 @@ class VectorizedSimulator:
                     completed = True
                     break
             rounds_executed = int(t)
+        if phase:
+            phase.lap("vectorized.sweep")
+            telemetry.count("vectorized.runs")
+            telemetry.count("vectorized.events", n)
 
         if not completed:
             rounds_executed = self.max_rounds
@@ -339,6 +347,7 @@ class VectorizedSimulator:
                     transmissions=int(attempts[i]),
                 )
             )
+        telemetry.count("vectorized.rounds", rounds_executed)
         return RunResult(
             records=records,
             rounds_executed=rounds_executed,

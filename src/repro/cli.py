@@ -8,6 +8,8 @@ Usage::
     python -m repro run fig3_lower_bound_instance --k 2048
     python -m repro run table1_latency --jobs 4      # 4 worker processes
     python -m repro suite --scale paper --jobs 0     # all cores
+    python -m repro run thm51_wakeup --telemetry out/telemetry
+    python -m repro stats out/telemetry              # render the artefacts
 
 Arbitrary driver keyword overrides are passed as ``--key value`` pairs;
 integers, floats and comma-separated integer tuples are auto-coerced
@@ -49,6 +51,17 @@ def _parse_overrides(pairs: list[str]) -> dict[str, object]:
             raise SystemExit(f"expected an option starting with --, got {key!r}")
         overrides[key[2:].replace("-", "_")] = _coerce(value)
     return overrides
+
+
+def _export_telemetry(directory: str | None) -> None:
+    """Flush the run's telemetry artefacts and say where they landed."""
+    if directory is None:
+        return
+    from repro import telemetry
+
+    jsonl_path, prom_path = telemetry.export_to_dir(directory)
+    print(f"\n[telemetry written to {jsonl_path} and {prom_path}; "
+          f"render with `repro stats {directory}`]")
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -102,6 +115,17 @@ def main(argv: list[str] | None = None) -> int:
         "kernel call (default 64; 1 = per-run execution); results are "
         "byte-identical for every batch size",
     )
+    run_parser.add_argument(
+        "--telemetry", metavar="DIR", default=None,
+        help="enable the telemetry registry for the run and export a JSONL "
+        "span/event log plus an OpenMetrics snapshot into DIR "
+        "(render them with `repro stats DIR`)",
+    )
+    run_parser.add_argument(
+        "--trace-sample", metavar="N", type=int, default=0,
+        help="with --telemetry: record one object-engine round-trace event "
+        "every N simulated rounds (default 0 = off)",
+    )
 
     suite_parser = subparsers.add_parser(
         "suite", help="run every experiment at a chosen scale"
@@ -146,6 +170,27 @@ def main(argv: list[str] | None = None) -> int:
         help="batched-kernel chunk size for every experiment in the suite "
         "(default 64; 1 = per-run execution)",
     )
+    suite_parser.add_argument(
+        "--telemetry", metavar="DIR", default=None,
+        help="enable the telemetry registry for the whole suite and export "
+        "JSONL + OpenMetrics artefacts into DIR",
+    )
+    suite_parser.add_argument(
+        "--trace-sample", metavar="N", type=int, default=0,
+        help="with --telemetry: record one object-engine round-trace event "
+        "every N simulated rounds (default 0 = off)",
+    )
+
+    stats_parser = subparsers.add_parser(
+        "stats", help="render a telemetry directory's metrics and top spans"
+    )
+    stats_parser.add_argument(
+        "directory", help="directory previously passed to --telemetry"
+    )
+    stats_parser.add_argument(
+        "--top", metavar="N", type=int, default=15,
+        help="how many spans to show, ranked by total time (default 15)",
+    )
 
     args, extra = parser.parse_known_args(argv)
 
@@ -153,6 +198,22 @@ def main(argv: list[str] | None = None) -> int:
         for experiment_id in sorted(EXPERIMENTS):
             print(experiment_id)
         return 0
+
+    if args.command == "stats":
+        from repro.telemetry.stats import render_stats
+
+        try:
+            print(render_stats(args.directory, top=args.top))
+        except FileNotFoundError as error:
+            print(error, file=sys.stderr)
+            return 2
+        return 0
+
+    telemetry_dir = args.telemetry
+    if telemetry_dir is not None:
+        from repro import telemetry
+
+        telemetry.enable(trace_sample=max(0, int(args.trace_sample)))
 
     if args.command == "suite":
         from repro.experiments.suite import run_suite
@@ -173,6 +234,7 @@ def main(argv: list[str] | None = None) -> int:
         except KeyError as error:
             print(error.args[0], file=sys.stderr)
             return 2
+        _export_telemetry(telemetry_dir)
         return 0
 
     overrides = _parse_overrides(extra)
@@ -208,6 +270,7 @@ def main(argv: list[str] | None = None) -> int:
     if csv_dir is not None:
         path = write_report_csv(report, csv_dir)
         print(f"\n[rows written to {path}]")
+    _export_telemetry(telemetry_dir)
     return 0
 
 

@@ -31,6 +31,7 @@ import numpy as np
 from repro.channel.vectorized import hazard_table
 from repro.core.protocol import ProbabilitySchedule
 from repro.core.spec import stable_token
+from repro.telemetry import registry as telemetry
 
 __all__ = [
     "schedule_fingerprint",
@@ -95,6 +96,7 @@ def _get(
     if entry is not None:
         store.move_to_end(key)
         _hits += 1
+        telemetry.count("engine.cache.hit")
     return entry
 
 
@@ -105,10 +107,12 @@ def _put(
 ) -> np.ndarray:
     global _misses
     _misses += 1
+    telemetry.count("engine.cache.miss")
     value.setflags(write=False)
     store[key] = value
     while len(store) > _max_entries:
         store.popitem(last=False)
+        telemetry.count("engine.cache.evict")
     return value
 
 

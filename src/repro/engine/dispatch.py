@@ -64,6 +64,7 @@ from repro.channel.validate import validate_run
 from repro.channel.vectorized import VectorizedSimulator
 from repro.core.spec import RunSpec
 from repro.engine.cache import probability_table
+from repro.telemetry import registry as telemetry
 
 __all__ = [
     "ENGINE_NAMES",
@@ -218,8 +219,16 @@ def execute(spec: RunSpec, engine: Optional[str] = None) -> RunResult:
     if engine is None:
         engine = _default_engine
     if engine == "cross-check":
-        return _cross_check(spec)
-    return build_simulator(spec, engine).run()
+        with telemetry.span("engine.execute.cross-check"):
+            return _cross_check(spec)
+    simulator = build_simulator(spec, engine)
+    if isinstance(simulator, VectorizedSimulator):
+        telemetry.count("engine.select.vectorized")
+        with telemetry.span("engine.execute.vectorized"):
+            return simulator.run()
+    telemetry.count("engine.select.object")
+    with telemetry.span("engine.execute.object"):
+        return simulator.run()
 
 
 def execute_batch(
@@ -253,7 +262,9 @@ def execute_batch(
             raise EngineSelectionError(
                 f"spec is not vectorised-admissible: {reason}"
             )
+        telemetry.count("engine.batch_fallback_runs", len(seed_list))
         return [execute(spec.with_seed(s), "object") for s in seed_list]
+    telemetry.count("engine.batch_fused_runs", len(seed_list))
     return run_batch(spec, seeds=seed_list)
 
 

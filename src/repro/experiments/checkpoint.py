@@ -53,6 +53,7 @@ from typing import Optional
 
 from repro.channel.results import RunResult, StopCondition
 from repro.core.station import StationRecord
+from repro.telemetry import registry as telemetry
 
 __all__ = [
     "CheckpointJournal",
@@ -218,6 +219,7 @@ class CheckpointJournal:
         except (KeyError, TypeError, ValueError, IndexError):
             return None
         self.hits += 1
+        telemetry.count("checkpoint.runs_resumed")
         return result, float(entry.get("s", 0.0))
 
     def record(
@@ -243,3 +245,4 @@ class CheckpointJournal:
             os.close(fd)
         self._entries[(fingerprint, int(run_seed))] = entry
         self.records_written += 1
+        telemetry.count("checkpoint.runs_journaled")

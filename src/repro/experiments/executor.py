@@ -77,6 +77,8 @@ from collections.abc import Callable, Iterable
 from contextlib import contextmanager
 from typing import Any, Optional
 
+from repro.telemetry import registry as telemetry
+
 __all__ = [
     "RunExecutor",
     "TaskFailedError",
@@ -277,13 +279,13 @@ def _worker_init() -> None:
     _default_jobs = 1  # nested executors degrade to serial
 
 
-def _run_forked_task(index: int) -> tuple[Any, float, dict[str, int]]:
+def _run_forked_task(index: int) -> tuple[Any, float, dict[str, Any]]:
     """Worker-side task wrapper.  Besides the result and its wall-clock,
-    it ships back the *deltas* of the worker's own failure counters and
-    checkpoint-journal counters: nested serial executors retry, and
-    harness calls journal, inside the worker's address space — without
-    the piggyback those events would be invisible to the parent's
-    report accounting."""
+    it ships back the *deltas* of the worker's own failure counters,
+    checkpoint-journal counters and telemetry registry: nested serial
+    executors retry, harness calls journal, and instruments record,
+    inside the worker's address space — without the piggyback those
+    events would be invisible to the parent's report accounting."""
     assert _forked_tasks is not None, "worker forked without a task list"
     from repro.experiments.checkpoint import current_checkpoint
 
@@ -292,16 +294,19 @@ def _run_forked_task(index: int) -> tuple[Any, float, dict[str, int]]:
     journal_before = (
         (journal.hits, journal.records_written) if journal is not None else (0, 0)
     )
+    tel_before = telemetry.snapshot() if telemetry.enabled() else None
     start = time.perf_counter()
     result = _forked_tasks[index]()
     seconds = time.perf_counter() - start
-    delta = {
+    delta: dict[str, Any] = {
         key: _EXEC_STATS[key] - stats_before[key]
         for key in ("failures", "retries", "timeouts")
     }
     if journal is not None:
         delta["journal_hits"] = journal.hits - journal_before[0]
         delta["journal_records"] = journal.records_written - journal_before[1]
+    if tel_before is not None:
+        delta["telemetry"] = telemetry.delta_since(tel_before)
     return result, seconds, delta
 
 
@@ -370,6 +375,7 @@ class RunExecutor:
         """
         task_list = list(tasks)
         start = time.perf_counter()
+        telemetry.count("executor.tasks", len(task_list))
         self.last_retry_counts = [0] * len(task_list)
         self.last_failures = 0
         self.last_timeouts = 0
@@ -381,6 +387,10 @@ class RunExecutor:
             timed = self._map_serial(task_list, on_result)
         self.last_wall_seconds = time.perf_counter() - start
         self.last_task_seconds = [seconds for _, seconds in timed]
+        if telemetry.enabled():
+            telemetry.gauge("executor.queue_depth", 0)
+            for seconds in self.last_task_seconds:
+                telemetry.observe("executor.task_seconds", seconds)
         return [result for result, _ in timed]
 
     # -- failure bookkeeping -------------------------------------------------
@@ -388,31 +398,40 @@ class RunExecutor:
     def _note_failure(self, index: int, *, timed_out: bool) -> None:
         self.last_failures += 1
         _EXEC_STATS["failures"] += 1
+        telemetry.count("executor.task_failures")
         if timed_out:
             self.last_timeouts += 1
             _EXEC_STATS["timeouts"] += 1
+            telemetry.count("executor.task_timeouts")
 
     def _note_retry(self, index: int, attempt: int) -> None:
         self.last_retry_counts[index] += 1
         _EXEC_STATS["retries"] += 1
+        telemetry.count("executor.task_retries")
         if self.retry_backoff > 0.0:
-            time.sleep(
-                min(self.retry_backoff * 2 ** (attempt - 1), _MAX_BACKOFF_SECONDS)
+            pause = min(
+                self.retry_backoff * 2 ** (attempt - 1), _MAX_BACKOFF_SECONDS
             )
+            telemetry.count("executor.backoff_seconds", pause)
+            time.sleep(pause)
 
     def _note_degraded(self) -> None:
         if not self.last_degraded:
             self.last_degraded = True
             _EXEC_STATS["degraded"] += 1
+            telemetry.count("executor.degraded_maps")
 
-    def _merge_worker_delta(self, delta: dict[str, int]) -> None:
+    def _merge_worker_delta(self, delta: dict[str, Any]) -> None:
         """Fold a pool worker's nested accounting into this process:
-        retries and journal traffic inside a worker happened in its own
-        address space, so the counters ride back on the task result."""
+        retries, journal traffic and telemetry inside a worker happened in
+        its own address space, so the deltas ride back on the task result."""
         self.last_failures += delta.get("failures", 0)
         self.last_timeouts += delta.get("timeouts", 0)
         for key in ("failures", "retries", "timeouts"):
             _EXEC_STATS[key] += delta.get(key, 0)
+        worker_telemetry = delta.get("telemetry")
+        if worker_telemetry:
+            telemetry.merge(worker_telemetry)
         hits = delta.get("journal_hits", 0)
         records = delta.get("journal_records", 0)
         if hits or records:
@@ -495,6 +514,7 @@ class RunExecutor:
         pending = {i: pool.apply_async(_run_forked_task, (i,)) for i in range(n)}
         attempts = [1] * n
         for i in range(n):
+            telemetry.gauge("executor.queue_depth", n - i)
             while timed[i] is None:
                 try:
                     result, seconds, worker_delta = pending[i].get(self.task_timeout)

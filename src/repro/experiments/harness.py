@@ -66,6 +66,7 @@ from repro.engine.cache import probability_table
 from repro.engine.dispatch import execute, execute_batch
 from repro.experiments.checkpoint import current_checkpoint
 from repro.experiments.executor import RunExecutor, resolve_batch_size
+from repro.telemetry import registry as telemetry
 
 __all__ = [
     "SEED_STRIDE",
@@ -130,13 +131,15 @@ def _fold_sample(
     retries: Optional[Iterable[int]] = None,
 ) -> MetricSample:
     """Fold executed runs into a sample, serially and in submission order."""
-    sample = MetricSample(label=label, k=k)
-    for result in results:
-        sample.add(result)
-    sample.run_seconds.extend(seconds)
-    if retries is not None:
-        sample.run_retries.extend(retries)
-    return sample
+    with telemetry.span("harness.fold"):
+        sample = MetricSample(label=label, k=k)
+        for result in results:
+            sample.add(result)
+        sample.run_seconds.extend(seconds)
+        if retries is not None:
+            sample.run_retries.extend(retries)
+        telemetry.count("harness.runs_folded", len(sample.run_seconds))
+        return sample
 
 
 def _schedule_fingerprint(

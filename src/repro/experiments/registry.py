@@ -25,6 +25,7 @@ from repro.experiments.executor import (
     use_failure_policy,
     use_jobs,
 )
+from repro.telemetry import registry as telemetry
 
 from repro.experiments.ablation import run_ablation
 from repro.experiments.adaptive_adversary_exp import run_adaptive_adversary_check
@@ -137,8 +138,19 @@ def run_experiment(
     start = time.perf_counter()
     with use_jobs(jobs), use_failure_policy(task_timeout, max_retries), \
             use_batch_size(batch_size), use_checkpoint(journal), use_engine(engine):
-        report = EXPERIMENTS[experiment_id](**overrides)
+        with telemetry.span("experiment.run"):
+            report = EXPERIMENTS[experiment_id](**overrides)
     report.timings["wall_s"] = time.perf_counter() - start
+    if telemetry.enabled():
+        telemetry.count("experiment.runs")
+        telemetry.event(
+            "experiment.completed",
+            {
+                "experiment_id": experiment_id,
+                "wall_s": report.timings["wall_s"],
+                "jobs": resolve_jobs(jobs),
+            },
+        )
     report.timings["jobs"] = float(resolve_jobs(jobs))
     stats_after = execution_stats()
     for stat_key, timing_key in (

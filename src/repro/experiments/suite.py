@@ -141,8 +141,21 @@ def run_suite(
         reports[experiment_id] = report
         wall = report.timings.get("wall_s")
         if wall is not None:
+            notes = []
             resumed = int(report.timings.get("runs_resumed", 0))
-            note = f" ({resumed} runs resumed)" if resumed else ""
+            if resumed:
+                notes.append(f"{resumed} runs resumed")
+            # Surface the executor's failure accounting per experiment —
+            # a retried-but-recovered suite should say so, not hide it.
+            for timing_key, label in (
+                ("task_failures", "failures"),
+                ("task_retries", "retries"),
+                ("task_timeouts", "timeouts"),
+            ):
+                value = int(report.timings.get(timing_key, 0))
+                if value:
+                    notes.append(f"{value} {label}")
+            note = f" ({', '.join(notes)})" if notes else ""
             progress(f"[suite:{scale}]   {experiment_id} done in {wall:.1f}s{note}")
         if out_path is not None:
             (out_path / f"{experiment_id}.txt").write_text(report.text + "\n")
@@ -156,5 +169,21 @@ def run_suite(
         (out_path / "SUMMARY.md").write_text(
             suite_markdown(reports, title=f"Suite report ({scale})")
         )
-    progress(f"[suite:{scale}] done: {len(reports)} experiments")
+    totals = {
+        label: sum(
+            int(report.timings.get(timing_key, 0))
+            for report in reports.values()
+        )
+        for timing_key, label in (
+            ("task_failures", "failures"),
+            ("task_retries", "retries"),
+            ("task_timeouts", "timeouts"),
+        )
+    }
+    health = ""
+    if any(totals.values()):
+        health = " (" + ", ".join(
+            f"{value} {label}" for label, value in totals.items() if value
+        ) + ")"
+    progress(f"[suite:{scale}] done: {len(reports)} experiments{health}")
     return reports

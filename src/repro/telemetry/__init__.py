@@ -1,0 +1,68 @@
+"""Structured tracing, metrics and profiling for engines and drivers.
+
+The package splits into three modules:
+
+* :mod:`repro.telemetry.registry` — the process-wide instrument registry
+  (counters, gauges, histograms, timed spans) with a zero-allocation
+  no-op path when disabled and fork-safe child→parent merging;
+* :mod:`repro.telemetry.export` — the two exporters: an append-only
+  JSONL span/event log and an OpenMetrics textfile snapshot;
+* :mod:`repro.telemetry.stats` — readers and the ``repro stats``
+  renderer.
+
+The instrument API is re-exported here so call sites read as
+``telemetry.count(...)`` / ``telemetry.span(...)``::
+
+    from repro import telemetry
+
+    telemetry.count("engine.cache.hit")
+    with telemetry.span("batched.sort"):
+        key.sort()
+
+See ``docs/telemetry.md`` for the instrumentation map and the CLI flags
+(``--telemetry``, ``--trace-sample``, ``repro stats``).
+"""
+
+from repro.telemetry.export import export_to_dir
+from repro.telemetry.registry import (
+    HIST_BOUNDS,
+    MAX_EVENTS,
+    PhaseTimer,
+    count,
+    delta_since,
+    disable,
+    drain_events,
+    enable,
+    enabled,
+    event,
+    gauge,
+    merge,
+    observe,
+    reset,
+    snapshot,
+    span,
+    timer,
+    trace_sample,
+)
+
+__all__ = [
+    "HIST_BOUNDS",
+    "MAX_EVENTS",
+    "PhaseTimer",
+    "count",
+    "delta_since",
+    "disable",
+    "drain_events",
+    "enable",
+    "enabled",
+    "event",
+    "export_to_dir",
+    "gauge",
+    "merge",
+    "observe",
+    "reset",
+    "snapshot",
+    "span",
+    "timer",
+    "trace_sample",
+]

@@ -1,0 +1,126 @@
+"""Telemetry exporters: append-only JSONL events + OpenMetrics textfile.
+
+Two artefacts, both written into the directory named by ``--telemetry``:
+
+* ``telemetry.jsonl`` — one JSON object per span/event, append-only.
+  Repeated exports (one per ``run``, one per ``suite``) drain the event
+  buffer and append, so a long session accumulates a single replayable
+  log; a line truncated by a crash is skipped by the reader.
+* ``metrics.prom`` — an OpenMetrics/Prometheus textfile snapshot of every
+  counter, gauge, histogram and span aggregate, suitable for a node
+  exporter's textfile collector.  Rewritten whole on each export (it is a
+  snapshot, not a log).
+
+Metric naming: registry names are dotted (``engine.cache.hit``); the
+textfile exporter prefixes ``repro_`` and maps every non-alphanumeric
+character to ``_``, per the Prometheus data model.  Span aggregates are
+exported as ``repro_span_seconds_count/_sum{span="<name>"}`` plus
+``_min``/``_max`` gauges.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import re
+from pathlib import Path
+
+from repro.telemetry import registry
+
+__all__ = [
+    "JSONL_NAME",
+    "OPENMETRICS_NAME",
+    "metric_name",
+    "render_openmetrics",
+    "append_jsonl",
+    "export_to_dir",
+]
+
+JSONL_NAME = "telemetry.jsonl"
+OPENMETRICS_NAME = "metrics.prom"
+
+_INVALID = re.compile(r"[^a-zA-Z0-9_]")
+
+
+def metric_name(name: str) -> str:
+    """Registry name -> Prometheus metric name (``repro_`` prefixed)."""
+    return "repro_" + _INVALID.sub("_", name)
+
+
+def _fmt(value: float) -> str:
+    if isinstance(value, float) and value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(float(value))
+
+
+def render_openmetrics(snap: dict) -> str:
+    """Render a registry snapshot as OpenMetrics text (ends with # EOF)."""
+    lines: list[str] = []
+    for name in sorted(snap.get("counters", {})):
+        metric = metric_name(name)
+        lines.append(f"# TYPE {metric} counter")
+        lines.append(f"{metric}_total {_fmt(snap['counters'][name])}")
+    for name in sorted(snap.get("gauges", {})):
+        metric = metric_name(name)
+        lines.append(f"# TYPE {metric} gauge")
+        lines.append(f"{metric} {_fmt(snap['gauges'][name])}")
+    for name in sorted(snap.get("hist_counts", {})):
+        metric = metric_name(name)
+        counts = snap["hist_counts"][name]
+        stats = snap["hist_stats"][name]
+        lines.append(f"# TYPE {metric} histogram")
+        cumulative = 0
+        for bound, bucket in zip(registry.HIST_BOUNDS, counts):
+            cumulative += bucket
+            lines.append(f'{metric}_bucket{{le="{bound:g}"}} {cumulative}')
+        cumulative += counts[-1]
+        lines.append(f'{metric}_bucket{{le="+Inf"}} {cumulative}')
+        lines.append(f"{metric}_sum {_fmt(stats[1])}")
+        lines.append(f"{metric}_count {_fmt(stats[0])}")
+    spans = snap.get("spans", {})
+    if spans:
+        lines.append("# TYPE repro_span_seconds summary")
+        for name in sorted(spans):
+            count, total, lo, hi = spans[name]
+            label = name.replace("\\", "\\\\").replace('"', '\\"')
+            lines.append(f'repro_span_seconds_count{{span="{label}"}} {_fmt(count)}')
+            lines.append(f'repro_span_seconds_sum{{span="{label}"}} {_fmt(total)}')
+            lines.append(f'repro_span_seconds_min{{span="{label}"}} {_fmt(lo)}')
+            lines.append(f'repro_span_seconds_max{{span="{label}"}} {_fmt(hi)}')
+    lines.append("# EOF")
+    return "\n".join(lines) + "\n"
+
+
+def append_jsonl(path: str | Path, events: list[dict]) -> int:
+    """Append ``events`` to the JSONL log; returns the line count written.
+
+    The whole batch is joined and written through one ``O_APPEND``
+    descriptor, so concurrent appenders (unusual, but legal) cannot
+    interleave partial lines.
+    """
+    if not events:
+        return 0
+    payload = "".join(
+        json.dumps(record, separators=(",", ":")) + "\n" for record in events
+    )
+    fd = os.open(str(path), os.O_WRONLY | os.O_APPEND | os.O_CREAT, 0o644)
+    try:
+        os.write(fd, payload.encode("utf-8"))
+    finally:
+        os.close(fd)
+    return len(events)
+
+
+def export_to_dir(directory: str | Path) -> tuple[Path, Path]:
+    """Write both artefacts into ``directory`` (created if needed).
+
+    Drains the event buffer into ``telemetry.jsonl`` (append) and rewrites
+    ``metrics.prom`` from a fresh snapshot.  Returns the two paths.
+    """
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    jsonl_path = directory / JSONL_NAME
+    prom_path = directory / OPENMETRICS_NAME
+    append_jsonl(jsonl_path, registry.drain_events())
+    prom_path.write_text(render_openmetrics(registry.snapshot()))
+    return jsonl_path, prom_path

@@ -1,0 +1,440 @@
+"""The process-wide telemetry registry: counters, gauges, histograms, spans.
+
+Every run of the harness is a pipeline of hot layers — engine dispatch,
+the vectorised/batched kernels, the fork-pool executor, the checkpoint
+journal — and before this module the only visibility into a run was a
+handful of ad-hoc timing floats on ``ExperimentReport``.  The registry
+gives those layers first-class instruments:
+
+* **counters** — monotone totals (``engine.cache.hit``, rounds simulated,
+  executor retries);
+* **gauges** — last-value readings (executor queue depth);
+* **histograms** — log2-bucketed distributions (per-task wall seconds);
+* **spans** — timed sections (kernel phases, engine executions), recorded
+  both as per-name aggregates and as individual events for the JSONL log.
+
+Disabled-by-default, zero-allocation when disabled
+--------------------------------------------------
+
+Telemetry is off unless :func:`enable` runs (the CLI's ``--telemetry``
+flag).  Every instrument function starts with ``if not _enabled: return``
+— one global-load and one branch, no object construction.  :func:`span`
+returns a shared no-op context-manager singleton, and :func:`timer`
+returns ``None`` so hot kernels can guard whole phase-lap sequences with
+a single truthiness test.  The batched-kernel benchmark
+(``benchmarks/test_bench_telemetry.py``) holds the disabled path to <2%
+of kernel time on the acceptance configuration.
+
+Thread- and fork-safety
+-----------------------
+
+Mutations take a module lock (cheap, uncontended in the common
+single-thread case).  Fork-pool workers inherit the parent's state at
+fork time; the executor snapshots the registry around each task
+(:func:`snapshot` / :func:`delta_since`) and ships the *delta* back on
+the result channel, where the parent folds it in with :func:`merge` —
+the same piggyback scheme the executor already uses for its failure
+counters, so worker-side metrics are never lost and never double-counted.
+
+Events (span records and explicit :func:`event` calls) are kept in a
+bounded in-memory buffer (:data:`MAX_EVENTS`); overflow increments the
+``telemetry.events_dropped`` counter instead of growing without bound.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Optional
+
+__all__ = [
+    "MAX_EVENTS",
+    "HIST_BOUNDS",
+    "enabled",
+    "enable",
+    "disable",
+    "reset",
+    "trace_sample",
+    "count",
+    "gauge",
+    "observe",
+    "event",
+    "span",
+    "timer",
+    "PhaseTimer",
+    "snapshot",
+    "delta_since",
+    "merge",
+    "drain_events",
+]
+
+#: Hard cap on buffered events; past it, events are dropped and counted.
+MAX_EVENTS = 200_000
+
+#: Histogram bucket upper bounds: log2-spaced from ~1 microsecond to 64
+#: seconds, wide enough for any per-task or per-phase duration here.
+#: Values above the last bound land in the implicit +Inf bucket.
+HIST_BOUNDS: tuple[float, ...] = tuple(2.0**e for e in range(-20, 7))
+
+_lock = threading.Lock()
+_enabled = False
+_trace_sample = 0
+
+# The registry state.  Plain dicts of primitives so snapshots pickle
+# cheaply across the pool result channel.
+_counters: dict[str, float] = {}
+_gauges: dict[str, float] = {}
+#: name -> [bucket_counts..., +inf_count] parallel to HIST_BOUNDS.
+_hist_counts: dict[str, list[int]] = {}
+#: name -> [count, sum, min, max]
+_hist_stats: dict[str, list[float]] = {}
+#: name -> [count, total_seconds, min_seconds, max_seconds]
+_spans: dict[str, list[float]] = {}
+_events: list[dict] = []
+_events_dropped = 0
+
+
+def enabled() -> bool:
+    """True iff the registry is recording."""
+    return _enabled
+
+
+def enable(*, trace_sample: int = 0) -> None:
+    """Turn recording on.  ``trace_sample=n`` additionally asks the object
+    engine to emit one sampled round event every ``n`` rounds (0 = none)."""
+    global _enabled, _trace_sample
+    if trace_sample < 0:
+        raise ValueError(f"trace_sample must be >= 0, got {trace_sample}")
+    with _lock:
+        _enabled = True
+        _trace_sample = int(trace_sample)
+
+
+def disable() -> None:
+    """Turn recording off (state is kept; :func:`reset` clears it)."""
+    global _enabled, _trace_sample
+    with _lock:
+        _enabled = False
+        _trace_sample = 0
+
+
+def reset() -> None:
+    """Drop every metric and buffered event."""
+    global _events_dropped
+    with _lock:
+        _counters.clear()
+        _gauges.clear()
+        _hist_counts.clear()
+        _hist_stats.clear()
+        _spans.clear()
+        _events.clear()
+        _events_dropped = 0
+
+
+def trace_sample() -> int:
+    """The sampled round-trace period (0 = no round trace / disabled)."""
+    return _trace_sample if _enabled else 0
+
+
+# --------------------------------------------------------------- instruments
+
+
+def count(name: str, value: float = 1) -> None:
+    """Add ``value`` to counter ``name`` (no-op when disabled)."""
+    if not _enabled:
+        return
+    with _lock:
+        _counters[name] = _counters.get(name, 0) + value
+
+
+def gauge(name: str, value: float) -> None:
+    """Set gauge ``name`` to ``value`` (last write wins)."""
+    if not _enabled:
+        return
+    with _lock:
+        _gauges[name] = float(value)
+
+
+def _bucket_index(value: float) -> int:
+    # Linear scan beats bisect for 27 buckets only at the extremes; use
+    # bisect for predictability.
+    lo, hi = 0, len(HIST_BOUNDS)
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if value <= HIST_BOUNDS[mid]:
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
+
+
+def observe(name: str, value: float) -> None:
+    """Record ``value`` into histogram ``name``."""
+    if not _enabled:
+        return
+    value = float(value)
+    with _lock:
+        counts = _hist_counts.get(name)
+        if counts is None:
+            counts = [0] * (len(HIST_BOUNDS) + 1)
+            _hist_counts[name] = counts
+            _hist_stats[name] = [0.0, 0.0, value, value]
+        counts[_bucket_index(value)] += 1
+        stats = _hist_stats[name]
+        stats[0] += 1
+        stats[1] += value
+        if value < stats[2]:
+            stats[2] = value
+        if value > stats[3]:
+            stats[3] = value
+
+
+def event(name: str, attrs: Optional[dict] = None) -> None:
+    """Append one structured event to the JSONL buffer.
+
+    ``attrs`` must be JSON-safe primitives; pass ``None`` (not ``{}``)
+    from hot paths so the disabled path allocates nothing.
+    """
+    if not _enabled:
+        return
+    record = {"ts": time.time(), "kind": "event", "name": name}
+    if attrs:
+        record.update(attrs)
+    _append_event(record)
+
+
+def _append_event(record: dict) -> None:
+    global _events_dropped
+    with _lock:
+        if len(_events) >= MAX_EVENTS:
+            _events_dropped += 1
+            _counters["telemetry.events_dropped"] = (
+                _counters.get("telemetry.events_dropped", 0) + 1
+            )
+            return
+        _events.append(record)
+
+
+def _record_span(name: str, seconds: float) -> None:
+    with _lock:
+        stats = _spans.get(name)
+        if stats is None:
+            _spans[name] = [1, seconds, seconds, seconds]
+        else:
+            stats[0] += 1
+            stats[1] += seconds
+            if seconds < stats[2]:
+                stats[2] = seconds
+            if seconds > stats[3]:
+                stats[3] = seconds
+    _append_event(
+        {"ts": time.time(), "kind": "span", "name": name, "dur_s": seconds}
+    )
+
+
+class _Span:
+    """A timed section; records aggregate stats and one span event."""
+
+    __slots__ = ("name", "_start")
+
+    def __init__(self, name: str):
+        self.name = name
+
+    def __enter__(self) -> "_Span":
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        _record_span(self.name, time.perf_counter() - self._start)
+        return False
+
+
+class _NoopSpan:
+    """Shared do-nothing context manager — the disabled :func:`span` path."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+_NOOP_SPAN = _NoopSpan()
+
+
+def span(name: str):
+    """A context manager timing one section under ``name``.
+
+    Disabled path returns a shared singleton: no allocation, no timing.
+    """
+    if not _enabled:
+        return _NOOP_SPAN
+    return _Span(name)
+
+
+class PhaseTimer:
+    """Sequential phase laps for straight-line kernels.
+
+    ``timer()`` hands one out only when telemetry is enabled, so kernels
+    guard each lap with a single ``if timer:`` — the disabled hot path
+    carries one branch per phase and nothing else::
+
+        t = telemetry.timer()
+        ...draw samples...
+        if t: t.lap("batched.draws")
+        ...sort keys...
+        if t: t.lap("batched.sort")
+    """
+
+    __slots__ = ("_last",)
+
+    def __init__(self):
+        self._last = time.perf_counter()
+
+    def lap(self, name: str) -> None:
+        """Close the phase started at the previous lap under ``name``."""
+        now = time.perf_counter()
+        _record_span(name, now - self._last)
+        self._last = now
+
+
+def timer() -> Optional[PhaseTimer]:
+    """A :class:`PhaseTimer` when enabled, else ``None``."""
+    if not _enabled:
+        return None
+    return PhaseTimer()
+
+
+# ------------------------------------------------------- snapshot and merge
+
+
+def snapshot() -> dict:
+    """A picklable copy of the whole registry state.
+
+    The ``events_len`` marker lets :func:`delta_since` ship only the
+    events recorded after the snapshot.
+    """
+    with _lock:
+        return {
+            "counters": dict(_counters),
+            "gauges": dict(_gauges),
+            "hist_counts": {k: list(v) for k, v in _hist_counts.items()},
+            "hist_stats": {k: list(v) for k, v in _hist_stats.items()},
+            "spans": {k: list(v) for k, v in _spans.items()},
+            "events_len": len(_events),
+            "events": [],
+        }
+
+
+def delta_since(before: dict) -> dict:
+    """What this process recorded since ``before = snapshot()``.
+
+    Counters, histogram counts/sums and span count/total subtract;
+    min/max cannot be un-merged, so the delta carries the *current*
+    min/max (merging them is conservative: a pool worker inherited the
+    parent's extremes at fork, which the parent already has).  Events are
+    the suffix appended after the snapshot.
+    """
+    now = snapshot()
+    counters = {
+        k: v - before["counters"].get(k, 0)
+        for k, v in now["counters"].items()
+        if v != before["counters"].get(k, 0)
+    }
+    hist_counts = {}
+    hist_stats = {}
+    for name, counts in now["hist_counts"].items():
+        prev = before["hist_counts"].get(name)
+        if prev is None:
+            hist_counts[name] = counts
+            hist_stats[name] = now["hist_stats"][name]
+            continue
+        if counts != prev:
+            hist_counts[name] = [a - b for a, b in zip(counts, prev)]
+            stats = now["hist_stats"][name]
+            prev_stats = before["hist_stats"][name]
+            hist_stats[name] = [
+                stats[0] - prev_stats[0],
+                stats[1] - prev_stats[1],
+                stats[2],
+                stats[3],
+            ]
+    spans = {}
+    for name, stats in now["spans"].items():
+        prev = before["spans"].get(name)
+        if prev is None:
+            spans[name] = stats
+        elif stats[0] != prev[0]:
+            spans[name] = [
+                stats[0] - prev[0],
+                stats[1] - prev[1],
+                stats[2],
+                stats[3],
+            ]
+    with _lock:
+        events = [dict(e) for e in _events[before["events_len"]:]]
+    return {
+        "counters": counters,
+        "gauges": dict(now["gauges"]),
+        "hist_counts": hist_counts,
+        "hist_stats": hist_stats,
+        "spans": spans,
+        "events": events,
+    }
+
+
+def merge(delta: dict) -> None:
+    """Fold a :func:`delta_since` payload (e.g. from a pool worker) in.
+
+    Counters/histogram counts/span totals add; gauges take the incoming
+    value (last write wins); min/max merge by min/max; events append
+    (subject to the buffer cap).  Safe to call when disabled — a worker
+    may report after the parent already turned telemetry off; the data
+    still lands so the final export is complete.
+    """
+    with _lock:
+        for name, value in delta.get("counters", {}).items():
+            _counters[name] = _counters.get(name, 0) + value
+        for name, value in delta.get("gauges", {}).items():
+            _gauges[name] = value
+        for name, counts in delta.get("hist_counts", {}).items():
+            mine = _hist_counts.get(name)
+            if mine is None:
+                _hist_counts[name] = list(counts)
+                _hist_stats[name] = list(delta["hist_stats"][name])
+            else:
+                for i, c in enumerate(counts):
+                    mine[i] += c
+                stats = _hist_stats[name]
+                other = delta["hist_stats"][name]
+                stats[0] += other[0]
+                stats[1] += other[1]
+                stats[2] = min(stats[2], other[2])
+                stats[3] = max(stats[3], other[3])
+        for name, other in delta.get("spans", {}).items():
+            stats = _spans.get(name)
+            if stats is None:
+                _spans[name] = list(other)
+            else:
+                stats[0] += other[0]
+                stats[1] += other[1]
+                stats[2] = min(stats[2], other[2])
+                stats[3] = max(stats[3], other[3])
+    for record in delta.get("events", []):
+        _append_event(record)
+
+
+def drain_events() -> list[dict]:
+    """Pop (and return) every buffered event — the JSONL exporter's feed.
+
+    Draining keeps repeated exports append-only: each export writes only
+    the events recorded since the previous one.
+    """
+    global _events_dropped
+    with _lock:
+        out = _events[:]
+        _events.clear()
+        _events_dropped = 0
+        return out

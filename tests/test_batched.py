@@ -276,6 +276,37 @@ class TestExecuteBatchDispatch:
         expected = [execute(spec.with_seed(s), engine="object") for s in seeds]
         assert [canonical(f) for f in fallback] == [canonical(e) for e in expected]
 
+    def test_scheduled_jammer_falls_back_and_agrees_with_object_engine(self):
+        from repro.channel.jamming import ScheduledJammer
+        from repro.telemetry import registry as telemetry
+
+        # A stateful jammer object is outside the batched kernel's
+        # admissibility (unlike the oblivious jam_rounds form), so auto
+        # dispatch must fall back to per-run object execution — and the
+        # fallback must agree with running the object engine directly.
+        jam = ScheduledJammer(range(1, 60, 3))
+        spec = self.spec(jammer=jam)
+        seeds = [51, 52, 53]
+        telemetry.enable()
+        try:
+            before = telemetry.snapshot()["counters"].get(
+                "engine.batch_fallback_runs", 0
+            )
+            fallback = execute_batch(spec, seeds)
+            counters = telemetry.snapshot()["counters"]
+            assert counters.get("engine.batch_fallback_runs", 0) - before == len(
+                seeds
+            )
+        finally:
+            telemetry.disable()
+            telemetry.reset()
+        expected = [execute(spec.with_seed(s), engine="object") for s in seeds]
+        assert [canonical(f) for f in fallback] == [canonical(e) for e in expected]
+        # The jam schedule bites: some station's progress differs from the
+        # unjammed configuration, so the agreement above is non-vacuous.
+        clean = execute_batch(self.spec(), seeds)
+        assert [canonical(f) for f in fallback] != [canonical(c) for c in clean]
+
     def test_forced_vectorized_raises_on_inadmissible_spec(self):
         from repro.baselines.backoff import BinaryExponentialBackoff
         from tests.conftest import make_factory
