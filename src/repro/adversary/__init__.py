@@ -6,7 +6,12 @@ from repro.adversary.adaptive import (
     DripFeedAdversary,
     WakeOnSuccessAdversary,
 )
-from repro.adversary.base import AdaptiveAdversary, FixedSchedule, WakeSchedule
+from repro.adversary.base import (
+    AdaptiveAdversary,
+    ArrivalProcess,
+    FixedSchedule,
+    WakeSchedule,
+)
 from repro.adversary.lower_bound import (
     blocked_prefix_length,
     build_ik_instance,
@@ -15,7 +20,10 @@ from repro.adversary.lower_bound import (
     pump_rate,
 )
 from repro.adversary.oblivious import (
+    BatchArrivals,
     BatchSchedule,
+    FixedArrivals,
+    PoissonArrivals,
     PoissonSchedule,
     StaggeredSchedule,
     StaticSchedule,
@@ -31,6 +39,7 @@ from repro.adversary.search import (
 
 __all__ = [
     "AdaptiveAdversary",
+    "ArrivalProcess",
     "FixedSchedule",
     "WakeSchedule",
     "AntiLeaderAdversary",
@@ -42,7 +51,10 @@ __all__ = [
     "build_jk_instance",
     "default_tau_small",
     "pump_rate",
+    "BatchArrivals",
     "BatchSchedule",
+    "FixedArrivals",
+    "PoissonArrivals",
     "PoissonSchedule",
     "StaggeredSchedule",
     "StaticSchedule",

@@ -25,7 +25,7 @@ import numpy as np
 if TYPE_CHECKING:  # avoid a channel<->adversary import cycle at runtime
     from repro.channel.events import RoundEvent
 
-__all__ = ["WakeSchedule", "AdaptiveAdversary", "FixedSchedule"]
+__all__ = ["WakeSchedule", "AdaptiveAdversary", "FixedSchedule", "ArrivalProcess"]
 
 
 class WakeSchedule(abc.ABC):
@@ -53,6 +53,78 @@ class WakeSchedule(abc.ABC):
                 f"{self.name}: wake rounds must be >= 0, got {int(arr.min())}"
             )
         return arr.tolist()
+
+
+class ArrivalProcess(abc.ABC):
+    """Dynamic-arrival traffic: a stream of *packets*, not a fixed cast.
+
+    Where a :class:`WakeSchedule` wakes exactly ``k`` one-packet stations,
+    an arrival process injects packets into ``stations`` queues over a
+    ``horizon`` of global rounds — the injection-rate model of the
+    dynamic-arrival literature (Bender et al.; early ALOHA queueing).  A
+    draw is oblivious: it is sampled once, up front, from the adversary's
+    stream, before any station coin is flipped.
+
+    Contract of :meth:`draw`: returns ``(rounds, origins)`` — two equal-
+    length ``int64`` arrays with ``rounds`` sorted non-decreasing in
+    ``[0, horizon]`` (a packet arriving at round ``r`` behaves like a
+    station woken at ``r``: it may first transmit at ``r + 1``) and
+    ``origins`` in ``[0, stations)`` naming the queue each packet joins.
+    The length never exceeds :meth:`max_packets`, a *deterministic*
+    capacity bound — that bound is what lets the traffic reduction present
+    a fixed-``k`` spec to the vectorised/batched kernels.
+    """
+
+    #: Human-readable name used in experiment tables and fingerprints.
+    name: str = "arrivals"
+
+    #: Expected packets per round (used for reporting; adversarial
+    #: processes report their long-run average).
+    rate: float = 0.0
+
+    @abc.abstractmethod
+    def draw(
+        self, stations: int, horizon: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Sample one realisation: ``(arrival_rounds, origin_stations)``."""
+
+    @abc.abstractmethod
+    def max_packets(self, stations: int, horizon: int) -> int:
+        """Deterministic upper bound on the number of packets any draw of
+        this process can return for the given shape (>= 1)."""
+
+    def finalize_draw(
+        self,
+        rounds: np.ndarray,
+        origins: np.ndarray,
+        stations: int,
+        horizon: int,
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Normalise and check a draw against the contract above.
+
+        Sorts by arrival round (stable, so same-round packets keep their
+        draw order), drops packets past the horizon, and truncates to
+        :meth:`max_packets` — implementations whose natural sample can
+        exceed the capacity (e.g. a Poisson tail) document the clip.
+        """
+        rounds = np.asarray(rounds, dtype=np.int64)
+        origins = np.asarray(origins, dtype=np.int64)
+        if rounds.shape != origins.shape:
+            raise ValueError(
+                f"{self.name}: {len(rounds)} rounds vs {len(origins)} origins"
+            )
+        if rounds.size and rounds.min() < 0:
+            raise ValueError(f"{self.name}: arrival rounds must be >= 0")
+        if origins.size and (origins.min() < 0 or origins.max() >= stations):
+            raise ValueError(
+                f"{self.name}: origins must lie in [0, {stations})"
+            )
+        keep = rounds <= horizon
+        rounds, origins = rounds[keep], origins[keep]
+        order = np.argsort(rounds, kind="stable")
+        rounds, origins = rounds[order], origins[order]
+        cap = self.max_packets(stations, horizon)
+        return rounds[:cap], origins[:cap]
 
 
 class AdaptiveAdversary(abc.ABC):

@@ -9,7 +9,7 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.adversary.base import WakeSchedule
+from repro.adversary.base import ArrivalProcess, WakeSchedule
 
 __all__ = [
     "StaticSchedule",
@@ -18,7 +18,24 @@ __all__ = [
     "BatchSchedule",
     "PoissonSchedule",
     "TwoWavesSchedule",
+    "PoissonArrivals",
+    "BatchArrivals",
+    "FixedArrivals",
 ]
+
+
+def _poisson_arrival_rounds(
+    rate: float, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """``count`` arrival rounds of a rate-``rate`` Poisson process.
+
+    Exponential inter-arrival gaps, cumulated and floored to integer
+    rounds — shared by :class:`PoissonSchedule` (one-packet stations) and
+    :class:`PoissonArrivals` (queued traffic) so the two models draw
+    byte-identical streams for the same generator state.
+    """
+    gaps = rng.exponential(1.0 / rate, size=count)
+    return np.floor(np.cumsum(gaps)).astype(np.int64)
 
 
 class StaticSchedule(WakeSchedule):
@@ -106,9 +123,7 @@ class PoissonSchedule(WakeSchedule):
         self.name = f"poisson(rate={rate})"
 
     def wake_rounds(self, k: int, rng: np.random.Generator) -> list[int]:
-        gaps = rng.exponential(1.0 / self.rate, size=k)
-        rounds = np.floor(np.cumsum(gaps)).astype(np.int64)
-        return self.validate(rounds, k)
+        return self.validate(_poisson_arrival_rounds(self.rate, k, rng), k)
 
 
 class TwoWavesSchedule(WakeSchedule):
@@ -127,3 +142,120 @@ class TwoWavesSchedule(WakeSchedule):
         first = k // 2 + k % 2
         rounds = [0] * first + [max(0, delay)] * (k - first)
         return self.validate(rounds, k)
+
+
+class PoissonArrivals(ArrivalProcess):
+    """Queued-traffic extension of :class:`PoissonSchedule`: packets arrive
+    as a rate-``rate`` Poisson process over the whole horizon, each joining
+    a uniformly random station queue.
+
+    The draw is sized by :meth:`max_packets`, a ``rate * horizon`` mean
+    plus a 6-sigma margin — realisations beyond that capacity (probability
+    ~1e-9) are clipped, which is what gives the traffic reduction a
+    deterministic packet count to hand the vectorised/batched kernels.
+    The number of generator draws is fixed per (stations, horizon), so
+    every engine consuming the same stream sees the same packets.
+    """
+
+    def __init__(self, rate: float = 0.1):
+        if rate <= 0:
+            raise ValueError(f"rate must be > 0, got {rate}")
+        self.rate = rate
+        self.name = f"poisson-arrivals(rate={rate})"
+
+    def max_packets(self, stations: int, horizon: int) -> int:
+        mean = self.rate * horizon
+        return int(np.ceil(mean + 6.0 * np.sqrt(mean) + 16.0))
+
+    def draw(
+        self, stations: int, horizon: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        cap = self.max_packets(stations, horizon)
+        rounds = _poisson_arrival_rounds(self.rate, cap, rng)
+        origins = rng.integers(0, stations, size=cap)
+        return self.finalize_draw(rounds, origins, stations, horizon)
+
+
+class BatchArrivals(ArrivalProcess):
+    """Adversarial batch traffic: ``batch`` packets land together every
+    ``period`` rounds (rounds ``0, period, 2*period, ...``).
+
+    The queued-traffic counterpart of :class:`BatchSchedule` — the bursty
+    worst case of the dynamic-arrival literature, where a protocol must
+    drain a pile before the next one lands.  ``spread=True`` (default)
+    deals packets round-robin across station queues; ``spread=False``
+    drops each whole batch on a single station (rotating per batch), the
+    adversarial pattern for FIFO queueing.  Deterministic: the draw never
+    touches the generator.
+    """
+
+    def __init__(self, batch: int, period: int, *, spread: bool = True):
+        if batch < 1:
+            raise ValueError(f"batch must be >= 1, got {batch}")
+        if period < 1:
+            raise ValueError(f"period must be >= 1, got {period}")
+        self.batch = batch
+        self.period = period
+        self.spread = spread
+        self.rate = batch / period
+        self.name = (
+            f"batch-arrivals(size={batch},period={period}"
+            f"{'' if spread else ',concentrated'})"
+        )
+
+    def max_packets(self, stations: int, horizon: int) -> int:
+        return self.batch * (horizon // self.period + 1)
+
+    def draw(
+        self, stations: int, horizon: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        n_batches = horizon // self.period + 1
+        rounds = np.repeat(
+            np.arange(n_batches, dtype=np.int64) * self.period, self.batch
+        )
+        if self.spread:
+            origins = np.arange(rounds.size, dtype=np.int64) % stations
+        else:
+            origins = np.repeat(
+                np.arange(n_batches, dtype=np.int64) % stations, self.batch
+            )
+        return self.finalize_draw(rounds, origins, stations, horizon)
+
+
+class FixedArrivals(ArrivalProcess):
+    """An explicitly given packet list — the carrier for hand-built traffic
+    instances (tests, lower-bound constructions).
+
+    ``origins`` defaults to dealing packets round-robin across stations.
+    Deterministic: the draw never touches the generator.
+    """
+
+    def __init__(self, rounds, origins=None, name: str = "fixed-arrivals"):
+        self._rounds = np.asarray([int(r) for r in rounds], dtype=np.int64)
+        if self._rounds.size and self._rounds.min() < 0:
+            raise ValueError("arrival rounds must be >= 0")
+        self._origins = (
+            None
+            if origins is None
+            else np.asarray([int(o) for o in origins], dtype=np.int64)
+        )
+        if self._origins is not None and self._origins.shape != self._rounds.shape:
+            raise ValueError(
+                f"{len(self._rounds)} rounds but {len(self._origins)} origins"
+            )
+        total = int(self._rounds.size)
+        self.rate = total / max(1, int(self._rounds.max()) + 1) if total else 0.0
+        self.name = name
+
+    def max_packets(self, stations: int, horizon: int) -> int:
+        return max(1, int(self._rounds.size))
+
+    def draw(
+        self, stations: int, horizon: int, rng: np.random.Generator
+    ) -> tuple[np.ndarray, np.ndarray]:
+        origins = self._origins
+        if origins is None:
+            origins = np.arange(self._rounds.size, dtype=np.int64) % stations
+        return self.finalize_draw(
+            self._rounds.copy(), origins.copy(), stations, horizon
+        )

@@ -28,6 +28,12 @@ from repro.analysis.throughput import (
     summarize_throughput,
     throughput_timeline,
 )
+from repro.analysis.traffic import (
+    classify_stability,
+    delivery_timeline,
+    packet_records,
+    traffic_stats,
+)
 
 __all__ = [
     "backlog_statistics",
@@ -53,4 +59,8 @@ __all__ = [
     "ThroughputSummary",
     "summarize_throughput",
     "throughput_timeline",
+    "classify_stability",
+    "delivery_timeline",
+    "packet_records",
+    "traffic_stats",
 ]

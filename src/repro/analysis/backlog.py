@@ -49,10 +49,14 @@ def backlog_statistics(
     the instability signature)."""
     trace = backlog_trace(records, horizon)
     half = trace[len(trace) // 2 :]
-    if len(half) >= 2:
+    if len(half) >= 2 and half.min() != half.max():
         xs = np.arange(len(half), dtype=float)
         slope = float(np.polyfit(xs, half.astype(float), 1)[0])
     else:
+        # A constant (or single-point) half-trace makes the fit degenerate:
+        # ``np.polyfit`` can warn (fatal under ``-W error``) and return
+        # NaN-ish slopes inside long sweeps.  A flat backlog has slope 0
+        # by definition, so short-circuit it.
         slope = 0.0
     return {
         "mean": float(trace.mean()),

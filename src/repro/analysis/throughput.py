@@ -25,7 +25,14 @@ def throughput_timeline(
     """Rolling success rate over the trace.
 
     Returns ``(round_centres, rates)`` where ``rates[i]`` is the fraction
-    of SUCCESS rounds inside the ``i``-th non-overlapping window.
+    of SUCCESS rounds inside the ``i``-th non-overlapping window.  The
+    final window may be *partial* (the trailing ``len(trace) % window``
+    rounds); its rate is the mean over its actual length, so end-of-run
+    behaviour — exactly where instability shows — is never dropped.
+
+    Centres are in 1-based round coordinates (the engines number global
+    rounds from 1, matching ``backlog_trace``'s ``backlog[t-1]``
+    indexing): a window covering rounds ``a..b`` has centre ``(a+b)/2``.
     """
     if window < 1:
         raise ValueError(f"window must be >= 1, got {window}")
@@ -36,16 +43,18 @@ def throughput_timeline(
         dtype=float,
         count=len(trace),
     )
-    n_windows = len(trace) // window
-    if n_windows == 0:
-        return (
-            np.array([len(trace) / 2.0]),
-            np.array([float(successes.mean())]),
-        )
-    trimmed = successes[: n_windows * window].reshape(n_windows, window)
-    rates = trimmed.mean(axis=1)
-    centres = np.arange(n_windows) * window + window / 2.0
-    return centres, rates
+    n_full = len(trace) // window
+    centre_parts: list[np.ndarray] = []
+    rate_parts: list[np.ndarray] = []
+    if n_full:
+        full = successes[: n_full * window].reshape(n_full, window)
+        rate_parts.append(full.mean(axis=1))
+        centre_parts.append(np.arange(n_full) * window + (window + 1) / 2.0)
+    tail = successes[n_full * window :]
+    if tail.size:
+        rate_parts.append(np.array([float(tail.mean())]))
+        centre_parts.append(np.array([n_full * window + (tail.size + 1) / 2.0]))
+    return np.concatenate(centre_parts), np.concatenate(rate_parts)
 
 
 @dataclass(frozen=True, slots=True)

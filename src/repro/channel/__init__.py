@@ -24,6 +24,12 @@ from repro.channel.trace_tools import (
     render_timeline,
     success_gaps,
 )
+from repro.channel.traffic import (
+    ArrivalWakeSchedule,
+    QueueSimulator,
+    draw_packets,
+    traffic_reduction,
+)
 from repro.channel.validate import InvariantViolation, validate_run
 from repro.channel.vectorized import VectorizedSimulator, hazard_table
 
@@ -54,4 +60,8 @@ __all__ = [
     "default_max_rounds",
     "VectorizedSimulator",
     "hazard_table",
+    "ArrivalWakeSchedule",
+    "QueueSimulator",
+    "draw_packets",
+    "traffic_reduction",
 ]

@@ -1,0 +1,280 @@
+"""Dynamic-arrival traffic: the reduction and the FIFO queue engine.
+
+The classic model of this repository wakes exactly ``k`` one-packet
+stations.  A *traffic* :class:`~repro.core.spec.RunSpec` instead has ``k``
+station queues fed by an :class:`~repro.adversary.base.ArrivalProcess` —
+the injection-rate setting under which the dynamic-arrival literature
+(Bender et al.; the early ALOHA queueing story of Section 1.1) studies
+stability.  Two queue disciplines are supported:
+
+* ``free`` — every queued packet contends independently from its arrival
+  round; the station is an attribution label, not a serialisation point.
+  This discipline **reduces exactly** to the classic model: each packet is
+  a one-packet station woken at its arrival round.
+  :class:`ArrivalWakeSchedule` performs that reduction as an ordinary
+  (randomized, oblivious) wake schedule, padded with inert *phantom*
+  wakes at ``horizon + 1`` up to the process's deterministic
+  ``max_packets`` capacity — so the reduced spec is seed-independent and
+  runs unchanged on the object engine, the vectorised engine, *and* the
+  fused batched kernel, with the existing cross-check machinery proving
+  agreement.
+
+* ``fifo`` — each station transmits only its head-of-line packet; the
+  next packet's protocol starts when it reaches the head.  That coupling
+  is history-dependent (who is head depends on past channel outcomes), so
+  it runs only on :class:`QueueSimulator`, this module's object engine.
+
+Both disciplines draw the *same* packet realisation from the same
+adversary stream (generator #0 of ``RngFactory(seed)``), so per-seed
+traffic is comparable across disciplines, and :func:`draw_packets` can
+re-materialise the exact ``(arrival_rounds, origins)`` arrays of a run
+for analysis without touching engine internals.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.channel.events import RoundEvent, RoundOutcome
+from repro.channel.feedback import make_observation
+from repro.channel.jamming import ScheduledJammer
+from repro.channel.results import RunResult, StopCondition
+from repro.adversary.base import WakeSchedule
+from repro.core.spec import RunSpec
+from repro.core.station import QueuedStation, StationRecord
+from repro.telemetry import registry as telemetry
+from repro.util.rng import RngFactory
+
+__all__ = [
+    "ArrivalWakeSchedule",
+    "traffic_reduction",
+    "draw_packets",
+    "QueueSimulator",
+]
+
+
+class ArrivalWakeSchedule(WakeSchedule):
+    """A packet-level wake schedule reducing free-discipline traffic.
+
+    One "station" per *potential* packet: a draw of the arrival process
+    becomes the wake rounds of its packets, padded with phantom wakes at
+    ``horizon + 1`` up to the deterministic ``capacity``
+    (``arrivals.max_packets``).  Phantoms are inert — they never wake
+    inside the horizon, transmit nothing, and are filtered by the
+    analysis layer (``wake_round > horizon``) — but they make the reduced
+    spec's ``k`` seed-independent, which is exactly what the batched
+    kernel needs to fuse repetitions.
+    """
+
+    def __init__(self, arrivals, stations: int, horizon: int):
+        if horizon < 1:
+            raise ValueError(f"horizon must be >= 1, got {horizon}")
+        self.arrivals = arrivals
+        self.stations = stations
+        self.horizon = horizon
+        self.capacity = max(1, int(arrivals.max_packets(stations, horizon)))
+        self.name = f"traffic[{arrivals.name}@{stations}q]"
+
+    def wake_rounds(self, k: int, rng: np.random.Generator) -> list[int]:
+        if k != self.capacity:
+            raise ValueError(
+                f"{self.name}: capacity is {self.capacity} packets but "
+                f"k={k} was requested"
+            )
+        rounds, _origins = self.arrivals.draw(self.stations, self.horizon, rng)
+        padded = np.full(self.capacity, self.horizon + 1, dtype=np.int64)
+        padded[: rounds.size] = rounds
+        return self.validate(padded, k)
+
+
+def traffic_reduction(spec: RunSpec) -> RunSpec:
+    """The packet-level classic spec equivalent to a free-discipline
+    traffic spec (identical per-seed behaviour on every engine).
+
+    Station ``j`` of the reduced spec is packet ``j`` of the draw (both
+    orderings are sorted by arrival round, same stream), so positions
+    align with :func:`draw_packets` for origin attribution.
+    """
+    if not spec.is_traffic_run:
+        raise ValueError("traffic_reduction needs a traffic RunSpec")
+    if spec.queue_discipline != "free":
+        raise ValueError(
+            f"only free-discipline traffic reduces to the classic model; "
+            f"got {spec.queue_discipline!r}"
+        )
+    wrapper = ArrivalWakeSchedule(spec.arrivals, spec.k, spec.resolve_horizon())
+    return spec.replace(
+        arrivals=None, adversary=wrapper, k=wrapper.capacity
+    )
+
+
+def draw_packets(spec: RunSpec) -> tuple[np.ndarray, np.ndarray]:
+    """Re-materialise the exact ``(arrival_rounds, origins)`` realisation
+    of a seeded traffic spec — the same draw every engine consumed (the
+    arrival process reads generator #0 of ``RngFactory(seed)``, exactly
+    like an oblivious wake schedule)."""
+    if not spec.is_traffic_run:
+        raise ValueError("draw_packets needs a traffic RunSpec")
+    rng = RngFactory(spec.seed).next_generator()
+    return spec.arrivals.draw(spec.k, spec.resolve_horizon(), rng)
+
+
+class QueueSimulator:
+    """Object engine for ``fifo`` queued traffic.
+
+    The slot loop mirrors :class:`~repro.channel.simulator.SlotSimulator`
+    (same RNG fan-out: generator #0 to the arrival draw, one per packet
+    protocol in promotion order, jammer stream in between — so a FIFO run
+    whose queues never hold two packets is byte-identical to the free
+    reduction for deterministic schedules).  Records are per *packet*, in
+    arrival order, with ``wake_round`` = arrival round.
+    """
+
+    def __init__(self, spec: RunSpec):
+        if not spec.is_traffic_run:
+            raise ValueError("QueueSimulator needs a traffic RunSpec")
+        if spec.queue_discipline != "fifo":
+            raise ValueError(
+                "QueueSimulator implements the fifo discipline; "
+                "free-discipline traffic runs through traffic_reduction"
+            )
+        self.spec = spec
+
+    def run(self) -> RunResult:
+        spec = self.spec
+        horizon = spec.resolve_horizon()
+        rng_factory = RngFactory(spec.seed)
+        adversary_rng = rng_factory.next_generator()
+        jammer = spec.jammer
+        if jammer is None and spec.jam_rounds is not None:
+            jammer = ScheduledJammer(spec.jam_rounds)
+        if jammer is not None:
+            jammer.begin(rng_factory.next_generator())
+
+        arr_rounds, arr_origins = spec.arrivals.draw(
+            spec.k, horizon, adversary_rng
+        )
+        n_packets = int(arr_rounds.size)
+        by_round: dict[int, list[int]] = {}
+        for packet_id, r in enumerate(arr_rounds):
+            by_round.setdefault(int(r), []).append(packet_id)
+
+        factory = spec.protocol_factory
+        queues = [
+            QueuedStation(i, factory, rng_factory.next_generator)
+            for i in range(spec.k)
+        ]
+        records: dict[int, StationRecord] = {}
+        history: list[RoundEvent] = []
+        delivered_count = 0
+        resolved = 0
+
+        def admit(at_round: int) -> None:
+            for packet_id in by_round.pop(at_round, ()):
+                queues[int(arr_origins[packet_id])].enqueue(packet_id, at_round)
+
+        def stop_met() -> bool:
+            if spec.stop is StopCondition.FIRST_SUCCESS:
+                return delivered_count >= 1
+            if spec.stop is StopCondition.ALL_SUCCEEDED:
+                return delivered_count >= n_packets
+            return resolved >= n_packets
+
+        admit(0)
+        t = 0
+        while t < horizon:
+            t += 1
+            # 1. Packets arriving at the start of round t join their queue.
+            admit(t)
+
+            # 2. Heads with local round >= 1 decide.
+            transmitters: list[tuple[QueuedStation, object]] = []
+            for queue in queues:
+                head = queue.head
+                if head is None or head.local_round(t) < 1:
+                    continue
+                decision = head.decide(t)
+                if decision is not None:
+                    transmitters.append((queue, decision.payload))
+
+            # 3. Resolve the channel (jam semantics match SlotSimulator:
+            # a jam in an empty round destroys nothing).
+            m = len(transmitters)
+            jammed = jammer is not None and jammer.jams(t, history)
+            if jammed and m > 0:
+                outcome = RoundOutcome.COLLISION
+            else:
+                outcome = RoundOutcome.from_transmitter_count(m)
+            winner: Optional[QueuedStation] = None
+            delivered: Optional[object] = None
+            if outcome is RoundOutcome.SUCCESS:
+                winner, delivered = transmitters[0]
+
+            history.append(
+                RoundEvent(
+                    round_index=t,
+                    outcome=outcome,
+                    transmitter_count=m,
+                    winner=(
+                        winner.head.station_id if winner is not None else None
+                    ),
+                    message=delivered,
+                    jammed=jammed,
+                )
+            )
+
+            # 4. Observations to every head active this round.
+            transmitted_ids = {q.head.station_id for q, _ in transmitters}
+            for queue in queues:
+                head = queue.head
+                if head is None or head.local_round(t) < 1:
+                    continue
+                obs = make_observation(
+                    local_round=head.local_round(t),
+                    transmitted=head.station_id in transmitted_ids,
+                    outcome=outcome,
+                    is_winner=winner is not None and queue is winner,
+                    delivered=delivered,
+                    model=spec.feedback,
+                )
+                # Deliveries count at the success round (SlotSimulator
+                # semantics), not at head retirement — FIRST_SUCCESS /
+                # ALL_SUCCEEDED stop the moment the ack lands.
+                was_succeeded = head.first_success_round is not None
+                head.observe(obs, t)
+                if head.first_success_round is not None and not was_succeeded:
+                    delivered_count += 1
+
+            # 5. Retire switched-off heads; the next packet becomes head
+            # this round (it may first transmit at t + 1).
+            for queue in queues:
+                record = queue.finish_head_if_done(t)
+                if record is not None:
+                    records[record.station_id] = record
+                    resolved += 1
+
+            if stop_met():
+                break
+
+        completed = stop_met()
+        for queue in queues:
+            for record in queue.drain():
+                records[record.station_id] = record
+
+        if telemetry.enabled():
+            telemetry.count("traffic.runs")
+            telemetry.count("traffic.rounds", t)
+            telemetry.count("traffic.packets", n_packets)
+            telemetry.count("traffic.delivered", delivered_count)
+        return RunResult(
+            records=[records[pid] for pid in sorted(records)],
+            rounds_executed=t,
+            completed=completed,
+            stop=spec.stop,
+            trace=history if spec.record_trace else None,
+            seed=spec.seed,
+            protocol_name=getattr(factory, "protocol_name", ""),
+            adversary_name=spec.arrivals.name,
+        )

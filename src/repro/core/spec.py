@@ -31,12 +31,18 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.adversary.base import AdaptiveAdversary, WakeSchedule
+from repro.adversary.base import AdaptiveAdversary, ArrivalProcess, WakeSchedule
 from repro.channel.feedback import FeedbackModel
 from repro.channel.results import StopCondition
 from repro.core.protocol import ProbabilitySchedule, Protocol, ScheduleProtocol
 
-__all__ = ["RunSpec", "stable_token", "adversary_token"]
+__all__ = [
+    "RunSpec",
+    "stable_token",
+    "adversary_token",
+    "arrival_token",
+    "QUEUE_DISCIPLINES",
+]
 
 ProtocolFactory = Callable[[], Protocol]
 ProtocolLike = Union[ProbabilitySchedule, ProtocolFactory]
@@ -59,6 +65,35 @@ def stable_token(value: object) -> object:
     if isinstance(name, str):
         return name
     return type(value).__name__
+
+
+#: Legal values of :attr:`RunSpec.queue_discipline` (traffic runs only).
+#: ``free``: every queued packet contends independently from its arrival
+#: round (the station is a label, not a serialisation point) — reduces to
+#: the classic model, so it runs on every engine.  ``fifo``: each station
+#: transmits only its head-of-line packet; the next packet's protocol
+#: starts when it reaches the head — history-dependent, object engine only.
+QUEUE_DISCIPLINES = ("free", "fifo")
+
+
+def arrival_token(arrivals: ArrivalProcess, stations: int, horizon: int) -> object:
+    """Fingerprint an arrival process: its name plus a bounded digest of a
+    canonical draw (distinguishes e.g. two ``FixedArrivals`` instances that
+    share the generic name but carry different packet lists)."""
+    try:
+        rounds, origins = arrivals.draw(
+            stations, horizon, np.random.default_rng(0)
+        )
+        sample: object = (
+            int(rounds.size),
+            int(rounds.sum()),
+            int(origins.sum()),
+            tuple(int(r) for r in rounds[:64]),
+            tuple(int(o) for o in origins[:64]),
+        )
+    except Exception:
+        sample = None
+    return ("arrivals", stable_token(arrivals), stations, horizon, sample)
 
 
 def adversary_token(adversary: Adversary, k: int) -> object:
@@ -104,6 +139,16 @@ class RunSpec:
             engines (the object engine wraps it in a
             :class:`~repro.channel.jamming.ScheduledJammer`).  Mutually
             exclusive with ``jammer``.
+        arrivals: a dynamic-arrival traffic source
+            (:class:`~repro.adversary.base.ArrivalProcess`).  When set, the
+            run is a *traffic* run: ``k`` counts station *queues*, packets
+            arrive over time, and ``adversary`` must be None (the arrival
+            process *is* the oblivious adversary).  Requires an explicit
+            ``max_rounds`` — the horizon is part of the traffic model.
+        queue_discipline: ``"free"`` (default; every queued packet contends
+            independently — engine-portable via the traffic reduction) or
+            ``"fifo"`` (stations serialise their queue — object engine
+            only).  Only meaningful for traffic runs.
         seed: base seed for all randomness (None = OS entropy; such a spec
             cannot be journaled).
         label: reporting label; folded into protocol-run fingerprints to
@@ -112,7 +157,7 @@ class RunSpec:
 
     k: int
     protocol: ProtocolLike
-    adversary: Adversary
+    adversary: Optional[Adversary] = None
     feedback: FeedbackModel = FeedbackModel.ACK_ONLY
     stop: StopCondition = StopCondition.ALL_SWITCHED_OFF
     switch_off_on_ack: bool = True
@@ -120,6 +165,8 @@ class RunSpec:
     record_trace: bool = False
     jammer: Optional[object] = None
     jam_rounds: Optional[tuple[int, ...]] = None
+    arrivals: Optional[ArrivalProcess] = None
+    queue_discipline: str = "free"
     seed: Optional[int] = None
     label: str = ""
 
@@ -133,7 +180,33 @@ class RunSpec:
                 "protocol must be a ProbabilitySchedule or a zero-argument "
                 f"Protocol factory, got {type(self.protocol).__name__}"
             )
-        if not isinstance(self.adversary, (WakeSchedule, AdaptiveAdversary)):
+        if self.queue_discipline not in QUEUE_DISCIPLINES:
+            raise ValueError(
+                f"unknown queue_discipline {self.queue_discipline!r}; "
+                f"known: {QUEUE_DISCIPLINES}"
+            )
+        if self.arrivals is not None:
+            if not isinstance(self.arrivals, ArrivalProcess):
+                raise TypeError(
+                    "arrivals must be an ArrivalProcess, "
+                    f"got {type(self.arrivals).__name__}"
+                )
+            if self.adversary is not None:
+                raise ValueError(
+                    "arrivals and adversary are mutually exclusive: the "
+                    "arrival process is the traffic run's oblivious adversary"
+                )
+            if self.max_rounds is None:
+                raise ValueError(
+                    "traffic runs need an explicit max_rounds: the horizon "
+                    "is part of the arrival model"
+                )
+        elif self.adversary is None:
+            raise TypeError(
+                "adversary is required unless this is a traffic run "
+                "(arrivals=...)"
+            )
+        elif not isinstance(self.adversary, (WakeSchedule, AdaptiveAdversary)):
             raise TypeError(
                 "adversary must be a WakeSchedule or AdaptiveAdversary, "
                 f"got {type(self.adversary).__name__}"
@@ -157,6 +230,11 @@ class RunSpec:
     def is_schedule_run(self) -> bool:
         """True when the protocol is a non-adaptive probability schedule."""
         return isinstance(self.protocol, ProbabilitySchedule)
+
+    @property
+    def is_traffic_run(self) -> bool:
+        """True when this spec describes dynamic-arrival (queued) traffic."""
+        return self.arrivals is not None
 
     @property
     def schedule(self) -> ProbabilitySchedule:
@@ -245,6 +323,13 @@ class RunSpec:
             jam_token = ("jam_rounds", self.jam_rounds)
         elif self.jammer is not None:
             jam_token = ("jammer", stable_token(self.jammer))
+        if self.is_traffic_run:
+            adv_token: object = (
+                arrival_token(self.arrivals, self.k, horizon),
+                self.queue_discipline,
+            )
+        else:
+            adv_token = adversary_token(self.adversary, self.k)
         if self.is_schedule_run:
             if prob_table is None:
                 from repro.engine.cache import probability_table
@@ -260,7 +345,7 @@ class RunSpec:
                 table[:4096].tobytes(),
                 float(table.sum()),
                 int(table.size),
-                adversary_token(self.adversary, self.k),
+                adv_token,
                 self.switch_off_on_ack,
                 self.stop.value,
                 jam_token,
@@ -279,7 +364,7 @@ class RunSpec:
             self.label,
             attrs,
             horizon,
-            adversary_token(self.adversary, self.k),
+            adv_token,
             self.feedback.value if hasattr(self.feedback, "value") else str(self.feedback),
             self.stop.value,
             jam_token,

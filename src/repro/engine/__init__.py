@@ -10,6 +10,7 @@ See :mod:`repro.engine.dispatch` for the admissibility rules and
 :mod:`repro.engine.cache` for the probability/hazard table cache.
 """
 
+from repro.channel.traffic import draw_packets, traffic_reduction
 from repro.core.spec import RunSpec
 from repro.engine.cache import (
     clear_table_cache,
@@ -45,6 +46,8 @@ __all__ = [
     "execute",
     "execute_batch",
     "assert_results_agree",
+    "draw_packets",
+    "traffic_reduction",
     "set_default_engine",
     "get_default_engine",
     "use_engine",

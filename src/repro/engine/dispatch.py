@@ -19,8 +19,20 @@ adaptive adversary               no — reacts to history the batch sampler
 ``record_trace=True``            no — the fast engine keeps no event log
 non-ACK feedback                 no — CD feedback only exists in the
                                  object engine's observation path
+``queue_discipline="fifo"``      no — FIFO heads depend on channel
+                                 history; only the
+                                 :class:`~repro.channel.traffic.QueueSimulator`
+                                 round loop materialises it
 everything else                  yes
 ===============================  ======================================
+
+Traffic runs (``spec.arrivals`` set) route through the *reduction*
+(:func:`repro.channel.traffic.traffic_reduction`): free-discipline traffic
+is exactly a packet-level classic run, so its admissibility is the
+reduced spec's admissibility — oblivious arrivals + a non-adaptive
+schedule run vectorised and batch-fused, everything else falls back to
+the object engine on the reduced spec.  FIFO traffic always runs on the
+dedicated object-engine :class:`~repro.channel.traffic.QueueSimulator`.
 
 ``engine="auto"`` (the default) routes admissible specs to the vectorised
 engine and everything else to the object engine — exactly the choice every
@@ -60,6 +72,7 @@ from repro.channel.jamming import ScheduledJammer
 from repro.channel.feedback import FeedbackModel
 from repro.channel.results import RunResult
 from repro.channel.simulator import SlotSimulator
+from repro.channel.traffic import QueueSimulator, traffic_reduction
 from repro.channel.validate import validate_run
 from repro.channel.vectorized import VectorizedSimulator
 from repro.core.spec import RunSpec
@@ -81,7 +94,7 @@ __all__ = [
     "use_engine",
 ]
 
-Engine = Union[SlotSimulator, VectorizedSimulator]
+Engine = Union[SlotSimulator, VectorizedSimulator, QueueSimulator]
 
 #: Legal values of the ``engine`` argument (and the CLI's ``--engine``).
 ENGINE_NAMES = ("auto", "object", "vectorized", "cross-check")
@@ -131,6 +144,14 @@ def vectorized_inadmissibility(spec: RunSpec) -> Optional[str]:
     The returned string is the human-readable dispatch reason used in
     error messages and in the docs' dispatch table.
     """
+    if spec.is_traffic_run:
+        if spec.queue_discipline != "free":
+            return (
+                "fifo queues serialise packets on channel history, which "
+                "only the QueueSimulator round loop materialises"
+            )
+        # Free-discipline traffic is exactly its packet-level reduction.
+        return vectorized_inadmissibility(traffic_reduction(spec))
     if not spec.is_schedule_run:
         return "protocol-factory runs need the object engine's round loop"
     if not isinstance(spec.adversary, WakeSchedule):
@@ -167,6 +188,16 @@ def build_simulator(spec: RunSpec, engine: str = "auto") -> Engine:
     """
     if engine == "auto":
         engine = select_engine(spec)
+    if spec.is_traffic_run and engine in ("object", "vectorized"):
+        if spec.queue_discipline == "fifo":
+            if engine == "vectorized":
+                raise EngineSelectionError(
+                    "spec is not vectorised-admissible: "
+                    f"{vectorized_inadmissibility(spec)}"
+                )
+            return QueueSimulator(spec)
+        # Free discipline: both engines run the packet-level reduction.
+        return build_simulator(traffic_reduction(spec), engine)
     if engine == "vectorized":
         reason = vectorized_inadmissibility(spec)
         if reason is not None:
@@ -265,7 +296,10 @@ def execute_batch(
         telemetry.count("engine.batch_fallback_runs", len(seed_list))
         return [execute(spec.with_seed(s), "object") for s in seed_list]
     telemetry.count("engine.batch_fused_runs", len(seed_list))
-    return run_batch(spec, seeds=seed_list)
+    # Admissible traffic specs fuse through their packet-level reduction
+    # (seed-independent by construction: the capacity padding fixes k).
+    base = traffic_reduction(spec) if spec.is_traffic_run else spec
+    return run_batch(base, seeds=seed_list)
 
 
 def _is_deterministic(spec: RunSpec) -> bool:

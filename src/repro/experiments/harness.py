@@ -75,6 +75,7 @@ __all__ = [
     "ExperimentReport",
     "repeat_schedule_runs",
     "repeat_protocol_runs",
+    "repeat_spec_runs",
     "sweep_schedule",
     "sweep_protocol",
     "run_pool",
@@ -425,6 +426,43 @@ def repeat_protocol_runs(
         jobs=jobs, task_timeout=task_timeout, max_retries=max_retries,
     )
     return _fold_sample(label, k, results, seconds, retries)
+
+
+def repeat_spec_runs(
+    base: RunSpec,
+    *,
+    reps: int,
+    seed: int,
+    jobs: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    batch_size: Optional[int] = None,
+) -> list[RunResult]:
+    """Execute ``reps`` pre-seeded copies of one spec; raw results, in
+    repetition order (repetition ``r`` uses seed ``seed + r``).
+
+    The record-level sibling of :func:`repeat_schedule_runs` /
+    :func:`repeat_protocol_runs`: drivers that analyse per-station records
+    themselves (the traffic-phase experiment's backlog and windowed-
+    throughput measures) get the :class:`RunResult` list instead of a
+    folded :class:`MetricSample`.  Checkpoint-aware and chunk-batched the
+    same way — schedule-run bases (including admissible traffic specs,
+    which fuse through their packet-level reduction) ride the batched
+    kernel; everything else falls back to per-run dispatch.
+    """
+    prob_table = _warm_tables(base)
+    seeds = [seed + r for r in range(reps)]
+    tasks = [_spec_task(base.with_seed(s)) for s in seeds]
+    fingerprints = None
+    if current_checkpoint() is not None:
+        fingerprints = [base.fingerprint(prob_table=prob_table)] * reps
+    results, _seconds, _retries = _execute_runs(
+        fingerprints, seeds, tasks,
+        jobs=jobs, task_timeout=task_timeout, max_retries=max_retries,
+        batch_bases=[base] * reps if base.is_schedule_run else None,
+        batch_size=batch_size,
+    )
+    return results
 
 
 def sweep_schedule(

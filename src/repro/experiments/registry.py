@@ -51,6 +51,7 @@ from repro.experiments.suniform_exp import run_suniform_static
 from repro.experiments.table1 import run_table1_energy, run_table1_latency
 from repro.experiments.throughput_exp import run_throughput
 from repro.experiments.tradeoff_exp import run_tradeoff
+from repro.experiments.traffic_phase_exp import run_traffic_phase
 from repro.experiments.wakeup import run_wakeup
 from repro.experiments.wakeup_variants_exp import run_wakeup_variants
 from repro.experiments.whp_exp import run_whp_validation
@@ -85,6 +86,8 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentReport]] = {
     "ext_adversary_search": run_adversary_search,
     "ext_tradeoff": run_tradeoff,
     "ext_aloha_instability": run_aloha_instability,
+    # Dynamic-arrival traffic layer: λ-sweep stability phase diagrams.
+    "traffic_phase": run_traffic_phase,
 }
 
 

@@ -47,6 +47,10 @@ SCALES: dict[str, dict[str, dict[str, object]]] = {
         "ext_adversary_search": {"k": 48, "budget": 10, "eval_reps": 2},
         "ext_tradeoff": {"k": 64, "reps": 3},
         "ext_aloha_instability": {"k": 200, "drain_cap": 15_000},
+        "traffic_phase": {
+            "stations": 8, "lams": (0.1, 0.5), "horizon": 2_000,
+            "reps": 2, "window": 256,
+        },
     },
     "paper": {
         "table1_latency": {"ks": (32, 64, 128, 256, 512), "reps": 3},
@@ -71,6 +75,10 @@ SCALES: dict[str, dict[str, dict[str, object]]] = {
         "ext_adversary_search": {"k": 128, "budget": 40, "eval_reps": 3},
         "ext_tradeoff": {"k": 256, "reps": 5},
         "ext_aloha_instability": {"k": 800},
+        "traffic_phase": {
+            "stations": 16, "lams": (0.05, 0.15, 0.25, 0.35, 0.45, 0.55),
+            "horizon": 20_000, "reps": 3,
+        },
     },
 }
 

@@ -33,11 +33,14 @@ from hypothesis import given, settings
 from hypothesis import strategies as st
 
 from repro.adversary.base import FixedSchedule
+from repro.adversary.oblivious import FixedArrivals
 from repro.channel.jamming import Jammer
 from repro.channel.results import RunResult, StopCondition
 from repro.channel.simulator import SlotSimulator
 from repro.channel.vectorized import VectorizedSimulator
 from repro.core.protocol import ProbabilitySchedule, ScheduleProtocol
+from repro.core.spec import RunSpec
+from repro.engine.dispatch import execute, execute_batch, vectorized_inadmissibility
 
 MAX_WAKE = 25
 MAX_PATTERN = 25
@@ -179,6 +182,102 @@ def test_engines_agree_under_jamming(config):
     collision (attempts still cost energy), a jammed empty round is a
     non-event, in both engines."""
     assert_engines_agree(config)
+
+
+@st.composite
+def traffic_configs(c, *, max_arrival: int = MAX_WAKE):
+    """Free-discipline traffic over explicit packet lists.
+
+    ``max_arrival`` above the horizon range exercises the phantom padding
+    of the reduction (dropped arrivals leave capacity slack filled with
+    ``horizon + 1`` wakes).
+    """
+    stations = c(st.integers(1, 6))
+    n_packets = c(st.integers(1, 12))
+    rounds = sorted(
+        c(st.lists(st.integers(0, max_arrival), min_size=n_packets,
+                   max_size=n_packets))
+    )
+    origins = c(st.lists(st.integers(0, stations - 1), min_size=n_packets,
+                         max_size=n_packets))
+    pattern = c(st.lists(st.booleans(), min_size=1, max_size=MAX_PATTERN))
+    direct = c(st.booleans())
+    ack = c(st.booleans())
+    stop = c(st.sampled_from(sorted(StopCondition, key=lambda s: s.value)))
+    max_rounds = c(st.integers(MIN_ROUNDS, MAX_ROUNDS))
+    return stations, rounds, origins, pattern, direct, ack, stop, max_rounds
+
+
+def traffic_spec(config, *, discipline: str = "free") -> RunSpec:
+    stations, rounds, origins, pattern, direct, ack, stop, max_rounds = config
+    return RunSpec(
+        k=stations,
+        protocol=DeterministicSchedule(pattern, direct=direct),
+        arrivals=FixedArrivals(rounds, origins=origins),
+        queue_discipline=discipline,
+        switch_off_on_ack=ack,
+        stop=stop,
+        max_rounds=max_rounds,
+        seed=17,
+    )
+
+
+@settings(max_examples=60, deadline=None)
+@given(traffic_configs(max_arrival=MAX_ROUNDS + 10))
+def test_traffic_dispatch_engines_agree(config):
+    """Queued-arrival (traffic) specs run byte-identically through every
+    dispatch path: the object engine, the vectorised engine, and the fused
+    batched kernel all consume the same free-discipline reduction, phantom
+    padding included."""
+    spec = traffic_spec(config)
+    assert vectorized_inadmissibility(spec) is None
+    obj = execute(spec, "object")
+    vec = execute(spec, "vectorized")
+    (fused,) = execute_batch(spec, seeds=[spec.seed])
+    for a, b in ((obj, vec), (vec, fused)):
+        assert a.completed == b.completed
+        assert a.rounds_executed == b.rounds_executed
+        assert a.success_count == b.success_count
+        assert a.total_transmissions == b.total_transmissions
+        assert record_keys(a, a.rounds_executed) == record_keys(
+            b, b.rounds_executed
+        )
+
+
+@settings(max_examples=40, deadline=None)
+@given(traffic_configs())
+def test_fifo_matches_free_on_single_packet_queues(config):
+    """With at most one packet per station queue, FIFO never serialises
+    anything, so the QueueSimulator must match the free reduction record
+    for record (station ids are packet ids in both views)."""
+    stations, rounds, origins, pattern, direct, ack, stop, max_rounds = config
+    seen: set[int] = set()
+    kept = [
+        (r, o)
+        for r, o in zip(rounds, origins)
+        if o not in seen and not seen.add(o)
+    ]
+    config = (
+        stations,
+        [r for r, _ in kept],
+        [o for _, o in kept],
+        pattern, direct, ack, stop, max_rounds,
+    )
+    fifo = execute(traffic_spec(config, discipline="fifo"))
+    free = execute(traffic_spec(config), "object")
+    assert fifo.completed == free.completed
+    assert fifo.rounds_executed == free.rounds_executed
+    assert fifo.success_count == free.success_count
+    assert fifo.total_transmissions == free.total_transmissions
+    assert sorted(
+        (r.station_id, r.wake_round, r.first_success_round,
+         r.switch_off_round, r.transmissions)
+        for r in fifo.records
+    ) == sorted(
+        (r.station_id, r.wake_round, r.first_success_round,
+         r.switch_off_round, r.transmissions)
+        for r in free.records
+    )
 
 
 @settings(max_examples=40, deadline=None)

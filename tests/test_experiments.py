@@ -45,7 +45,9 @@ class TestRegistry:
             "ext_tradeoff",
             "ext_aloha_instability",
         }
-        assert core | extensions == set(EXPERIMENTS)
+        # Dynamic-arrival traffic layer (queued stations, λ sweeps).
+        traffic = {"traffic_phase"}
+        assert core | extensions | traffic == set(EXPERIMENTS)
 
     def test_unknown_id_rejected(self):
         with pytest.raises(KeyError):
@@ -203,6 +205,22 @@ class TestExtensionExperiments:
         assert {r["protocol"] for r in report.rows} == {
             "NonAdaptiveWithK", "SublinearDecrease", "AdaptiveNoK",
         }
+
+    def test_traffic_phase_small(self):
+        report = run_experiment(
+            "traffic_phase", stations=4, lams=(0.1, 0.7), horizon=400,
+            reps=2, window=128,
+        )
+        assert len(report.rows) == 4
+        # A light load is stable, a saturating one is not — the phase
+        # boundary falls inside this two-point sweep for both protocols.
+        by_lam = {
+            lam: {r["stable"] for r in report.rows if r["lam"] == lam}
+            for lam in (0.1, 0.7)
+        }
+        assert by_lam[0.1] == {"S"}
+        assert by_lam[0.7] == {"U"}
+        assert "phase diagram" in report.text
 
 
 class TestWorstSample:

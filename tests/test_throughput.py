@@ -39,11 +39,29 @@ class TestTimeline:
         assert list(rates) == [0.5, 0.25, 1.0]
         assert len(centres) == 3
 
+    def test_windowed_centres_in_round_coordinates(self):
+        # Rounds are 1-based: the window over rounds 1..4 is centred at
+        # 2.5, the one over rounds 5..8 at 6.5.
+        trace = trace_of("SSSS" + "....")
+        centres, _ = throughput_timeline(trace, window=4)
+        assert list(centres) == [2.5, 6.5]
+
+    def test_tail_partial_window_kept(self):
+        # The best window is the 3-round tail: two mediocre full windows
+        # followed by trailing pure successes (rounds 9..11, centre 10).
+        trace = trace_of("S..." + "...." + "SSS")
+        centres, rates = throughput_timeline(trace, window=4)
+        assert list(rates) == [0.25, 0.0, 1.0]
+        assert list(centres) == [2.5, 6.5, 10.0]
+        assert summarize_throughput(trace, window=4).peak_window == 1.0
+
     def test_short_trace_single_window(self):
         trace = trace_of("S.")
         centres, rates = throughput_timeline(trace, window=10)
         assert len(rates) == 1
         assert rates[0] == pytest.approx(0.5)
+        # A 2-round trace spans rounds 1..2: centre 1.5 in round coords.
+        assert list(centres) == [1.5]
 
     def test_empty(self):
         centres, rates = throughput_timeline([], window=4)

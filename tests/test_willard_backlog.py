@@ -3,6 +3,7 @@
 from __future__ import annotations
 
 import math
+import warnings
 
 import numpy as np
 import pytest
@@ -150,3 +151,20 @@ class TestBacklogStatistics:
         stats = backlog_statistics(records, horizon=40)
         assert stats["final"] == 0
         assert abs(stats["late_slope"]) < 0.2
+
+    def test_constant_half_trace_has_exact_zero_slope(self):
+        # A perfectly flat late backlog must not go through np.polyfit at
+        # all: the degenerate fit can warn (fatal under -W error) inside
+        # long sweeps.  One never-successful station: backlog == 1 forever.
+        records = [record(0, wake=0, success=None)]
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            stats = backlog_statistics(records, horizon=1000)
+        assert stats["late_slope"] == 0.0
+        assert stats["mean"] == 1.0
+
+    def test_empty_records_flat_slope(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            stats = backlog_statistics([], horizon=10)
+        assert stats["late_slope"] == 0.0 and stats["peak"] == 0.0
