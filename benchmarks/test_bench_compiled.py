@@ -1,0 +1,74 @@
+"""Compiled-engine benchmark: table-driven AdaptiveNoK vs the object engine.
+
+Not a paper artefact — infrastructure health, and the second anchor of the
+perf trajectory (``scripts/bench_trajectory.py`` folds these medians into
+``BENCH_engines.json`` as ``compiled_speedup``).  The compiled stepper's
+reason to exist is making the *adaptive* scenarios fast: both sides below
+execute the same repetitions of the ISSUE acceptance configuration
+(1000-rep k=64 ``AdaptiveNoK``; identical seeds, byte-identical results —
+see ``tests/test_engine_fuzz.py``), so the ratio of their medians is the
+compiled speedup and nothing else.  The acceptance gate is >= 10x.
+
+``REPRO_BENCH_REPS`` scales the repetition count (default 1000; CI uses a
+smaller value).  The object loop is measured with ``benchmark.pedantic``
+(one round) — at full scale a single pass is already ~90 s, and the ratio
+of medians is insensitive to the reduced round count.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.adversary.oblivious import UniformRandomSchedule
+from repro.channel.compiled import run_compiled_batch
+from repro.channel.results import StopCondition
+from repro.core.protocols.adaptive_no_k import AdaptiveNoK
+from repro.core.spec import RunSpec
+from repro.engine.dispatch import execute
+
+K = 64
+REPS = int(os.environ.get("REPRO_BENCH_REPS", "1000"))
+
+
+def _adaptive_no_k():
+    return AdaptiveNoK()
+
+
+_adaptive_no_k.protocol_name = "AdaptiveNoK"
+
+SPEC = RunSpec(
+    k=K,
+    protocol=_adaptive_no_k,
+    adversary=UniformRandomSchedule(span=lambda k: 2 * k),
+    stop=StopCondition.ALL_SWITCHED_OFF,
+    max_rounds=30 * K,
+    seed=7,
+)
+SEEDS = [SPEC.seed + r for r in range(REPS)]
+
+
+def run_compiled_kernel():
+    return run_compiled_batch(SPEC, seeds=SEEDS)
+
+
+def run_object_loop():
+    return [execute(SPEC.with_seed(s), engine="object") for s in SEEDS]
+
+
+def _sanity(results):
+    assert len(results) == REPS
+    # The livelock-prone adversary defeats some runs; the benchmark only
+    # checks the workload is non-trivial (identity is fuzz-tested).
+    assert sum(r.completed for r in results) > REPS // 4
+
+
+def test_bench_compiled_adaptive_batch(benchmark):
+    results = benchmark.pedantic(
+        run_compiled_kernel, rounds=3, iterations=1, warmup_rounds=1
+    )
+    _sanity(results)
+
+
+def test_bench_object_adaptive_loop(benchmark):
+    results = benchmark.pedantic(run_object_loop, rounds=1, iterations=1)
+    _sanity(results)

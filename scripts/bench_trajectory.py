@@ -38,10 +38,15 @@ BENCH_FILE = REPO_ROOT / "BENCH_engines.json"
 BENCH_SUITES = [
     "benchmarks/test_bench_engines.py",
     "benchmarks/test_bench_batched.py",
+    "benchmarks/test_bench_compiled.py",
 ]
 #: The two cases whose median ratio is the batching speedup.
 BASELINE_CASE = "test_bench_per_run_vectorized_loop"
 BATCHED_CASE = "test_bench_batched_kernel"
+#: The two cases whose median ratio is the compiled-engine speedup
+#: (ISSUE acceptance config: k=64 AdaptiveNoK repetitions).
+OBJECT_ADAPTIVE_CASE = "test_bench_object_adaptive_loop"
+COMPILED_CASE = "test_bench_compiled_adaptive_batch"
 
 
 def git_sha() -> str:
@@ -124,6 +129,12 @@ def normalise(report: dict, reps: int | None) -> dict:
         entry["batched_speedup"] = round(
             baseline["median_ns"] / batched["median_ns"], 2
         )
+    obj_adaptive = cases.get(OBJECT_ADAPTIVE_CASE)
+    compiled = cases.get(COMPILED_CASE)
+    if obj_adaptive and compiled and compiled["median_ns"] > 0:
+        entry["compiled_speedup"] = round(
+            obj_adaptive["median_ns"] / compiled["median_ns"], 2
+        )
     return entry
 
 
@@ -138,6 +149,11 @@ def main(argv: list[str] | None = None) -> int:
         "--min-speedup", type=float, default=None,
         help="fail unless batched median throughput beats the per-run "
         "vectorized loop by this factor",
+    )
+    parser.add_argument(
+        "--min-compiled-speedup", type=float, default=None,
+        help="fail unless the compiled AdaptiveNoK batch beats the "
+        "per-run object loop by this factor",
     )
     parser.add_argument(
         "--out", type=Path, default=BENCH_FILE,
@@ -163,6 +179,12 @@ def main(argv: list[str] | None = None) -> int:
     speedup = entry.get("batched_speedup")
     if speedup is not None:
         print(f"batched speedup over per-run loop: {speedup:.2f}x")
+    compiled_speedup = entry.get("compiled_speedup")
+    if compiled_speedup is not None:
+        print(
+            "compiled speedup over per-run object loop: "
+            f"{compiled_speedup:.2f}x"
+        )
     print(f"trajectory updated: {args.out} @ {sha[:12]}")
 
     if args.min_speedup is not None:
@@ -174,6 +196,22 @@ def main(argv: list[str] | None = None) -> int:
             print(
                 f"error: batched speedup {speedup:.2f}x is below the "
                 f"--min-speedup gate {args.min_speedup:g}x",
+                file=sys.stderr,
+            )
+            return 1
+    if args.min_compiled_speedup is not None:
+        if compiled_speedup is None:
+            print(
+                "error: compiled speedup cases missing from the benchmark "
+                "report",
+                file=sys.stderr,
+            )
+            return 1
+        if compiled_speedup < args.min_compiled_speedup:
+            print(
+                f"error: compiled speedup {compiled_speedup:.2f}x is below "
+                f"the --min-compiled-speedup gate "
+                f"{args.min_compiled_speedup:g}x",
                 file=sys.stderr,
             )
             return 1

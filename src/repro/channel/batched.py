@@ -155,15 +155,38 @@ def _map_points_to_rounds(full_cum: np.ndarray, flat: np.ndarray) -> np.ndarray:
 
 
 def _check_batchable(spec: RunSpec) -> None:
-    """Defensive admissibility check (dispatch performs the routed one)."""
+    """Defensive admissibility check (dispatch performs the routed one).
+
+    Each message names the spec field that tripped, so a driver that
+    bypassed dispatch sees exactly which capability to change.
+    """
     if not spec.is_schedule_run:
-        raise TypeError("run_batch only supports non-adaptive schedule specs")
+        raise TypeError(
+            "run_batch requires a probability-schedule spec: spec.protocol is "
+            f"a factory ({spec.display_label!r}); use run_compiled_batch or "
+            "per-run execute() for stateful protocols"
+        )
     if not isinstance(spec.adversary, WakeSchedule):
-        raise TypeError("run_batch only supports oblivious WakeSchedule adversaries")
-    if spec.jammer is not None or spec.record_trace:
-        raise ValueError("run_batch supports neither stateful jammers nor traces")
+        raise TypeError(
+            "run_batch requires an oblivious WakeSchedule: spec.adversary is "
+            f"{type(spec.adversary).__name__}, which may react to channel history"
+        )
+    if spec.jammer is not None:
+        raise ValueError(
+            "run_batch does not take jammer objects: spec.jammer is "
+            f"{type(spec.jammer).__name__}; express oblivious jamming as "
+            "spec.jam_rounds instead"
+        )
+    if spec.record_trace:
+        raise ValueError(
+            "run_batch keeps no event log: spec.record_trace is True; "
+            "use the object engine to record traces"
+        )
     if spec.feedback is not FeedbackModel.ACK_ONLY:
-        raise ValueError("run_batch only supports ACK_ONLY feedback")
+        raise ValueError(
+            "run_batch only models ACK feedback: spec.feedback is "
+            f"{spec.feedback.value!r}"
+        )
 
 
 def _segment_singletons(

@@ -1,0 +1,797 @@
+"""The compiled engine: table-driven numpy execution of protocol machines.
+
+:mod:`repro.engine.compile` lowers a finite protocol state machine to two
+tables (``(mode, counter) -> probability``, ``(mode, symbol) -> mode``);
+this module executes the lowered program for a whole batch of repetitions
+at once.  All ``R x k`` stations become *lanes* of flat numpy arrays and
+every round advances them together: one gather picks each lane's
+Bernoulli parameter, one ``bincount`` per round resolves the channel of
+all repetitions, one gather maps feedback symbols to next modes.
+
+Byte identity with the object engine
+------------------------------------
+
+The contract is the strongest the repo has: ``run_compiled_batch(spec,
+seeds)`` equals ``[SlotSimulator-run of spec.with_seed(s)] for s in
+seeds`` **exactly** — station ids, wake/first-success/switch-off rounds,
+transmission and listening-slot counts, completion, rounds executed.
+Equality per seed (not merely in distribution) requires consuming each
+station's RNG stream in the object engine's order.  Three mechanisms
+deliver that without a Python loop per round:
+
+* **Seed fan-out.**  Each repetition spawns its ``SeedSequence`` children
+  exactly as :class:`~repro.util.rng.RngFactory` does — adversary child
+  first, one jammer child when ``jam_rounds`` is set (the object engine
+  seeds a :class:`~repro.channel.jamming.ScheduledJammer`), then one
+  child per station in chronological wake order.  Spawning all children
+  in one call yields the same children as the factory's successive
+  ``spawn(1)`` calls.
+
+* **Prefetched uniform blocks + rewind.**  A mode that draws uniforms
+  (election, schedule rounds, wake-up beacons) consumes
+  ``Generator.random()`` scalars one per round.  A block draw
+  ``random(B)`` consumes the identical stream, so each lane prefetches a
+  block and the stepper serves draws from per-lane cursors — vectorized.
+  When a lane *leaves* a drawing mode with unconsumed prefetch, its
+  generator is rewound to the position after its last *consumed* draw by
+  restoring the bit-generator state snapshotted at the refill and
+  re-drawing the consumed count.  (A pure ``advance()`` rewind would
+  lose the bit generator's cached uint32 half-word: numpy's bounded
+  ``integers`` serves 32-bit halves of one uint64 draw across *two*
+  calls, and that cache — set by a sawtooth draw *before* an election,
+  consumed by the first sawtooth draw *after* it — survives any number
+  of interleaved ``random()`` calls.  State restoration carries it;
+  counter arithmetic cannot.)
+
+* **Sparse direct draws.**  The sawtooth's ``integers(0, window)`` draws
+  happen only at window advances — ``O(log^2 horizon)`` per station — and
+  are made directly on the lane's generator at exactly the object
+  engine's position in the stream.  (A ``window == 1`` choice consumes no
+  generator state at all — numpy short-circuits single-value ranges — so
+  sawtooth initialisation is free, matching ``SawtoothState.__init__``.)
+
+Everything else is arithmetic shared with the object engine: wakes at
+round start, decisions for lanes with local round >= 1, ``0/1/many``
+channel resolution with oblivious jamming, observation delivery to active
+lanes, retirement, stop conditions — in the object engine's exact order.
+
+Speed comes from batching: the per-round numpy cost is amortised over all
+``R x k`` lanes, so the engine pays off on repetition sweeps (the
+1000-rep acceptance configuration in ``benchmarks/test_bench_compiled.py``
+clears 10x over the object engine) while a single small run is dominated
+by setup.  Dispatch (:func:`repro.engine.dispatch.execute_batch`) fuses
+repetitions through this path exactly when the spec is
+compiled-admissible.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Optional
+
+import numpy as np
+
+from repro.adversary.base import WakeSchedule
+from repro.channel.results import RunResult, StopCondition
+from repro.core.spec import RunSpec
+from repro.core.station import StationRecord
+from repro.engine.compile import (
+    ANK_ELECTION,
+    ANK_LEADER,
+    ANK_MEMBER,
+    ANK_WAITING,
+    HEAR_SYMBOL_OF_PAYLOAD,
+    OFF,
+    PAYLOAD_ANY,
+    PAYLOAD_BEACON,
+    PAYLOAD_DATA,
+    PAYLOAD_DMODE,
+    PAYLOAD_PROBE,
+    SYM_ACK,
+    SYM_HEAR_DATA,
+    SYM_HEAR_DMODE,
+    SYM_HEAR_PROBE,
+    CompiledProgram,
+    compile_spec,
+)
+from repro.telemetry import registry as telemetry
+
+__all__ = ["CompiledSimulator", "run_compiled_batch"]
+
+#: "Never happens" sentinel for round numbers (first success / switch-off).
+_INF = np.iinfo(np.int64).max
+
+
+def _resolve_seeds(
+    spec: RunSpec, n_reps: Optional[int], seeds: Optional[Sequence[Optional[int]]]
+) -> list[Optional[int]]:
+    if seeds is None:
+        if n_reps is None:
+            raise ValueError(
+                "run_compiled_batch needs n_reps or an explicit seed list"
+            )
+        if spec.seed is None:
+            raise ValueError(
+                "run_compiled_batch(spec, n_reps) derives per-rep seeds from "
+                "spec.seed; set spec.seed or pass seeds explicitly"
+            )
+        return [spec.seed + r for r in range(n_reps)]
+    seed_list = [None if s is None else int(s) for s in seeds]
+    if n_reps is not None and n_reps != len(seed_list):
+        raise ValueError(
+            f"n_reps={n_reps} disagrees with len(seeds)={len(seed_list)}"
+        )
+    return seed_list
+
+
+class _LaneRng:
+    """Per-lane generators with block-prefetched uniform draws.
+
+    ``uniform(idx)`` returns one draw per lane in ``idx``, served from each
+    lane's prefetched block (refilled ``buffer_len`` draws at a time).
+    ``rewind(idx)`` returns lanes' generators to the position of their last
+    *consumed* draw; ``integers(lane, high)`` draws directly (used by the
+    sawtooth at window advances, where the stream position must be exact).
+    """
+
+    def __init__(self, children: list, buffer_len: int):
+        self._gens: list = [None] * len(children)
+        self._children = children
+        self._buf = np.empty((len(children), buffer_len), dtype=np.float64)
+        self._ptr = np.full(len(children), buffer_len, dtype=np.int32)
+        self._blen = buffer_len
+        # Bit-generator state snapshot taken at each lane's last refill;
+        # rewind restores it and replays the consumed prefix.
+        self._saved: list = [None] * len(children)
+
+    def _generator(self, lane: int) -> np.random.Generator:
+        gen = self._gens[lane]
+        if gen is None:
+            gen = np.random.Generator(np.random.PCG64(self._children[lane]))
+            self._gens[lane] = gen
+        return gen
+
+    def uniform(self, idx: np.ndarray) -> np.ndarray:
+        ptr = self._ptr
+        empty = idx[ptr[idx] >= self._blen]
+        if empty.size:
+            buf, blen, saved, gens = self._buf, self._blen, self._saved, self._gens
+            for lane in empty.tolist():
+                gen = gens[lane]
+                if gen is None:
+                    gen = self._generator(lane)
+                saved[lane] = gen.bit_generator.state
+                buf[lane] = gen.random(blen)
+            ptr[empty] = 0
+        u = self._buf[idx, ptr[idx]]
+        ptr[idx] += 1
+        return u
+
+    def rewind(self, idx: np.ndarray) -> None:
+        ptr, blen = self._ptr, self._blen
+        pending = idx[ptr[idx] < blen]
+        if pending.size == 0:
+            return
+        for lane, consumed in zip(pending.tolist(), ptr[pending].tolist()):
+            gen = self._gens[lane]
+            gen.bit_generator.state = self._saved[lane]
+            if consumed:
+                gen.random(consumed)
+        ptr[pending] = blen
+
+    def integers(self, lane: int, high: int) -> int:
+        gen = self._gens[lane]
+        if gen is None:
+            gen = self._generator(lane)
+        return int(gen.integers(0, high))
+
+
+class _Lanes:
+    """Flat per-lane state shared by every machine kind."""
+
+    def __init__(self, N: int, program: CompiledProgram):
+        self.mode = np.full(N, program.start_mode, dtype=np.int8)
+        self.alive = np.ones(N, dtype=bool)
+        self.counter = np.zeros(N, dtype=np.int64)  # election_i / wakeup_i
+        self.tc = np.zeros(N, dtype=np.int64)  # D-mode virtual clock
+        self.window_rounds = np.zeros(N, dtype=np.int8)
+        self.saw_message = np.zeros(N, dtype=bool)
+        self.saw_probe = np.zeros(N, dtype=bool)
+        # Sawtooth window iterator (member odd rounds / SUniform).
+        self.st_outer = np.ones(N, dtype=np.int64)
+        self.st_window = np.ones(N, dtype=np.int64)
+        self.st_position = np.zeros(N, dtype=np.int64)
+        self.st_slot = np.zeros(N, dtype=np.int64)
+        # GlobalClockUFR's adopted data-round probability (< 0: none yet).
+        self.adopted = np.full(N, -1.0, dtype=np.float64)
+        # Result accumulators.
+        self.fs = np.full(N, _INF, dtype=np.int64)
+        self.off = np.full(N, _INF, dtype=np.int64)
+        self.tx = np.zeros(N, dtype=np.int64)
+        self.listen = np.zeros(N, dtype=np.int64)
+        # Per-round scratch (reset per round on the active subset).
+        self.transmit = np.zeros(N, dtype=bool)
+        self.payload = np.zeros(N, dtype=np.int8)
+        self.sym = np.zeros(N, dtype=np.int8)
+        self.p_used = np.zeros(N, dtype=np.float64)  # beacon probability
+
+
+def _reset_waiting(lanes: _Lanes, idx: np.ndarray) -> None:
+    lanes.window_rounds[idx] = 0
+    lanes.saw_message[idx] = False
+    lanes.saw_probe[idx] = False
+
+
+def _init_sawtooth(lanes: _Lanes, idx: np.ndarray) -> None:
+    # SawtoothState.__init__: outer = window = 1, position = 0; the initial
+    # _choose_slot() is integers(0, 1), which consumes no generator state.
+    lanes.st_outer[idx] = 1
+    lanes.st_window[idx] = 1
+    lanes.st_position[idx] = 0
+    lanes.st_slot[idx] = 0
+
+
+def _sawtooth_step(lanes: _Lanes, rng: _LaneRng, idx: np.ndarray) -> np.ndarray:
+    """One ``SawtoothState.step()`` per lane in ``idx``; returns transmit mask."""
+    transmit = lanes.st_position[idx] == lanes.st_slot[idx]
+    lanes.st_position[idx] += 1
+    adv = idx[lanes.st_position[idx] >= lanes.st_window[idx]]
+    if adv.size:
+        lanes.st_position[adv] = 0
+        shrink = lanes.st_window[adv] > 1
+        inner = adv[shrink]
+        outer = adv[~shrink]
+        lanes.st_window[inner] //= 2
+        lanes.st_outer[outer] *= 2
+        lanes.st_window[outer] = lanes.st_outer[outer]
+        windows = lanes.st_window[adv]
+        lanes.st_slot[adv[windows == 1]] = 0
+        redraw = adv[windows > 1]
+        if redraw.size:
+            slots = lanes.st_slot
+            for lane, window in zip(
+                redraw.tolist(), lanes.st_window[redraw].tolist()
+            ):
+                slots[lane] = rng.integers(lane, window)
+    return transmit
+
+
+def _white_table(limit: int) -> np.ndarray:
+    """``is_white_round(tc)`` for ``tc = 0 .. limit``: powers of two >= 4."""
+    white = np.zeros(limit + 1, dtype=bool)
+    power = 4
+    while power <= limit:
+        white[power] = True
+        power *= 2
+    return white
+
+
+def run_compiled_batch(
+    spec: RunSpec,
+    n_reps: Optional[int] = None,
+    seeds: Optional[Sequence[Optional[int]]] = None,
+    program: Optional[CompiledProgram] = None,
+) -> list[RunResult]:
+    """Execute ``spec`` for every seed through the compiled stepper.
+
+    Returns one :class:`RunResult` per seed, in order, byte-identical to
+    object-engine (``SlotSimulator``) runs of ``spec.with_seed(seed)``.
+    Spec-level admissibility is the dispatch layer's job; this function
+    assumes an oblivious :class:`WakeSchedule` adversary, ACK-only
+    feedback, no stateful jammer and no trace request.
+    """
+    if not isinstance(spec.adversary, WakeSchedule):
+        raise TypeError(
+            "run_compiled_batch only supports oblivious WakeSchedule "
+            "adversaries (spec.adversary is "
+            f"{type(spec.adversary).__name__})"
+        )
+    if program is None:
+        program = compile_spec(spec)
+    seed_list = _resolve_seeds(spec, n_reps, seeds)
+    R = len(seed_list)
+    if R == 0:
+        return []
+    phase = telemetry.timer()
+    if phase:
+        telemetry.count("compiled.batches")
+        telemetry.count("compiled.reps", R)
+
+    k = spec.k
+    N = R * k
+    max_rounds = spec.resolve_horizon()
+    stop = spec.stop
+    jam_set = frozenset(spec.jam_rounds) if spec.jam_rounds is not None else None
+    # The object engine consumes one RNG child for the ScheduledJammer it
+    # wraps jam_rounds in; mirror that to keep station children aligned.
+    base_children = 2 if spec.jam_rounds is not None else 1
+
+    # ---- per-repetition seed fan-out and wake draws (chronological).
+    wake = np.empty(N, dtype=np.int64)
+    children: list = [None] * N
+    adversary = spec.adversary
+    for rep, seed in enumerate(seed_list):
+        kids = np.random.SeedSequence(seed).spawn(base_children + k)
+        adversary_rng = np.random.Generator(np.random.PCG64(kids[0]))
+        rounds = adversary.wake_rounds(k, adversary_rng)
+        if len(rounds) != k:
+            raise ValueError(
+                f"adversary produced {len(rounds)} wake rounds for k={k}"
+            )
+        drawn = np.asarray(rounds, dtype=np.int64)
+        # Stations are anonymous: the object engine assigns ids and RNG
+        # children in chronological wake order, so sort each repetition's
+        # draws and pair child j with the j-th woken station.
+        drawn.sort(kind="stable")
+        wake[rep * k : (rep + 1) * k] = drawn
+        children[rep * k : (rep + 1) * k] = kids[base_children:]
+
+    rep_of = np.repeat(np.arange(R, dtype=np.int64), k)
+    lanes = _Lanes(N, program)
+    rng = _LaneRng(children, program.buffer_len)
+
+    # ---- per-repetition bookkeeping.
+    woken = np.zeros(R, dtype=np.int64)
+    succeeded = np.zeros(R, dtype=np.int64)
+    switched_off = np.zeros(R, dtype=np.int64)
+    rep_live = np.ones(R, dtype=bool)
+    stop_round = np.full(R, max_rounds, dtype=np.int64)
+    rep_completed = np.zeros(R, dtype=bool)
+
+    kind = program.kind
+    adaptive = kind == "adaptive_no_k"
+    white = _white_table(max_rounds + 1) if adaptive else None
+    horizon = program.horizon
+    listen_window = program.listen_window
+    next_mode = program.next_mode
+    ack_guard = program.ack_payload_guard
+    parity_guard = program.control_parity_guard
+    prob_rows = program.prob_rows
+    guarded_acks = bool(np.any(ack_guard != PAYLOAD_ANY))
+    any_parity_guard = bool(parity_guard.any())
+
+    # Lanes sorted by wake round: pointer sweeps turn per-round wake
+    # processing into O(1) amortised work instead of an O(N) scan.
+    wake_order = np.argsort(wake, kind="stable")
+    wake_sorted = wake[wake_order]
+    wake_ptr = int(np.searchsorted(wake_sorted, 0, side="right"))
+    woken += np.bincount(rep_of[wake_order[:wake_ptr]], minlength=R)
+    # started[lane]: wake < current round (the lane decides/observes).
+    # lane_live[lane]: the lane's repetition has not stopped.
+    started = np.zeros(N, dtype=bool)
+    started_ptr = 0
+    lane_live = np.ones(N, dtype=bool)
+
+    def _switch_off(idx: np.ndarray, at_round: int) -> None:
+        lanes.alive[idx] = False
+        lanes.off[idx] = at_round
+        np.add.at(switched_off, rep_of[idx], 1)
+
+    if phase:
+        phase.lap("compiled.setup")
+
+    t = 0
+    while t < max_rounds and rep_live.any():
+        t += 1
+        # 1. Wakes at the start of round t (dead repetitions stopped in an
+        # earlier round; their later wakes never happen and are excluded
+        # from the records by the wake <= rounds_executed filter).
+        if wake_ptr < N:
+            start = wake_ptr
+            while wake_ptr < N and wake_sorted[wake_ptr] == t:
+                wake_ptr += 1
+            if wake_ptr > start:
+                woke_now = wake_order[start:wake_ptr]
+                np.add.at(woken, rep_of[woke_now], 1)
+
+        # Active = woken before this round, not switched off, rep still live.
+        while started_ptr < N and wake_sorted[started_ptr] < t:
+            started[wake_order[started_ptr]] = True
+            started_ptr += 1
+        act = np.flatnonzero(started & lanes.alive & lane_live)
+        if act.size == 0:
+            # No station can act; the channel is silent and only the stop
+            # check below can change anything.
+            for rep in _check_stops(
+                stop, rep_live, woken, succeeded, switched_off, k,
+                stop_round, rep_completed, t,
+            ):
+                lane_live[rep * k : (rep + 1) * k] = False
+            continue
+
+        # 2. Decisions (lanes with local round >= 1).
+        lanes.transmit.fill(False)
+        lanes.payload.fill(0)
+        if kind == "schedule":
+            act = _decide_schedule(lanes, rng, act, prob_rows[0], horizon,
+                                   wake, t, rep_of, switched_off)
+        elif kind == "suniform":
+            _decide_suniform(lanes, rng, act)
+        elif kind == "global_clock":
+            _decide_global_clock(lanes, rng, act, prob_rows[0], t)
+        else:
+            _decide_adaptive(lanes, rng, act, prob_rows[ANK_ELECTION], white)
+        transmitting = lanes.transmit[act]
+        tx_lanes = act[transmitting]
+        lanes.tx[tx_lanes] += 1
+        if program.requires_listening:
+            lanes.listen[act[~transmitting]] += 1
+
+        # 3. Channel resolution per repetition: success iff exactly one
+        # transmitter and the round is not jammed.
+        jammed = jam_set is not None and t in jam_set
+        if tx_lanes.size and not jammed:
+            tx_reps = rep_of[tx_lanes]
+            counts = np.bincount(tx_reps, minlength=R)
+            success_reps = np.flatnonzero(counts == 1)
+            # tx_lanes ascends in lane order (= repetition-major), so the
+            # winner of rep r sits at the first position with rep == r.
+            winners = tx_lanes[np.searchsorted(tx_reps, success_reps)]
+        else:
+            success_reps = np.empty(0, dtype=np.int64)
+            winners = np.empty(0, dtype=np.int64)
+
+        # 4. Observations: first-success bookkeeping, then the machine's
+        # symbol-driven transitions.
+        if winners.size:
+            new_successes = winners[lanes.fs[winners] == _INF]
+            if new_successes.size:
+                lanes.fs[new_successes] = t
+                succeeded[rep_of[new_successes]] += 1
+
+        lanes.sym.fill(0)
+        lanes.sym[winners] = SYM_ACK
+        if program.requires_listening and winners.size:
+            hear_sym = np.zeros(R, dtype=np.int8)
+            hear_sym[success_reps] = HEAR_SYMBOL_OF_PAYLOAD[
+                lanes.payload[winners]
+            ]
+            listeners = act[
+                ~lanes.transmit[act] & (hear_sym[rep_of[act]] != 0)
+            ]
+            lanes.sym[listeners] = hear_sym[rep_of[listeners]]
+
+        if adaptive:
+            _observe_adaptive(
+                lanes, rng, act, listen_window,
+                next_mode, ack_guard, parity_guard, t,
+                lambda idx: _switch_off(idx, t),
+            )
+        else:
+            _observe_simple(
+                lanes, act, kind, next_mode, t,
+                winners, success_reps, rep_of,
+                lambda idx: _switch_off(idx, t),
+            )
+
+        # 5. Stop conditions (after retirement, as the object engine).
+        for rep in _check_stops(
+            stop, rep_live, woken, succeeded, switched_off, k,
+            stop_round, rep_completed, t,
+        ):
+            lane_live[rep * k : (rep + 1) * k] = False
+
+    if phase:
+        telemetry.count("compiled.rounds", t)
+        phase.lap("compiled.step")
+
+    # ---- materialise per-repetition results (object-engine view: only
+    # stations woken by the stop round exist, ids in wake order).
+    rounds_executed = np.where(rep_completed, stop_round, max_rounds)
+    fs_list = lanes.fs.tolist()
+    off_list = lanes.off.tolist()
+    tx_list = lanes.tx.tolist()
+    listen_list = lanes.listen.tolist()
+    wake_list = wake.tolist()
+    results = []
+    protocol_name = getattr(spec.protocol_factory, "protocol_name", "")
+    adversary_name = getattr(adversary, "name", "")
+    for rep, seed in enumerate(seed_list):
+        upto = int(rounds_executed[rep])
+        base = rep * k
+        count = int(
+            np.searchsorted(wake[base : base + k], upto, side="right")
+        )
+        records = [
+            StationRecord(
+                station_id=i,
+                wake_round=wake_list[base + i],
+                first_success_round=(
+                    None if fs_list[base + i] == _INF else fs_list[base + i]
+                ),
+                switch_off_round=(
+                    None if off_list[base + i] == _INF else off_list[base + i]
+                ),
+                transmissions=tx_list[base + i],
+                listening_slots=listen_list[base + i],
+            )
+            for i in range(count)
+        ]
+        results.append(
+            RunResult(
+                records=records,
+                rounds_executed=upto,
+                completed=bool(rep_completed[rep]),
+                stop=stop,
+                trace=None,
+                seed=seed,
+                protocol_name=protocol_name,
+                adversary_name=adversary_name,
+            )
+        )
+    if phase:
+        phase.lap("compiled.materialize")
+    return results
+
+
+def _check_stops(
+    stop: StopCondition,
+    rep_live: np.ndarray,
+    woken: np.ndarray,
+    succeeded: np.ndarray,
+    switched_off: np.ndarray,
+    k: int,
+    stop_round: np.ndarray,
+    rep_completed: np.ndarray,
+    t: int,
+) -> list[int]:
+    """Retire repetitions whose stop condition is met; return their ids."""
+    if stop is StopCondition.FIRST_SUCCESS:
+        met = succeeded >= 1
+    elif stop is StopCondition.ALL_SUCCEEDED:
+        met = (woken >= k) & (succeeded >= k)
+    else:
+        met = (woken >= k) & (switched_off >= k)
+    done = rep_live & met
+    if not done.any():
+        return []
+    idx = np.flatnonzero(done)
+    rep_live[idx] = False
+    stop_round[idx] = t
+    rep_completed[idx] = True
+    return idx.tolist()
+
+
+# ------------------------------------------------------------ decide rules
+
+
+def _decide_schedule(
+    lanes: _Lanes,
+    rng: _LaneRng,
+    act: np.ndarray,
+    row: np.ndarray,
+    horizon: Optional[int],
+    wake: np.ndarray,
+    t: int,
+    rep_of: np.ndarray,
+    switched_off: np.ndarray,
+) -> np.ndarray:
+    """ScheduleProtocol.decide: horizon switch-off, then a gated draw.
+
+    Returns the still-active subset (horizon retirees neither transmit nor
+    listen nor observe this round, exactly as ``Station.decide``).
+    """
+    local = t - wake[act]
+    if horizon is not None:
+        done = local > horizon
+        if done.any():
+            retired = act[done]
+            lanes.alive[retired] = False
+            lanes.off[retired] = t
+            np.add.at(switched_off, rep_of[retired], 1)
+            act = act[~done]
+            local = local[~done]
+    p = row[local - 1]
+    drawers = act[p > 0.0]
+    if drawers.size:
+        u = rng.uniform(drawers)
+        hit = drawers[u < p[p > 0.0]]
+        lanes.transmit[hit] = True
+        lanes.payload[hit] = PAYLOAD_DATA
+    return act
+
+
+def _decide_suniform(lanes: _Lanes, rng: _LaneRng, act: np.ndarray) -> None:
+    hit = act[_sawtooth_step(lanes, rng, act)]
+    lanes.transmit[hit] = True
+    lanes.payload[hit] = PAYLOAD_DATA
+
+
+def _decide_global_clock(
+    lanes: _Lanes, rng: _LaneRng, act: np.ndarray, wake_row: np.ndarray, t: int
+) -> None:
+    # Global round == wake + local == t for every station, so the whole
+    # batch shares the parity split.
+    if t % 2 == 1:
+        # Odd: one DecreaseSlowly wake-up step each; a hit is a beacon
+        # carrying the probability used.
+        p = wake_row[lanes.counter[act]]
+        lanes.counter[act] += 1
+        u = rng.uniform(act)
+        hit = act[u < p]
+        lanes.transmit[hit] = True
+        lanes.payload[hit] = PAYLOAD_BEACON
+        lanes.p_used[act] = p
+    else:
+        # Even: data round at the adopted probability; silent (and
+        # drawless) until a beacon has been heard.
+        adopted = lanes.adopted[act]
+        drawers = act[adopted >= 0.0]
+        if drawers.size:
+            u = rng.uniform(drawers)
+            hit = drawers[u < lanes.adopted[drawers]]
+            lanes.transmit[hit] = True
+            lanes.payload[hit] = PAYLOAD_DATA
+
+
+def _decide_adaptive(
+    lanes: _Lanes,
+    rng: _LaneRng,
+    act: np.ndarray,
+    election_row: np.ndarray,
+    white: np.ndarray,
+) -> None:
+    modes = lanes.mode[act]
+    election = act[modes == ANK_ELECTION]
+    if election.size:
+        p = election_row[lanes.counter[election]]
+        lanes.counter[election] += 1
+        u = rng.uniform(election)
+        hit = election[u < p]
+        lanes.transmit[hit] = True
+        lanes.payload[hit] = PAYLOAD_DATA
+    dmode = act[modes >= ANK_MEMBER]
+    if dmode.size == 0:
+        return
+    # The shared virtual clock advances first (first D round has tc == 1).
+    lanes.tc[dmode] += 1
+    tc = lanes.tc[dmode]
+    odd = (tc & 1) == 1
+    is_member = lanes.mode[dmode] == ANK_MEMBER
+    member_odd = dmode[odd & is_member]
+    if member_odd.size:
+        hit = member_odd[_sawtooth_step(lanes, rng, member_odd)]
+        lanes.transmit[hit] = True
+        lanes.payload[hit] = PAYLOAD_DATA
+    even = dmode[~odd]
+    if even.size:
+        even_white = white[lanes.tc[even]]
+        probing = even[even_white]
+        lanes.transmit[probing] = True
+        lanes.payload[probing] = PAYLOAD_PROBE
+        announcing = even[~even_white & (lanes.mode[even] == ANK_LEADER)]
+        lanes.transmit[announcing] = True
+        lanes.payload[announcing] = PAYLOAD_DMODE
+
+
+# ----------------------------------------------------------- observe rules
+
+
+def _observe_simple(
+    lanes: _Lanes,
+    act: np.ndarray,
+    kind: str,
+    next_mode: np.ndarray,
+    t: int,
+    winners: np.ndarray,
+    success_reps: np.ndarray,
+    rep_of: np.ndarray,
+    switch_off,
+) -> None:
+    """Single-mode machines: the only transitions are ack-driven."""
+    if kind == "global_clock" and success_reps.size:
+        # Adopt the winning beacon's announced probability.  The winner's
+        # p_used is only meaningful on odd (beacon) rounds, and only
+        # beacon payloads reach listeners as SYM_HEAR_BEACON.
+        beacon_reps = success_reps[
+            lanes.payload[winners] == PAYLOAD_BEACON
+        ]
+        if beacon_reps.size:
+            beacon_p = np.zeros(rep_of.max() + 1 if rep_of.size else 1)
+            beacon_winners = winners[lanes.payload[winners] == PAYLOAD_BEACON]
+            beacon_p[beacon_reps] = lanes.p_used[beacon_winners]
+            hearers = act[
+                ~lanes.transmit[act]
+                & np.isin(rep_of[act], beacon_reps)
+            ]
+            lanes.adopted[hearers] = beacon_p[rep_of[hearers]]
+    if winners.size and next_mode[0, SYM_ACK] == OFF:
+        switch_off(winners)
+
+
+def _observe_adaptive(
+    lanes: _Lanes,
+    rng: _LaneRng,
+    act: np.ndarray,
+    listen_window: int,
+    next_mode: np.ndarray,
+    ack_guard: np.ndarray,
+    parity_guard: np.ndarray,
+    t: int,
+    switch_off,
+) -> None:
+    mode0 = lanes.mode[act]
+
+    # WAITING: counter-driven window bookkeeping (no symbol transition).
+    waiting = act[mode0 == ANK_WAITING]
+    if waiting.size:
+        lanes.window_rounds[waiting] += 1
+        sym_w = lanes.sym[waiting]
+        heard = sym_w >= SYM_HEAR_DATA
+        lanes.saw_message[waiting[heard]] = True
+        lanes.saw_probe[waiting[sym_w == SYM_HEAR_PROBE]] = True
+        full = waiting[lanes.window_rounds[waiting] == listen_window]
+        if full.size:
+            join = full[
+                ~lanes.saw_message[full] | lanes.saw_probe[full]
+            ]
+            _reset_waiting(lanes, full)
+            if join.size:
+                lanes.mode[join] = ANK_ELECTION
+                lanes.counter[join] = 0
+
+    # ELECTION / MEMBER / LEADER: the (mode, symbol) table, with the two
+    # guards the pseudocode needs (ack payload kind, member tc parity).
+    rest = act[mode0 != ANK_WAITING]
+    if rest.size == 0:
+        return
+    m0 = lanes.mode[rest]
+    sym = lanes.sym[rest]
+    target = next_mode[m0, sym].astype(np.int8)
+    is_ack = sym == SYM_ACK
+    if is_ack.any():
+        guard = ack_guard[m0]
+        vetoed = is_ack & (guard != PAYLOAD_ANY) & (lanes.payload[rest] != guard)
+        target[vetoed] = m0[vetoed]
+    control = (sym == SYM_HEAR_PROBE) | (sym == SYM_HEAR_DMODE)
+    if control.any():
+        vetoed = control & parity_guard[m0] & ((lanes.tc[rest] & 1) == 0)
+        target[vetoed] = m0[vetoed]
+    moved = target != m0
+    if not moved.any():
+        return
+    changed = rest[moved]
+    src = m0[moved]
+    dst = target[moved]
+
+    # Exit action: leaving the election returns the unconsumed prefetched
+    # uniforms, so the next draw kind starts at the exact stream position.
+    leaving_election = changed[src == ANK_ELECTION]
+    if leaving_election.size:
+        rng.rewind(leaving_election)
+
+    # Entry actions per target mode.
+    to_off = changed[dst == OFF]
+    if to_off.size:
+        switch_off(to_off)
+    to_member = changed[dst == ANK_MEMBER]
+    if to_member.size:
+        lanes.tc[to_member] = 0
+        _init_sawtooth(lanes, to_member)
+    to_leader = changed[dst == ANK_LEADER]
+    if to_leader.size:
+        lanes.tc[to_leader] = 0
+    to_waiting = changed[dst == ANK_WAITING]
+    if to_waiting.size:
+        _reset_waiting(lanes, to_waiting)
+    surviving = dst != OFF
+    lanes.mode[changed[surviving]] = dst[surviving]
+
+
+class CompiledSimulator:
+    """Single-run facade over :func:`run_compiled_batch`.
+
+    Mirrors the constructor-free engine surface of dispatch: build from a
+    spec, call :meth:`run`.  The batch path with one repetition *is* the
+    single-run semantics (per-repetition state never crosses lanes).
+    """
+
+    def __init__(self, spec: RunSpec, program: Optional[CompiledProgram] = None):
+        self.spec = spec
+        self.program = program if program is not None else compile_spec(spec)
+
+    def run(self) -> RunResult:
+        (result,) = run_compiled_batch(
+            self.spec, seeds=[self.spec.seed], program=self.program
+        )
+        return result

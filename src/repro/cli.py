@@ -21,6 +21,7 @@ from __future__ import annotations
 import argparse
 import sys
 
+from repro.engine.dispatch import ENGINE_NAMES
 from repro.experiments import EXPERIMENTS, run_experiment
 from repro.experiments.export import write_report_csv
 
@@ -103,11 +104,12 @@ def main(argv: list[str] | None = None) -> int:
         "recovery never changes results",
     )
     run_parser.add_argument(
-        "--engine", choices=("auto", "object", "vectorized", "cross-check"),
+        "--engine", choices=ENGINE_NAMES,
         default=None,
-        help="engine dispatch override: auto (default) picks the vectorised "
-        "engine when admissible; cross-check shadows each run with the "
-        "reference engine and asserts agreement",
+        help="engine dispatch override: auto (default) picks the fastest "
+        "admissible engine (vectorised, then compiled, then object); "
+        "cross-check shadows each run with the reference engine and "
+        "asserts agreement",
     )
     run_parser.add_argument(
         "--batch-size", metavar="N", type=int, default=None,
@@ -161,7 +163,7 @@ def main(argv: list[str] | None = None) -> int:
         help="re-submissions allowed per crashed/hung run (default 0)",
     )
     suite_parser.add_argument(
-        "--engine", choices=("auto", "object", "vectorized", "cross-check"),
+        "--engine", choices=ENGINE_NAMES,
         default=None,
         help="engine dispatch override for every run in the suite",
     )

@@ -264,6 +264,20 @@ class RunSpec:
         return self.protocol  # type: ignore[return-value]
 
     @property
+    def protocol_probe(self) -> Protocol:
+        """A fresh, never-run instance of the per-station protocol.
+
+        The capability surface for engines that need to *inspect* the
+        protocol without executing it: :meth:`fingerprint` digests the
+        probe's public attributes, and the compiled engine's lowering pass
+        (:mod:`repro.engine.compile`) pattern-matches the probe's exact
+        type to decide whether the spec is compiled-admissible and to read
+        the machine's constants (e.g. ``AdaptiveNoK.q``).  Constructing a
+        probe touches no RNG — protocols only draw after ``begin()``.
+        """
+        return self.protocol_factory()
+
+    @property
     def display_label(self) -> str:
         """The reporting label: explicit ``label`` or the protocol's name."""
         if self.label:
@@ -350,7 +364,7 @@ class RunSpec:
                 self.stop.value,
                 jam_token,
             )
-        probe = self.protocol_factory()
+        probe = self.protocol_probe
         attrs = tuple(
             (key, stable_token(value))
             for key, value in sorted(getattr(probe, "__dict__", {}).items())

@@ -20,12 +20,20 @@ from repro.engine.cache import (
     set_table_cache_limit,
     table_cache_info,
 )
+from repro.engine.compile import (
+    CompileError,
+    CompiledProgram,
+    compile_spec,
+    lowering_reason,
+)
 from repro.engine.dispatch import (
     ENGINE_NAMES,
     EngineDisagreement,
     EngineSelectionError,
     assert_results_agree,
+    assert_results_identical,
     build_simulator,
+    compiled_inadmissibility,
     execute,
     execute_batch,
     get_default_engine,
@@ -40,12 +48,18 @@ __all__ = [
     "ENGINE_NAMES",
     "EngineSelectionError",
     "EngineDisagreement",
+    "CompileError",
+    "CompiledProgram",
+    "compile_spec",
+    "lowering_reason",
     "vectorized_inadmissibility",
+    "compiled_inadmissibility",
     "select_engine",
     "build_simulator",
     "execute",
     "execute_batch",
     "assert_results_agree",
+    "assert_results_identical",
     "draw_packets",
     "traffic_reduction",
     "set_default_engine",

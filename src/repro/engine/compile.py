@@ -1,0 +1,331 @@
+"""Protocol-to-table compilation: the lowering pass of the compiled engine.
+
+The object engine runs one Python object per station per round — flexible,
+but ~250x too slow for the horizons the stability sweeps need.  Every
+protocol the paper actually analyses, however, is a *finite state
+machine*: a station is always in one of a handful of modes (waiting,
+electing, disseminating, ...), its transmission probability in a mode is
+a pure function of a per-mode counter, and its mode changes only in
+response to the per-round feedback symbol (ack / heard-data /
+heard-control / nothing).  That structure lowers to two tables:
+
+* ``prob_rows`` — ``(mode, counter) -> transmission probability``: the
+  Bernoulli parameter a station in ``mode`` uses on its ``counter``-th
+  draw round.  For ``AdaptiveNoK`` the only stochastic mode is the
+  leader election, whose row is the ``DecreaseSlowly`` sequence
+  ``q / (2q + i)``; for a schedule run the row is the schedule's
+  probability table; for ``GlobalClockUFR`` it is the odd-round wake-up
+  sequence.
+
+* ``next_mode`` — ``(mode, feedback symbol) -> next mode``: the
+  symbol-driven transition table, gathered per station per round with
+  ``np.take``-style indexing by the stepper
+  (:mod:`repro.channel.compiled`).  ``OFF`` (-1) encodes permanent
+  switch-off.
+
+Two structured side channels keep the tables honest where a pure
+``(mode, symbol)`` gather cannot express the pseudocode:
+
+* ``ack_payload_guard`` — the ACK transition of a mode fires only when
+  the round's own payload had the guarded kind (``AdaptiveNoK`` members
+  switch off on a *data* ack but shrug off a probe ack; the leader the
+  reverse);
+* ``control_parity_guard`` — the heard-control transition fires only on
+  odd virtual-clock rounds (the member clock-desync rule).
+
+Counter-driven behaviour that no symbol triggers — the 4-round waiting
+window, the sawtooth window advance, the schedule horizon switch-off —
+stays in the stepper, driven by the program's scalar parameters.  The
+sawtooth's one-slot-per-window draws are the *dependent-rounds* exception
+the vectorised engine already carves out for ``SawtoothSchedule``: its
+probability is not a pure function of the counter, so it is executed by
+per-window ``integers`` draws rather than a table row.
+
+The lowering is **exact**: executed by the compiled stepper with the
+per-station RNG draw order preserved, a compiled program is byte-identical
+to the object engine per seed (``tests/test_engine_fuzz.py`` proves this
+property over the whole admissible space).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.protocol import ProbabilitySchedule, ScheduleProtocol
+from repro.core.protocols.adaptive_no_k import LISTEN_WINDOW, AdaptiveNoK
+from repro.core.protocols.global_clock import GlobalClockUFR
+from repro.core.protocols.suniform import SUniform
+from repro.core.spec import RunSpec
+from repro.engine.cache import probability_table
+
+__all__ = [
+    "CompileError",
+    "CompiledProgram",
+    "compile_spec",
+    "lowering_reason",
+    "OFF",
+    "PAYLOAD_NONE",
+    "PAYLOAD_DATA",
+    "PAYLOAD_PROBE",
+    "PAYLOAD_DMODE",
+    "PAYLOAD_BEACON",
+    "PAYLOAD_ANY",
+    "SYM_NOTHING",
+    "SYM_ACK",
+    "SYM_HEAR_DATA",
+    "SYM_HEAR_PROBE",
+    "SYM_HEAR_DMODE",
+    "SYM_HEAR_BEACON",
+    "N_SYMBOLS",
+]
+
+# ---------------------------------------------------------------- alphabets
+
+#: Payload kinds a lowered machine can transmit in one round.
+PAYLOAD_NONE, PAYLOAD_DATA, PAYLOAD_PROBE, PAYLOAD_DMODE, PAYLOAD_BEACON = range(5)
+#: Wildcard for :attr:`CompiledProgram.ack_payload_guard`: ack always fires.
+PAYLOAD_ANY = -1
+
+#: Feedback symbols under ACK_ONLY: what one station perceived this round.
+(
+    SYM_NOTHING,
+    SYM_ACK,
+    SYM_HEAR_DATA,
+    SYM_HEAR_PROBE,
+    SYM_HEAR_DMODE,
+    SYM_HEAR_BEACON,
+) = range(6)
+N_SYMBOLS = 6
+
+#: ``next_mode`` sentinel: the station switches off permanently.
+OFF = -1
+
+#: Map a winner's payload kind to the symbol its listeners receive.
+HEAR_SYMBOL_OF_PAYLOAD = np.array(
+    [SYM_NOTHING, SYM_HEAR_DATA, SYM_HEAR_PROBE, SYM_HEAR_DMODE, SYM_HEAR_BEACON],
+    dtype=np.int8,
+)
+
+
+class CompileError(ValueError):
+    """The spec's protocol has no table lowering."""
+
+
+@dataclass
+class CompiledProgram:
+    """One protocol state machine lowered to table form.
+
+    The stepper treats a program as data: the same per-round gather loop
+    executes every ``kind``, with the kind only selecting which decide
+    rule fills the transmit mask (table row draw, sawtooth slot, or the
+    global-clock parity split).
+    """
+
+    kind: str  # "schedule" | "suniform" | "adaptive_no_k" | "global_clock"
+    mode_names: tuple[str, ...]
+    start_mode: int
+    #: (n_modes, horizon) Bernoulli parameter by (mode, per-mode counter).
+    prob_rows: np.ndarray
+    #: (n_modes, N_SYMBOLS) -> next mode id, or OFF.  Default: stay.
+    next_mode: np.ndarray
+    #: (n_modes,) payload kind the ACK transition requires (PAYLOAD_ANY = no guard).
+    ack_payload_guard: np.ndarray
+    #: (n_modes,) heard-control transitions fire only on odd tc rounds.
+    control_parity_guard: np.ndarray
+    #: Station listens (pays a listening slot) on non-transmit rounds.
+    requires_listening: bool = True
+    #: Whether any mode consumes buffered uniform draws.
+    draws_uniform: bool = True
+    #: Schedule machines only: local-round horizon (switch off past it).
+    horizon: Optional[int] = None
+    #: Schedule machines only: ack-triggered switch-off semantics.
+    switch_off_on_ack: bool = True
+    #: DecreaseSlowly constant (adaptive_no_k / global_clock).
+    q: float = 2.0
+    #: Waiting-window length (adaptive_no_k).
+    listen_window: int = LISTEN_WINDOW
+    #: Uniform-draw prefetch block per station (see the stepper docs).
+    buffer_len: int = 64
+
+    @property
+    def n_modes(self) -> int:
+        return len(self.mode_names)
+
+    def __post_init__(self) -> None:
+        self.prob_rows = np.ascontiguousarray(self.prob_rows, dtype=np.float64)
+        self.next_mode = np.ascontiguousarray(self.next_mode, dtype=np.int8)
+        self.ack_payload_guard = np.ascontiguousarray(
+            self.ack_payload_guard, dtype=np.int8
+        )
+        self.control_parity_guard = np.ascontiguousarray(
+            self.control_parity_guard, dtype=bool
+        )
+        for table in (
+            self.prob_rows,
+            self.next_mode,
+            self.ack_payload_guard,
+            self.control_parity_guard,
+        ):
+            table.setflags(write=False)
+
+
+# ---------------------------------------------------------------- lowerings
+
+#: Mode ids of the ``adaptive_no_k`` machine (order mirrors the paper's
+#: Algorithm 3 phases; see ``repro.core.protocols.adaptive_no_k.Mode``).
+ANK_WAITING, ANK_ELECTION, ANK_MEMBER, ANK_LEADER = range(4)
+
+
+def _identity_transitions(n_modes: int) -> np.ndarray:
+    """A ``next_mode`` table where every symbol keeps the current mode."""
+    return np.repeat(np.arange(n_modes, dtype=np.int8)[:, None], N_SYMBOLS, axis=1)
+
+
+def _decrease_slowly_row(q: float, length: int) -> np.ndarray:
+    """``clamp(q / (2q + i))`` for ``i = 0 .. length-1`` — the probability
+    row of a DecreaseSlowly-driven mode, bit-equal to the scalar formula in
+    ``AdaptiveNoK._decide_election`` / ``GlobalClockUFR.decide``."""
+    i = np.arange(length, dtype=np.float64)
+    return np.clip(q / (2.0 * q + i), 0.0, 1.0)
+
+
+def _compile_schedule(
+    schedule: ProbabilitySchedule, switch_off_on_ack: bool, horizon: int
+) -> CompiledProgram:
+    table = np.asarray(probability_table(schedule, horizon), dtype=np.float64)
+    next_mode = _identity_transitions(1)
+    if switch_off_on_ack:
+        next_mode = next_mode.copy()
+        next_mode[0, SYM_ACK] = OFF
+    return CompiledProgram(
+        kind="schedule",
+        mode_names=("transmit",),
+        start_mode=0,
+        prob_rows=table[None, :],
+        next_mode=next_mode,
+        ack_payload_guard=np.full(1, PAYLOAD_ANY),
+        control_parity_guard=np.zeros(1, dtype=bool),
+        requires_listening=ScheduleProtocol.requires_listening,
+        draws_uniform=True,
+        horizon=schedule.horizon(),
+        switch_off_on_ack=switch_off_on_ack,
+    )
+
+
+def _compile_adaptive_no_k(q: float, horizon: int) -> CompiledProgram:
+    prob_rows = np.zeros((4, horizon), dtype=np.float64)
+    prob_rows[ANK_ELECTION] = _decrease_slowly_row(q, horizon)
+    next_mode = _identity_transitions(4).copy()
+    # ELECTION: own data packet acked -> leader; someone else's data packet
+    # heard -> synchronized member; a control bit heard -> a D mode is
+    # live after all, re-enter the waiting loop.
+    next_mode[ANK_ELECTION, SYM_ACK] = ANK_LEADER
+    next_mode[ANK_ELECTION, SYM_HEAR_DATA] = ANK_MEMBER
+    next_mode[ANK_ELECTION, SYM_HEAR_PROBE] = ANK_WAITING
+    next_mode[ANK_ELECTION, SYM_HEAR_DMODE] = ANK_WAITING
+    # MEMBER: own *data* ack (guarded) -> off; a control bit on an *odd*
+    # tc (guarded) proves clock desync -> waiting.
+    next_mode[ANK_MEMBER, SYM_ACK] = OFF
+    next_mode[ANK_MEMBER, SYM_HEAR_PROBE] = ANK_WAITING
+    next_mode[ANK_MEMBER, SYM_HEAR_DMODE] = ANK_WAITING
+    # LEADER: own *probe* ack (guarded) -> off (D mode over); hearing a
+    # control bit proves a duplicate leader -> cede (off).
+    next_mode[ANK_LEADER, SYM_ACK] = OFF
+    next_mode[ANK_LEADER, SYM_HEAR_PROBE] = OFF
+    next_mode[ANK_LEADER, SYM_HEAR_DMODE] = OFF
+    ack_guard = np.full(4, PAYLOAD_ANY)
+    ack_guard[ANK_MEMBER] = PAYLOAD_DATA
+    ack_guard[ANK_LEADER] = PAYLOAD_PROBE
+    parity_guard = np.zeros(4, dtype=bool)
+    parity_guard[ANK_MEMBER] = True
+    return CompiledProgram(
+        kind="adaptive_no_k",
+        mode_names=("waiting", "election", "member", "leader"),
+        start_mode=ANK_WAITING,
+        prob_rows=prob_rows,
+        next_mode=next_mode,
+        ack_payload_guard=ack_guard,
+        control_parity_guard=parity_guard,
+        q=q,
+    )
+
+
+def _compile_suniform(horizon: int) -> CompiledProgram:
+    next_mode = _identity_transitions(1).copy()
+    next_mode[0, SYM_ACK] = OFF
+    return CompiledProgram(
+        kind="suniform",
+        mode_names=("sawtooth",),
+        start_mode=0,
+        prob_rows=np.zeros((1, 1), dtype=np.float64),
+        next_mode=next_mode,
+        ack_payload_guard=np.full(1, PAYLOAD_ANY),
+        control_parity_guard=np.zeros(1, dtype=bool),
+        draws_uniform=False,
+    )
+
+
+def _compile_global_clock(q: float, horizon: int) -> CompiledProgram:
+    next_mode = _identity_transitions(1).copy()
+    next_mode[0, SYM_ACK] = OFF
+    return CompiledProgram(
+        kind="global_clock",
+        mode_names=("running",),
+        start_mode=0,
+        # The odd-global-round wake-up row; even (data) rounds use the
+        # per-station *adopted* probability, carried by the stepper.
+        prob_rows=_decrease_slowly_row(q, horizon)[None, :],
+        next_mode=next_mode,
+        ack_payload_guard=np.full(1, PAYLOAD_ANY),
+        control_parity_guard=np.zeros(1, dtype=bool),
+        q=q,
+    )
+
+
+# -------------------------------------------------------------- entry points
+
+
+def lowering_reason(probe: object) -> Optional[str]:
+    """Why ``probe`` (a protocol instance) has no table lowering, or None.
+
+    Exact-type matches only: a subclass may override any hook and silently
+    change semantics the tables cannot see, so it falls back to the object
+    engine rather than compile to its parent's machine.
+    """
+    if type(probe) in (AdaptiveNoK, SUniform, GlobalClockUFR, ScheduleProtocol):
+        return None
+    return (
+        f"protocol {type(probe).__name__} has no table lowering; the "
+        "compiled engine only runs the finite state machines it knows "
+        "(AdaptiveNoK, SUniform, GlobalClockUFR, probability schedules)"
+    )
+
+
+def compile_spec(spec: RunSpec, horizon: Optional[int] = None) -> CompiledProgram:
+    """Lower ``spec``'s protocol to a :class:`CompiledProgram`.
+
+    Raises :class:`CompileError` when the protocol is not one of the known
+    finite state machines (see :func:`lowering_reason`).  Spec-level
+    admissibility (adversary, jamming, feedback, traces) is the dispatch
+    layer's job — :func:`repro.engine.dispatch.compiled_inadmissibility`.
+    """
+    if horizon is None:
+        horizon = spec.resolve_horizon()
+    # Per-mode counters advance at most once per round, so ``horizon``
+    # columns cover every reachable (mode, counter) pair.
+    if spec.is_schedule_run:
+        return _compile_schedule(spec.schedule, spec.switch_off_on_ack, horizon)
+    probe = spec.protocol_probe
+    reason = lowering_reason(probe)
+    if reason is not None:
+        raise CompileError(reason)
+    if type(probe) is ScheduleProtocol:
+        return _compile_schedule(probe.schedule, probe.switch_off_on_ack, horizon)
+    if type(probe) is AdaptiveNoK:
+        return _compile_adaptive_no_k(probe.q, horizon)
+    if type(probe) is SUniform:
+        return _compile_suniform(horizon)
+    return _compile_global_clock(probe.q, horizon)

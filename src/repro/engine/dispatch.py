@@ -1,12 +1,15 @@
 """Capability-based engine dispatch: ``execute(spec, engine="auto")``.
 
-The repository ships two exact engines — the slot-by-slot
-:class:`~repro.channel.simulator.SlotSimulator` (runs everything) and the
+The repository ships three exact engines — the slot-by-slot
+:class:`~repro.channel.simulator.SlotSimulator` (runs everything), the
 Poisson-thinning :class:`~repro.channel.vectorized.VectorizedSimulator`
-(runs the non-adaptive subset ~100x faster).  Before this layer existed,
-every experiment driver hand-picked an engine and re-spelled its
-constructor kwargs; now the choice is a property of the
-:class:`~repro.core.spec.RunSpec`:
+(runs the non-adaptive subset ~100x faster), and the table-driven
+compiled stepper (:mod:`repro.channel.compiled`, byte-identical to the
+object engine on the finite-state-machine protocols it lowers —
+``AdaptiveNoK``, ``SUniform``, ``GlobalClockUFR`` and probability
+schedules).  Before this layer existed, every experiment driver
+hand-picked an engine and re-spelled its constructor kwargs; now the
+choice is a property of the :class:`~repro.core.spec.RunSpec`:
 
 ===============================  ======================================
 spec property                    vectorised-admissible?
@@ -34,18 +37,22 @@ schedule run vectorised and batch-fused, everything else falls back to
 the object engine on the reduced spec.  FIFO traffic always runs on the
 dedicated object-engine :class:`~repro.channel.traffic.QueueSimulator`.
 
-``engine="auto"`` (the default) routes admissible specs to the vectorised
-engine and everything else to the object engine — exactly the choice every
-driver made by hand before.  ``engine="object"`` forces the reference
-engine (always legal); ``engine="vectorized"`` on an inadmissible spec
-raises :class:`EngineSelectionError` instead of silently running the wrong
-semantics.  ``engine="cross-check"`` runs *both* engines and asserts
-agreement (see :func:`assert_results_agree`): exact record-level equality
-for deterministic schedules (every probability 0 or 1 — the regime where
-an execution is a pure function of the configuration), and model-invariant
-agreement (identical wake draws, both results passing the invariant
-validator) for stochastic ones, whose per-seed outcomes legitimately
-differ between sampling mechanisms.
+``engine="auto"`` (the default) routes vectorised-admissible specs to the
+vectorised engine, compiled-admissible ones (same channel-level
+capability subset — oblivious adversary, ACK feedback, no jammer
+objects, no traces — but with the protocol drawn from the *lowerable*
+machines instead of only schedules) to the compiled stepper, and
+everything else to the object engine.  ``engine="object"`` forces the
+reference engine (always legal); ``engine="vectorized"`` or
+``engine="compiled"`` on an inadmissible spec raises
+:class:`EngineSelectionError` instead of silently running the wrong
+semantics.  ``engine="cross-check"`` runs every engine the spec admits
+and asserts agreement: the vectorised engine per
+:func:`assert_results_agree` (exact for deterministic schedules,
+model-invariant for stochastic ones, whose per-seed outcomes
+legitimately differ between sampling mechanisms), and the compiled
+engine per :func:`assert_results_identical` — full byte identity, since
+it replays the object engine's RNG draw order exactly.
 
 The adaptive/oblivious boundary here mirrors the feedback distinction
 stressed in the contention-resolution literature (Bender et al.; De
@@ -68,6 +75,7 @@ import numpy as np
 
 from repro.adversary.base import WakeSchedule
 from repro.channel.batched import run_batch
+from repro.channel.compiled import CompiledSimulator, run_compiled_batch
 from repro.channel.jamming import ScheduledJammer
 from repro.channel.feedback import FeedbackModel
 from repro.channel.results import RunResult
@@ -77,6 +85,7 @@ from repro.channel.validate import validate_run
 from repro.channel.vectorized import VectorizedSimulator
 from repro.core.spec import RunSpec
 from repro.engine.cache import probability_table
+from repro.engine.compile import lowering_reason
 from repro.telemetry import registry as telemetry
 
 __all__ = [
@@ -84,20 +93,22 @@ __all__ = [
     "EngineSelectionError",
     "EngineDisagreement",
     "vectorized_inadmissibility",
+    "compiled_inadmissibility",
     "select_engine",
     "build_simulator",
     "execute",
     "execute_batch",
     "assert_results_agree",
+    "assert_results_identical",
     "set_default_engine",
     "get_default_engine",
     "use_engine",
 ]
 
-Engine = Union[SlotSimulator, VectorizedSimulator, QueueSimulator]
+Engine = Union[SlotSimulator, VectorizedSimulator, CompiledSimulator, QueueSimulator]
 
 #: Legal values of the ``engine`` argument (and the CLI's ``--engine``).
-ENGINE_NAMES = ("auto", "object", "vectorized", "cross-check")
+ENGINE_NAMES = ("auto", "object", "vectorized", "compiled", "cross-check")
 
 #: Process-wide default consulted when ``execute`` is called with
 #: ``engine=None`` — the hook the CLI's ``--engine`` flag sets.
@@ -174,10 +185,58 @@ def vectorized_inadmissibility(spec: RunSpec) -> Optional[str]:
     return None
 
 
+def compiled_inadmissibility(spec: RunSpec) -> Optional[str]:
+    """Why ``spec`` cannot run on the compiled engine, or None if it can.
+
+    The channel-level capabilities are the vectorised engine's (oblivious
+    adversary, oblivious jamming only, no traces, ACK feedback); the
+    protocol capability is wider — any machine the lowering pass knows
+    (:func:`repro.engine.compile.lowering_reason`), probed on a fresh
+    instance via :attr:`RunSpec.protocol_probe`.
+    """
+    if spec.is_traffic_run:
+        if spec.queue_discipline != "free":
+            return (
+                "fifo queues serialise packets on channel history, which "
+                "only the QueueSimulator round loop materialises"
+            )
+        # Free-discipline traffic is exactly its packet-level reduction.
+        return compiled_inadmissibility(traffic_reduction(spec))
+    if not isinstance(spec.adversary, WakeSchedule):
+        return (
+            "adaptive adversaries react to channel history, which the "
+            "compiled stepper never materialises"
+        )
+    if spec.jammer is not None:
+        return (
+            "jammer objects may be adaptive; use jam_rounds for oblivious "
+            "jamming on the fast engines"
+        )
+    if spec.record_trace:
+        return "the compiled engine keeps no per-round event log"
+    if spec.feedback is not FeedbackModel.ACK_ONLY:
+        return (
+            "non-ACK feedback models only exist in the object engine's "
+            "observation path"
+        )
+    if spec.is_schedule_run:
+        return None
+    return lowering_reason(spec.protocol_probe)
+
+
 def select_engine(spec: RunSpec) -> str:
-    """The engine ``engine="auto"`` resolves to: ``"vectorized"`` exactly
-    when the spec is admissible, else ``"object"``."""
-    return "object" if vectorized_inadmissibility(spec) else "vectorized"
+    """The engine ``engine="auto"`` resolves to.
+
+    The vectorised engine wins where admissible (it samples whole
+    transmission sets instead of stepping rounds, so it is the fastest);
+    the compiled stepper takes the remaining lowerable machines; the
+    object engine runs the rest.
+    """
+    if not vectorized_inadmissibility(spec):
+        return "vectorized"
+    if not compiled_inadmissibility(spec):
+        return "compiled"
+    return "object"
 
 
 def build_simulator(spec: RunSpec, engine: str = "auto") -> Engine:
@@ -188,15 +247,20 @@ def build_simulator(spec: RunSpec, engine: str = "auto") -> Engine:
     """
     if engine == "auto":
         engine = select_engine(spec)
-    if spec.is_traffic_run and engine in ("object", "vectorized"):
+    if spec.is_traffic_run and engine in ("object", "vectorized", "compiled"):
         if spec.queue_discipline == "fifo":
             if engine == "vectorized":
                 raise EngineSelectionError(
                     "spec is not vectorised-admissible: "
                     f"{vectorized_inadmissibility(spec)}"
                 )
+            if engine == "compiled":
+                raise EngineSelectionError(
+                    "spec is not compiled-admissible: "
+                    f"{compiled_inadmissibility(spec)}"
+                )
             return QueueSimulator(spec)
-        # Free discipline: both engines run the packet-level reduction.
+        # Free discipline: every engine runs the packet-level reduction.
         return build_simulator(traffic_reduction(spec), engine)
     if engine == "vectorized":
         reason = vectorized_inadmissibility(spec)
@@ -216,6 +280,13 @@ def build_simulator(spec: RunSpec, engine: str = "auto") -> Engine:
             prob_table=probability_table(spec.schedule, horizon),
             jam_rounds=spec.jam_rounds,
         )
+    if engine == "compiled":
+        reason = compiled_inadmissibility(spec)
+        if reason is not None:
+            raise EngineSelectionError(
+                f"spec is not compiled-admissible: {reason}"
+            )
+        return CompiledSimulator(spec)
     if engine == "object":
         jammer = spec.jammer
         if jammer is None and spec.jam_rounds is not None:
@@ -257,6 +328,10 @@ def execute(spec: RunSpec, engine: Optional[str] = None) -> RunResult:
         telemetry.count("engine.select.vectorized")
         with telemetry.span("engine.execute.vectorized"):
             return simulator.run()
+    if isinstance(simulator, CompiledSimulator):
+        telemetry.count("engine.select.compiled")
+        with telemetry.span("engine.execute.compiled"):
+            return simulator.run()
     telemetry.count("engine.select.object")
     with telemetry.span("engine.execute.object"):
         return simulator.run()
@@ -268,14 +343,16 @@ def execute_batch(
     """Run ``spec`` once per seed, fusing admissible specs into one batch.
 
     Byte-identical to ``[execute(spec.with_seed(s), engine) for s in
-    seeds]`` — the batched kernel (:func:`repro.channel.batched.run_batch`)
-    is admissible exactly where the vectorised engine is, and everything
-    else falls back to per-run execution transparently:
+    seeds]`` — both fused kernels (:func:`repro.channel.batched.run_batch`
+    and :func:`repro.channel.compiled.run_compiled_batch`) are admissible
+    exactly where their single-run engines are, and everything else falls
+    back to per-run execution transparently:
 
     * ``"auto"`` (or None, with an ``auto`` default): vectorised-admissible
-      specs run through the batched kernel; inadmissible ones loop over
+      specs run through the batched kernel, compiled-admissible ones
+      through the compiled stepper's fused batch; the rest loop over
       per-run object-engine executions;
-    * ``"vectorized"``: batched kernel, raising
+    * ``"vectorized"`` / ``"compiled"``: the matching fused kernel, raising
       :class:`EngineSelectionError` on inadmissible specs like ``execute``;
     * ``"object"`` / ``"cross-check"``: always the per-run loop (the object
       engine has no batch form; cross-check shadows each run).
@@ -285,21 +362,29 @@ def execute_batch(
         engine = _default_engine
     if engine in ("object", "cross-check"):
         return [execute(spec.with_seed(s), engine) for s in seed_list]
-    if engine not in ("auto", "vectorized"):
+    if engine not in ("auto", "vectorized", "compiled"):
         raise ValueError(f"unknown engine {engine!r}; known: {ENGINE_NAMES}")
-    reason = vectorized_inadmissibility(spec)
-    if reason is not None:
-        if engine == "vectorized":
-            raise EngineSelectionError(
-                f"spec is not vectorised-admissible: {reason}"
-            )
-        telemetry.count("engine.batch_fallback_runs", len(seed_list))
-        return [execute(spec.with_seed(s), "object") for s in seed_list]
-    telemetry.count("engine.batch_fused_runs", len(seed_list))
     # Admissible traffic specs fuse through their packet-level reduction
     # (seed-independent by construction: the capacity padding fixes k).
     base = traffic_reduction(spec) if spec.is_traffic_run else spec
-    return run_batch(base, seeds=seed_list)
+    vec_reason = vectorized_inadmissibility(spec)
+    if engine in ("auto", "vectorized") and vec_reason is None:
+        telemetry.count("engine.batch_fused_runs", len(seed_list))
+        return run_batch(base, seeds=seed_list)
+    if engine == "vectorized":
+        raise EngineSelectionError(
+            f"spec is not vectorised-admissible: {vec_reason}"
+        )
+    comp_reason = compiled_inadmissibility(spec)
+    if comp_reason is None:
+        telemetry.count("engine.batch_fused_runs", len(seed_list))
+        return run_compiled_batch(base, seeds=seed_list)
+    if engine == "compiled":
+        raise EngineSelectionError(
+            f"spec is not compiled-admissible: {comp_reason}"
+        )
+    telemetry.count("engine.batch_fallback_runs", len(seed_list))
+    return [execute(spec.with_seed(s), "object") for s in seed_list]
 
 
 def _is_deterministic(spec: RunSpec) -> bool:
@@ -393,17 +478,66 @@ def assert_results_agree(
     )
 
 
+def assert_results_identical(
+    spec: RunSpec, object_result: RunResult, compiled_result: RunResult
+) -> None:
+    """Raise :class:`EngineDisagreement` unless the results are byte-equal.
+
+    The compiled stepper replays the object engine's per-station RNG draw
+    order, so — unlike the vectorised engine's model-invariant contract —
+    every field of every station record must match exactly, per seed:
+    station id, wake round, first success, switch-off round, transmission
+    and listening counts, plus the run-level rounds/completion outcome.
+    """
+    obj, comp = object_result, compiled_result
+
+    def _require(condition: bool, message: str) -> None:
+        if not condition:
+            raise EngineDisagreement(
+                f"compiled engine diverged on {spec.display_label!r} "
+                f"(k={spec.k}, seed={spec.seed}): {message}"
+            )
+
+    _require(obj.completed == comp.completed, "completed flags differ")
+    _require(
+        obj.rounds_executed == comp.rounds_executed, "rounds_executed differ"
+    )
+    _require(
+        len(obj.records) == len(comp.records),
+        f"record counts differ ({len(obj.records)} != {len(comp.records)})",
+    )
+    for o, c in zip(obj.records, comp.records):
+        same = (
+            o.station_id == c.station_id
+            and o.wake_round == c.wake_round
+            and o.first_success_round == c.first_success_round
+            and o.switch_off_round == c.switch_off_round
+            and o.transmissions == c.transmissions
+            and o.listening_slots == c.listening_slots
+        )
+        _require(same, f"station record differs: {o} != {c}")
+
+
 def _cross_check(spec: RunSpec) -> RunResult:
-    """Run both engines (when the spec admits both) and assert agreement.
+    """Run every engine the spec admits and assert agreement.
 
     Returns the result ``engine="auto"`` would have produced, so flipping
     a whole experiment to cross-check changes no reported number — it only
-    adds the object-engine shadow run and the agreement assertion.
-    Object-only specs degrade to a plain object-engine run.
+    adds shadow runs and the agreement assertions.  Vectorised-admissible
+    specs run all three engines (vectorised vs object per
+    :func:`assert_results_agree`, compiled vs object per
+    :func:`assert_results_identical` — schedule runs are always
+    lowerable); compiled-only specs run the compiled stepper against the
+    object engine; object-only specs degrade to a plain object run.
     """
-    if vectorized_inadmissibility(spec) is not None:
-        return build_simulator(spec, "object").run()
-    vec = build_simulator(spec, "vectorized").run()
     obj = build_simulator(spec, "object").run()
+    if compiled_inadmissibility(spec) is None:
+        comp = build_simulator(spec, "compiled").run()
+        assert_results_identical(spec, obj, comp)
+    else:
+        comp = None
+    if vectorized_inadmissibility(spec) is not None:
+        return obj if comp is None else comp
+    vec = build_simulator(spec, "vectorized").run()
     assert_results_agree(spec, obj, vec)
     return vec

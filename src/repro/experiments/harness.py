@@ -63,7 +63,12 @@ from repro.core.spec import RunSpec
 from repro.core.spec import adversary_token as _adversary_token  # noqa: F401 back-compat
 from repro.core.spec import stable_token as _stable_token  # noqa: F401 back-compat
 from repro.engine.cache import probability_table
-from repro.engine.dispatch import execute, execute_batch
+from repro.engine.dispatch import (
+    compiled_inadmissibility,
+    execute,
+    execute_batch,
+    vectorized_inadmissibility,
+)
 from repro.experiments.checkpoint import current_checkpoint
 from repro.experiments.executor import RunExecutor, resolve_batch_size
 from repro.telemetry import registry as telemetry
@@ -301,6 +306,17 @@ def _execute_runs(
     return results, seconds, retries  # type: ignore[return-value]
 
 
+def _batch_fusable(spec: RunSpec) -> bool:
+    """True when ``execute_batch`` can fuse repetitions of ``spec`` into a
+    single kernel call — vectorised-admissible schedule runs or
+    compiled-admissible protocol runs.  Inadmissible bases skip chunking
+    entirely so each run stays an independently-retryable task."""
+    return (
+        vectorized_inadmissibility(spec) is None
+        or compiled_inadmissibility(spec) is None
+    )
+
+
 def _batch_task(spec: RunSpec, chunk_seeds: list[int]) -> Callable[[], list[RunResult]]:
     """One chunk of pre-seeded runs, dispatched (and possibly fused into a
     single batched kernel call) at execution time — see :func:`_spec_task`
@@ -403,9 +419,15 @@ def repeat_protocol_runs(
     jobs: Optional[int] = None,
     task_timeout: Optional[float] = None,
     max_retries: Optional[int] = None,
+    batch_size: Optional[int] = None,
 ) -> MetricSample:
-    """Run an arbitrary protocol ``reps`` times (object engine under
-    ``auto`` dispatch)."""
+    """Run an arbitrary protocol ``reps`` times.
+
+    Under ``auto`` dispatch, lowerable state machines (``AdaptiveNoK``,
+    ``SUniform``, ``GlobalClockUFR``) with oblivious adversaries fuse
+    their repetitions through the compiled stepper's batch kernel;
+    everything else takes the per-run object-engine path.
+    """
     label = label or getattr(protocol_factory, "protocol_name", "protocol")
     base = RunSpec(
         k=k,
@@ -424,6 +446,8 @@ def repeat_protocol_runs(
     results, seconds, retries = _execute_runs(
         fingerprints, seeds, tasks,
         jobs=jobs, task_timeout=task_timeout, max_retries=max_retries,
+        batch_bases=[base] * reps if _batch_fusable(base) else None,
+        batch_size=batch_size,
     )
     return _fold_sample(label, k, results, seconds, retries)
 
@@ -459,7 +483,7 @@ def repeat_spec_runs(
     results, _seconds, _retries = _execute_runs(
         fingerprints, seeds, tasks,
         jobs=jobs, task_timeout=task_timeout, max_retries=max_retries,
-        batch_bases=[base] * reps if base.is_schedule_run else None,
+        batch_bases=[base] * reps if _batch_fusable(base) else None,
         batch_size=batch_size,
     )
     return results

@@ -241,6 +241,65 @@ def test_run_batch_rejects_non_batchable_specs():
         run_batch(spec, seeds=[1, 2])
 
 
+class TestCheckBatchableMessages:
+    """Every admissibility error names the spec field that tripped, so a
+    driver that bypassed dispatch sees exactly which capability to change."""
+
+    def spec(self, **kw) -> RunSpec:
+        base = dict(
+            k=4,
+            protocol=NonAdaptiveWithK(4, 4),
+            adversary=UniformRandomSchedule(),
+            max_rounds=100,
+        )
+        base.update(kw)
+        return RunSpec(**base)
+
+    def test_factory_protocol_names_the_protocol(self):
+        from repro.baselines.backoff import BinaryExponentialBackoff
+        from tests.conftest import make_factory
+
+        spec = self.spec(protocol=make_factory(BinaryExponentialBackoff))
+        with pytest.raises(
+            TypeError, match=r"spec\.protocol is a factory.*BinaryExponentialBackoff"
+        ):
+            run_batch(spec, seeds=[1])
+
+    def test_adaptive_adversary_names_its_type(self):
+        from repro.adversary.adaptive import WakeOnSuccessAdversary
+
+        spec = self.spec(
+            adversary=WakeOnSuccessAdversary(seed_group=2, refill=2)
+        )
+        with pytest.raises(
+            TypeError, match=r"spec\.adversary is WakeOnSuccessAdversary"
+        ):
+            run_batch(spec, seeds=[1])
+
+    def test_jammer_object_points_at_jam_rounds(self):
+        from repro.channel.jamming import RandomJammer
+
+        spec = self.spec(jammer=RandomJammer(0.1))
+        with pytest.raises(
+            ValueError, match=r"spec\.jammer is RandomJammer.*jam_rounds"
+        ):
+            run_batch(spec, seeds=[1])
+
+    def test_trace_message_names_record_trace(self):
+        spec = self.spec(record_trace=True)
+        with pytest.raises(ValueError, match=r"spec\.record_trace is True"):
+            run_batch(spec, seeds=[1])
+
+    def test_feedback_message_names_the_model(self):
+        from repro.channel.feedback import FeedbackModel
+
+        spec = self.spec(feedback=FeedbackModel.COLLISION_DETECTION)
+        with pytest.raises(
+            ValueError, match=r"spec\.feedback is 'collision_detection'"
+        ):
+            run_batch(spec, seeds=[1])
+
+
 class TestExecuteBatchDispatch:
     def spec(self, **kw) -> RunSpec:
         base = dict(

@@ -24,21 +24,28 @@ import pytest
 
 from repro.adversary.base import FixedSchedule
 from repro.adversary.adaptive import WakeOnSuccessAdversary
+from repro.baselines.backoff import BinaryExponentialBackoff
+from repro.channel.compiled import CompiledSimulator
 from repro.channel.feedback import FeedbackModel
 from repro.channel.jamming import RandomJammer, ScheduledJammer
 from repro.channel.results import StopCondition
 from repro.channel.simulator import SlotSimulator, default_max_rounds
 from repro.channel.vectorized import VectorizedSimulator
 from repro.core.protocol import ScheduleProtocol
-from repro.core.protocols import AdaptiveNoK, NonAdaptiveWithK
+from repro.core.protocols import AdaptiveNoK, NonAdaptiveWithK, SUniform
+from repro.core.protocols.global_clock import GlobalClockUFR
 from repro.core.spec import RunSpec
 from repro.engine import (
+    EngineDisagreement,
     EngineSelectionError,
     assert_results_agree,
+    assert_results_identical,
     build_simulator,
     clear_table_cache,
+    compiled_inadmissibility,
     cumulative_hazard,
     execute,
+    execute_batch,
     get_default_engine,
     probability_table,
     select_engine,
@@ -48,6 +55,7 @@ from repro.engine import (
     use_engine,
     vectorized_inadmissibility,
 )
+from tests.conftest import make_factory
 
 K = 4
 WAKES = FixedSchedule([0, 3, 7, 11])
@@ -105,20 +113,133 @@ def test_admissible_spec_selects_vectorized():
 @pytest.mark.parametrize(
     "overrides",
     [
-        {"protocol": lambda: AdaptiveNoK()},
         {"adversary": WakeOnSuccessAdversary(seed_group=2, refill=2)},
         {"jammer": RandomJammer(0.1)},
         {"record_trace": True},
         {"feedback": FeedbackModel.COLLISION_DETECTION},
     ],
-    ids=["protocol-factory", "adaptive-adversary", "jammer", "trace", "feedback"],
+    ids=["adaptive-adversary", "jammer", "trace", "feedback"],
 )
 def test_inadmissible_specs_fall_back_to_object(overrides):
     spec = schedule_spec(**overrides)
-    reason = vectorized_inadmissibility(spec)
-    assert isinstance(reason, str) and reason
+    for inadmissibility in (vectorized_inadmissibility, compiled_inadmissibility):
+        reason = inadmissibility(spec)
+        assert isinstance(reason, str) and reason
     assert select_engine(spec) == "object"
     assert isinstance(build_simulator(spec, "auto"), SlotSimulator)
+
+
+def test_lowerable_factory_selects_compiled():
+    spec = protocol_spec()
+    assert vectorized_inadmissibility(spec) is not None
+    assert compiled_inadmissibility(spec) is None
+    assert select_engine(spec) == "compiled"
+    assert isinstance(build_simulator(spec, "auto"), CompiledSimulator)
+
+
+def test_non_lowerable_factory_selects_object():
+    spec = protocol_spec(protocol=make_factory(BinaryExponentialBackoff))
+    reason = compiled_inadmissibility(spec)
+    assert reason is not None and "no table lowering" in reason
+    assert select_engine(spec) == "object"
+
+
+def test_lowering_is_exact_type_not_subclass():
+    # A subclass may override any hook, so the lowering pass only claims
+    # the exact machines it was derived from.
+    class Tweaked(AdaptiveNoK):
+        pass
+
+    spec = protocol_spec(protocol=make_factory(Tweaked))
+    assert compiled_inadmissibility(spec) is not None
+    assert select_engine(spec) == "object"
+
+
+# ---------------------------------------------------------- dispatch matrix
+
+_OBLIVIOUS = FixedSchedule([0, 3, 7, 11])
+_ADAPTIVE = WakeOnSuccessAdversary(seed_group=2, refill=2)
+
+_FAMILIES = {
+    "schedule": NonAdaptiveWithK(16, 4),
+    "adaptive-no-k": make_factory(AdaptiveNoK),
+    "s-uniform": make_factory(SUniform),
+    "global-clock": make_factory(GlobalClockUFR),
+    "backoff-baseline": make_factory(BinaryExponentialBackoff),
+}
+
+#: Engine ``auto`` must pick for an (oblivious adversary, ACK) cell.
+_OBLIVIOUS_ACK_ENGINE = {
+    "schedule": "vectorized",
+    "adaptive-no-k": "compiled",
+    "s-uniform": "compiled",
+    "global-clock": "compiled",
+    "backoff-baseline": "object",
+}
+
+
+@pytest.mark.parametrize("family", sorted(_FAMILIES))
+@pytest.mark.parametrize("adversary", ["oblivious", "adaptive"])
+@pytest.mark.parametrize(
+    "feedback", [FeedbackModel.ACK_ONLY, FeedbackModel.COLLISION_DETECTION],
+    ids=["ack", "cd"],
+)
+def test_dispatch_matrix(family, adversary, feedback):
+    """Every (protocol family x adversary x feedback) cell routes where the
+    capability table says: fast engines only for oblivious-ACK cells, the
+    vectorised engine for schedules, the compiled stepper for lowerable
+    machines, the object engine everywhere else."""
+    spec = schedule_spec(
+        protocol=_FAMILIES[family],
+        adversary=_OBLIVIOUS if adversary == "oblivious" else _ADAPTIVE,
+        feedback=feedback,
+    )
+    if adversary == "oblivious" and feedback is FeedbackModel.ACK_ONLY:
+        expected = _OBLIVIOUS_ACK_ENGINE[family]
+    else:
+        expected = "object"
+    assert select_engine(spec) == expected
+
+
+_STABLE_COMPILED_REASONS = [
+    ({"record_trace": True}, "the compiled engine keeps no per-round event log"),
+    (
+        {"adversary": WakeOnSuccessAdversary(seed_group=2, refill=2)},
+        "adaptive adversaries react to channel history, which the "
+        "compiled stepper never materialises",
+    ),
+    (
+        {"jammer": RandomJammer(0.1)},
+        "jammer objects may be adaptive; use jam_rounds for oblivious "
+        "jamming on the fast engines",
+    ),
+    (
+        {"feedback": FeedbackModel.COLLISION_DETECTION},
+        "non-ACK feedback models only exist in the object engine's "
+        "observation path",
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "overrides, reason",
+    _STABLE_COMPILED_REASONS,
+    ids=["trace", "adaptive-adversary", "jammer", "feedback"],
+)
+def test_forced_compiled_reason_strings_are_stable(overrides, reason):
+    spec = protocol_spec(**overrides)
+    assert compiled_inadmissibility(spec) == reason
+    with pytest.raises(EngineSelectionError) as excinfo:
+        build_simulator(spec, "compiled")
+    assert str(excinfo.value) == f"spec is not compiled-admissible: {reason}"
+
+
+def test_forced_compiled_on_unlowerable_protocol_raises():
+    spec = protocol_spec(protocol=make_factory(BinaryExponentialBackoff))
+    with pytest.raises(EngineSelectionError, match="no table lowering"):
+        build_simulator(spec, "compiled")
+    with pytest.raises(EngineSelectionError, match="no table lowering"):
+        execute_batch(spec, seeds=[1], engine="compiled")
 
 
 def test_jam_rounds_stay_vectorized_admissible():
@@ -251,9 +372,36 @@ def test_cross_check_agrees_on_seeded_specs():
 
 
 def test_cross_check_degrades_to_object_for_inadmissible():
-    spec = protocol_spec()
+    spec = protocol_spec(record_trace=True)
     checked = execute(spec, engine="cross-check")
     assert result_key(checked) == result_key(execute(spec, engine="object"))
+
+
+def test_cross_check_shadows_compiled_runs():
+    # A lowerable factory spec is compiled-only: cross-check runs the
+    # compiled stepper against the object engine and returns the compiled
+    # (= auto) result, which must be byte-identical anyway.
+    for seed in range(3):
+        spec = protocol_spec(seed=seed)
+        checked = execute(spec, engine="cross-check")
+        assert result_key(checked) == result_key(execute(spec, engine="object"))
+
+
+def test_compiled_execute_is_byte_identical_to_object():
+    for factory in (make_factory(AdaptiveNoK), make_factory(SUniform),
+                    make_factory(GlobalClockUFR)):
+        spec = protocol_spec(protocol=factory, seed=5)
+        assert_results_identical(
+            spec, execute(spec, "object"), execute(spec, "compiled")
+        )
+
+
+def test_assert_results_identical_flags_divergence():
+    spec = protocol_spec(seed=0)
+    honest = execute(spec, engine="object")
+    other = execute(spec.with_seed(1), engine="object")
+    with pytest.raises(EngineDisagreement, match="compiled engine diverged"):
+        assert_results_identical(spec, honest, other)
 
 
 def test_assert_results_agree_flags_divergence():

@@ -13,6 +13,7 @@ shifting every schedule by one round — moves the statistic far past them).
 from __future__ import annotations
 
 import numpy as np
+import pytest
 from scipy.stats import ks_2samp
 
 from repro.adversary.base import FixedSchedule
@@ -146,3 +147,65 @@ class TestPerRoundTransmissionLaw:
             ).run()
             assert result.records[0].first_success_round == 2
             assert result.records[0].transmissions == 1
+
+
+class TestCompiledAdaptiveLatency:
+    """The compiled `AdaptiveNoK` stepper against the object engine's
+    Table-1 row-D expectations (Theorem 5.3: O(k) latency).
+
+    Byte identity per seed is pinned exhaustively in
+    ``tests/test_engine_fuzz.py``; here the engines run *disjoint* seed
+    ranges, so the KS test checks the compiled latency *distribution*
+    itself — a divergence in the election or sawtooth dynamics that
+    happened to preserve a few pinned seeds would still move the quantiles.
+    """
+
+    K = 32
+    REPS = 40
+
+    def _latency_samples(self, engine: str, seed0: int):
+        from repro.core.protocols.adaptive_no_k import AdaptiveNoK
+        from repro.core.spec import RunSpec
+        from repro.engine import execute_batch
+
+        spec = RunSpec(
+            k=self.K,
+            protocol=lambda: AdaptiveNoK(),
+            adversary=StaticSchedule(),
+            max_rounds=800 * self.K,
+        )
+        results = execute_batch(
+            spec, seeds=range(seed0, seed0 + self.REPS), engine=engine
+        )
+        latencies, maxima = [], []
+        for result in results:
+            assert result.completed and result.success_count == self.K
+            latencies.extend(result.latencies)
+            maxima.append(result.max_latency)
+        return np.asarray(latencies, dtype=float), np.asarray(maxima, float)
+
+    @pytest.mark.slow
+    def test_compiled_latency_quantiles_match_table1(self):
+        obj_lat, obj_max = self._latency_samples("object", seed0=10_000)
+        comp_lat, comp_max = self._latency_samples("compiled", seed0=20_000)
+
+        # Distributional agreement across disjoint seeds.
+        statistic, p_value = ks_2samp(obj_lat, comp_lat)
+        assert p_value > 0.01, (statistic, p_value)
+
+        # Table-1 shape: O(k) latency with the object engine's constants.
+        # Quantiles of the compiled per-run maxima must sit inside the
+        # generous linear ceiling the object-engine suite pins, and within
+        # 25% of the object engine's own quantiles.
+        assert np.quantile(comp_max, 0.95) <= 200 * self.K
+        for q in (0.25, 0.5, 0.9):
+            a, b = np.quantile(obj_max, q), np.quantile(comp_max, q)
+            assert abs(a - b) <= 0.25 * max(a, b), (q, a, b)
+
+    @pytest.mark.slow
+    def test_compiled_latency_ks_detects_planted_shift(self):
+        """Power check: a 10% multiplicative latency inflation is caught."""
+        obj_lat, _ = self._latency_samples("object", seed0=10_000)
+        comp_lat, _ = self._latency_samples("compiled", seed0=20_000)
+        _statistic, p_value = ks_2samp(obj_lat, comp_lat * 1.1)
+        assert p_value < 0.01
