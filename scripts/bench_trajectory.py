@@ -39,6 +39,7 @@ BENCH_SUITES = [
     "benchmarks/test_bench_engines.py",
     "benchmarks/test_bench_batched.py",
     "benchmarks/test_bench_compiled.py",
+    "benchmarks/test_bench_streaming.py",
 ]
 #: The two cases whose median ratio is the batching speedup.
 BASELINE_CASE = "test_bench_per_run_vectorized_loop"
@@ -47,6 +48,15 @@ BATCHED_CASE = "test_bench_batched_kernel"
 #: (ISSUE acceptance config: k=64 AdaptiveNoK repetitions).
 OBJECT_ADAPTIVE_CASE = "test_bench_object_adaptive_loop"
 COMPILED_CASE = "test_bench_compiled_adaptive_batch"
+#: The tiled kernel (same config as BATCHED_CASE, budget forcing ~8
+#: tiles): its ratio over the per-run loop is the streaming speedup, and
+#: its ``extra_info`` carries the measured peak RSS.
+STREAMING_CASE = "test_bench_streaming_kernel"
+#: One config's tiles sharded across the fork pool: the jobs1/jobs4
+#: median ratio is the intra-config sharding speedup (meaningful only on
+#: multi-core hosts — see ``host.cpu_count``).
+SHARDING_JOBS1_CASE = "test_bench_tile_sharding_jobs1"
+SHARDING_JOBS4_CASE = "test_bench_tile_sharding_jobs4"
 
 
 def git_sha() -> str:
@@ -111,10 +121,13 @@ def normalise(report: dict, reps: int | None) -> dict:
     """pytest-benchmark report -> {case: median ns/op} plus metadata."""
     cases = {}
     for bench in report.get("benchmarks", []):
-        cases[bench["name"]] = {
+        case = {
             "median_ns": round(bench["stats"]["median"] * 1e9, 1),
             "rounds": bench["stats"]["rounds"],
         }
+        if bench.get("extra_info"):
+            case["extra_info"] = bench["extra_info"]
+        cases[bench["name"]] = case
     entry = {
         "date": datetime.now(timezone.utc).strftime("%Y-%m-%dT%H:%M:%SZ"),
         "reps": reps if reps is not None else int(
@@ -134,6 +147,20 @@ def normalise(report: dict, reps: int | None) -> dict:
     if obj_adaptive and compiled and compiled["median_ns"] > 0:
         entry["compiled_speedup"] = round(
             obj_adaptive["median_ns"] / compiled["median_ns"], 2
+        )
+    streaming = cases.get(STREAMING_CASE)
+    if baseline and streaming and streaming["median_ns"] > 0:
+        entry["streaming_speedup"] = round(
+            baseline["median_ns"] / streaming["median_ns"], 2
+        )
+        peak = streaming.get("extra_info", {}).get("peak_rss_kb")
+        if peak is not None:
+            entry["streaming_peak_rss_kb"] = int(peak)
+    jobs1 = cases.get(SHARDING_JOBS1_CASE)
+    jobs4 = cases.get(SHARDING_JOBS4_CASE)
+    if jobs1 and jobs4 and jobs4["median_ns"] > 0:
+        entry["tile_sharding_speedup"] = round(
+            jobs1["median_ns"] / jobs4["median_ns"], 2
         )
     return entry
 
@@ -184,6 +211,20 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "compiled speedup over per-run object loop: "
             f"{compiled_speedup:.2f}x"
+        )
+    streaming_speedup = entry.get("streaming_speedup")
+    if streaming_speedup is not None:
+        peak = entry.get("streaming_peak_rss_kb")
+        rss = f" (peak RSS {peak / 1024:.0f} MiB)" if peak else ""
+        print(
+            "streaming (tiled) speedup over per-run loop: "
+            f"{streaming_speedup:.2f}x{rss}"
+        )
+    sharding = entry.get("tile_sharding_speedup")
+    if sharding is not None:
+        print(
+            f"intra-config tile sharding jobs=4 vs jobs=1: {sharding:.2f}x "
+            f"on {entry['host']['cpu_count']} cores"
         )
     print(f"trajectory updated: {args.out} @ {sha[:12]}")
 

@@ -28,16 +28,36 @@ into one ``(rep, station)`` batch:
    exactly the sequential sweep's outcome; typical schedules settle in a
    handful of passes.
 
+Streaming execution
+-------------------
+
+Millions of repetitions cannot hold the full (rep, round, station) event
+space at once, so :func:`run_batch` executes a deterministic
+:class:`~repro.engine.plan.TilePlan`: repetitions stream through in
+**rep tiles** (each tile runs the whole kernel on its own slice of the
+seed list — per-rep RNG is independent, so this is trivially exact), and
+inside a tile the ack-switch-off fixpoint can sweep the sorted event
+stream in **round windows**, carrying the ``win`` frontier from window
+to window (see :func:`_ack_fixpoint`).  Tile sizes come from the
+planner's bytes-per-(rep·round·station) cost model under
+``--memory-budget``, or explicitly via ``tile_reps`` / ``tile_rounds``;
+with no constraint the plan is the single monolithic batch, exactly the
+historical behaviour.  An allocation that would exceed memory fails fast
+as :class:`~repro.engine.plan.BatchMemoryError` naming the offending
+spec field and an admitting budget, instead of letting numpy abort.
+
 Exactness contract
 ------------------
 
 ``run_batch(spec, seeds=[s0, ..., s(R-1)])`` returns ``RunResult``s
 byte-identical to ``[execute(spec.with_seed(s)) for s in seeds]`` on the
 vectorised engine — same wake draws, same transmission samples, same
-records, metrics, completion flags and stop rounds.  The property suite
-``tests/test_batched.py`` fuzzes this equality across the cross-engine
-config space (stochastic and deterministic schedules, jamming, the no-ack
-switch-off variant, every stop condition).
+records, metrics, completion flags and stop rounds, **at any tile
+size**.  The property suites ``tests/test_batched.py`` and
+``tests/test_plan.py`` fuzz this equality across the cross-engine config
+space (stochastic and deterministic schedules, jamming, the no-ack
+switch-off variant, every stop condition) and across random
+tile-rep/round-window sizes.
 
 Admissibility is the vectorised engine's: non-adaptive schedule,
 oblivious wake adversary, no stateful jammer, no trace, ACK feedback.
@@ -209,12 +229,77 @@ def _segment_singletons(
     return singles[~jammed[singles]]
 
 
+def _ack_fixpoint(
+    win: np.ndarray,
+    s: np.ndarray,
+    g: np.ndarray,
+    gk: np.ndarray,
+    rep_of: np.ndarray,
+    jammed: np.ndarray,
+    n_reps: int,
+    k: int,
+) -> tuple[np.ndarray, int]:
+    """Iterate the ack-switch-off fixpoint over one event (sub)stream.
+
+    ``win`` carries the frontier *in*: events whose station already won
+    at an earlier round (a previous window's converged result) are
+    invalid from the first pass, exactly as if the whole stream had been
+    swept at once.  A win at round t removes the winner's events after t,
+    which can create new singletons at later rounds of the same
+    repetition; deaths are monotone (estimates only move earlier and
+    never before the true switch-off), so iterating over the repetitions
+    whose death set changed reproduces the sequential sweep exactly.
+    Windowing is sound for the same reason: a win found in a later
+    window has a round past every earlier window's rounds, so it can
+    never invalidate an event — or create a singleton — in a window that
+    already converged.  Returns the advanced frontier and the pass count.
+    """
+    # Events are sorted by repetition, so after the first whole-stream
+    # pass each iteration re-counts only the changed repetitions'
+    # contiguous event segments.
+    rep_bounds = np.searchsorted(rep_of, np.arange(n_reps + 1))
+    active_reps: Optional[np.ndarray] = None  # None = every repetition
+    # Each productive pass strictly lowers at least one win estimate, and
+    # every estimate is one of the event rounds, so the pass count is
+    # bounded by the event count (plus the final no-change pass).
+    passes = 1
+    for passes in range(1, int(g.size) + 3):
+        if active_reps is None:
+            sl_s, sl_g, sl_gk, sl_j = s, g, gk, jammed
+        else:
+            if active_reps.size == 0:
+                break
+            idx = np.concatenate(
+                [
+                    np.arange(rep_bounds[r], rep_bounds[r + 1])
+                    for r in active_reps
+                ]
+            )
+            sl_s, sl_g, sl_gk, sl_j = s[idx], g[idx], gk[idx], jammed[idx]
+        valid = sl_g <= win[sl_s]
+        sv = sl_s[valid]
+        gv = sl_g[valid]
+        singles = _segment_singletons(sl_gk[valid], sl_j[valid])
+        new_win = win.copy()
+        np.minimum.at(new_win, sv[singles], gv[singles])
+        changed = np.flatnonzero(new_win != win)
+        win = new_win
+        active_reps = np.unique(changed // k)
+    else:  # pragma: no cover - deaths strictly decrease, so unreachable
+        raise RuntimeError("batched ack fixpoint failed to converge")
+    return win, passes
+
+
 def run_batch(
     spec: RunSpec,
     n_reps: Optional[int] = None,
     seeds: Optional[Sequence[int]] = None,
+    *,
+    tile_reps: Optional[int] = None,
+    tile_rounds: Optional[int] = None,
+    memory_budget: Optional[object] = None,
 ) -> list[RunResult]:
-    """Execute ``spec`` for every seed in one batched numpy pass.
+    """Execute ``spec`` for every seed through memory-bounded tiles.
 
     Args:
         spec: a vectorised-admissible run description (see module docs).
@@ -222,21 +307,94 @@ def run_batch(
             (the harness's repetition layout).
         seeds: explicit per-repetition seeds (overrides ``n_reps``-derived
             ones; both may be given if consistent).
+        tile_reps: repetitions per streaming tile (None = the process
+            default, else derived from the memory budget, else all).
+        tile_rounds: rounds per resolution window inside a tile (None =
+            the process default, else the whole horizon).
+        memory_budget: bytes (or a ``"4G"``-style string) bounding one
+            tile's estimated working set; None = the process default set
+            by the CLI's ``--memory-budget``.
 
     Returns:
         One :class:`RunResult` per seed, in order, byte-identical to
-        sequential ``execute(spec.with_seed(seed))`` calls.
+        sequential ``execute(spec.with_seed(seed))`` calls — for every
+        tile size.
+
+    Raises:
+        BatchMemoryError: the budget admits no tile, or a kernel
+            allocation actually failed (numpy's bare ``MemoryError`` is
+            wrapped with the offending spec field and an admitting
+            budget).
     """
     _check_batchable(spec)
     seed_list = _resolve_seeds(spec, n_reps, seeds)
     R = len(seed_list)
     if R == 0:
         return []
-    phase = telemetry.timer()
-    if phase:
+    from repro.engine.plan import (
+        BatchMemoryError,
+        build_plan,
+        oversized_batch_message,
+    )
+
+    plan = build_plan(
+        spec,
+        R,
+        memory_budget=memory_budget,
+        tile_reps=tile_reps,
+        tile_rounds=tile_rounds,
+    )
+    if telemetry.enabled():
         telemetry.count("batched.batches")
         telemetry.count("batched.reps", R)
         telemetry.observe("batched.batch_reps", R)
+
+    # One shared probability/hazard table for every tile (the PR-3 LRU);
+    # each repetition slices the prefix its own wake draw allows.
+    from repro.engine.cache import cumulative_hazard, probability_table
+
+    max_rounds = spec.resolve_horizon()
+    full_table = probability_table(spec.schedule, max_rounds)
+    check_prob_table(spec.schedule, full_table, max_rounds)
+    full_cum = cumulative_hazard(spec.schedule, max_rounds)
+
+    results: list[RunResult] = []
+    for lo, hi in plan.rep_slices():
+        with telemetry.span("tile.run"):
+            if telemetry.enabled():
+                telemetry.count("tile.runs")
+                telemetry.count("tile.reps", hi - lo)
+            try:
+                results.extend(
+                    _run_tile(
+                        spec, seed_list[lo:hi], full_cum, plan.tile_rounds
+                    )
+                )
+            except BatchMemoryError:
+                raise
+            except MemoryError as error:
+                raise BatchMemoryError(
+                    oversized_batch_message(spec, hi - lo)
+                ) from error
+    return results
+
+
+def _run_tile(
+    spec: RunSpec,
+    seed_list: list[int],
+    full_cum: np.ndarray,
+    tile_rounds: Optional[int],
+) -> list[RunResult]:
+    """One rep tile: the full kernel over ``seed_list``'s repetitions.
+
+    Exactly the pre-streaming monolithic body — per-rep draws, one sort,
+    segment-reduction resolution, stop/attempt/materialise — except that
+    the ack-switch-off fixpoint optionally sweeps the sorted event
+    stream in ``tile_rounds``-round windows, carrying the ``win``
+    frontier forward (see :func:`_ack_fixpoint` for why that is exact).
+    """
+    R = len(seed_list)
+    phase = telemetry.timer()
 
     k = spec.k
     schedule = spec.schedule
@@ -245,14 +403,6 @@ def run_batch(
     stop = spec.stop
     max_rounds = spec.resolve_horizon()
     sched_horizon = schedule.horizon()
-
-    # One shared probability/hazard table for the whole batch (the PR-3
-    # LRU); each repetition slices the prefix its own wake draw allows.
-    from repro.engine.cache import cumulative_hazard, probability_table
-
-    full_table = probability_table(schedule, max_rounds)
-    check_prob_table(schedule, full_table, max_rounds)
-    full_cum = cumulative_hazard(schedule, max_rounds)
 
     # --- per-repetition draws (seed-exact, so they stay per-rep calls;
     # everything after this loop is whole-batch array work) --------------
@@ -395,6 +545,21 @@ def run_batch(
     if phase:
         phase.lap("batched.sort")
         telemetry.count("batched.events", int(key.size))
+        if ev_station is not None:
+            draw_bytes = ev_station.nbytes + ev_global.nbytes
+        else:
+            draw_bytes = flat.nbytes + local.nbytes + counts_all.nbytes
+        telemetry.gauge_max(
+            "tile.working_set_bytes.peak",
+            key.nbytes
+            + gk.nbytes
+            + g.nbytes
+            + ev_rep.nbytes
+            + s.nbytes
+            + ev_jammed.nbytes
+            + wake_all.nbytes
+            + draw_bytes,
+        )
 
     # --- collision resolution: segment reductions + ack fixpoint --------
     # win[rep*k + station] = the station's first successful round (_INF =
@@ -409,43 +574,38 @@ def run_batch(
         singles = _segment_singletons(gk, ev_jammed)
         np.minimum.at(win, s[singles], g[singles])
     else:
-        # A win at round t removes the winner's events after t, which can
-        # create new singletons at later rounds of the same repetition.
-        # Deaths are monotone (estimates only move earlier and never
-        # before the true switch-off), so iterating to a fixpoint over
-        # the repetitions whose death set changed reproduces the
-        # sequential sweep exactly.  Events are sorted by repetition, so
-        # after the first whole-batch pass each iteration re-counts only
-        # the changed repetitions' contiguous event segments.
-        rep_bounds = np.searchsorted(ev_rep, np.arange(R + 1))
-        active_reps: Optional[np.ndarray] = None  # None = every repetition
-        # Each productive pass strictly lowers at least one win estimate,
-        # and every estimate is one of the event rounds, so the pass count
-        # is bounded by the event count (plus the final no-change pass).
-        for passes in range(1, int(g.size) + 3):
-            if active_reps is None:
-                sl_s, sl_g, sl_gk, sl_j = s, g, gk, ev_jammed
-            else:
-                if active_reps.size == 0:
-                    break
-                idx = np.concatenate(
-                    [
-                        np.arange(rep_bounds[r], rep_bounds[r + 1])
-                        for r in active_reps
-                    ]
+        # The fixpoint's transient copies (valid mask, filtered slices,
+        # win snapshots) scale with the events it sweeps; bounding them is
+        # what horizon windows are for.  A window only ever *removes*
+        # events at rounds past every earlier window, so sweeping windows
+        # in ascending round order with the carried ``win`` frontier is
+        # exact (see _ack_fixpoint).
+        n_windows = 1
+        if tile_rounds is not None and tile_rounds < max_rounds:
+            n_windows = (int(max_rounds) - 1) // tile_rounds + 1
+        if n_windows <= 1 or key.size == 0:
+            win, passes = _ack_fixpoint(
+                win, s, g, gk, ev_rep, ev_jammed, R, k
+            )
+        else:
+            # Stable sort on the window index keeps each window's events
+            # in (rep, round) order, so segment keys stay contiguous.
+            widx = (g - 1) // tile_rounds
+            order = np.argsort(widx, kind="stable")
+            bounds = np.searchsorted(widx[order], np.arange(n_windows + 1))
+            passes = 0
+            for w in range(n_windows):
+                idx = order[bounds[w] : bounds[w + 1]]
+                if idx.size == 0:
+                    continue
+                win, w_passes = _ack_fixpoint(
+                    win, s[idx], g[idx], gk[idx], ev_rep[idx],
+                    ev_jammed[idx], R, k,
                 )
-                sl_s, sl_g, sl_gk, sl_j = s[idx], g[idx], gk[idx], ev_jammed[idx]
-            valid = sl_g <= win[sl_s]
-            sv = sl_s[valid]
-            gv = sl_g[valid]
-            singles = _segment_singletons(sl_gk[valid], sl_j[valid])
-            new_win = win.copy()
-            np.minimum.at(new_win, sv[singles], gv[singles])
-            changed = np.flatnonzero(new_win != win)
-            win = new_win
-            active_reps = np.unique(changed // k)
-        else:  # pragma: no cover - deaths strictly decrease, so unreachable
-            raise RuntimeError("batched ack fixpoint failed to converge")
+                passes += w_passes
+            passes = max(passes, 1)
+            if phase:
+                telemetry.count("tile.windows", n_windows)
     if phase:
         phase.lap("batched.resolve")
         telemetry.count("batched.fixpoint_passes", passes)

@@ -271,6 +271,9 @@ def run_compiled_batch(
     n_reps: Optional[int] = None,
     seeds: Optional[Sequence[Optional[int]]] = None,
     program: Optional[CompiledProgram] = None,
+    *,
+    tile_reps: Optional[int] = None,
+    memory_budget: Optional[object] = None,
 ) -> list[RunResult]:
     """Execute ``spec`` for every seed through the compiled stepper.
 
@@ -279,6 +282,12 @@ def run_compiled_batch(
     Spec-level admissibility is the dispatch layer's job; this function
     assumes an oblivious :class:`WakeSchedule` adversary, ACK-only
     feedback, no stateful jammer and no trace request.
+
+    Repetitions stream through memory-bounded tiles: each seed's RNG
+    fan-out is independent, so slicing the seed list is byte-identical to
+    one monolithic pass.  ``tile_reps``/``memory_budget`` default to the
+    process-wide tiling defaults (see :mod:`repro.engine.plan`); the
+    program is compiled once and shared by every tile.
     """
     if not isinstance(spec.adversary, WakeSchedule):
         raise TypeError(
@@ -292,6 +301,41 @@ def run_compiled_batch(
     R = len(seed_list)
     if R == 0:
         return []
+    from repro.engine.plan import (
+        BatchMemoryError,
+        build_plan,
+        oversized_batch_message,
+    )
+
+    plan = build_plan(
+        spec, R, memory_budget=memory_budget, tile_reps=tile_reps
+    )
+    results: list[RunResult] = []
+    for lo, hi in plan.rep_slices():
+        with telemetry.span("tile.run"):
+            if telemetry.enabled():
+                telemetry.count("tile.runs")
+                telemetry.count("tile.reps", hi - lo)
+            try:
+                results.extend(
+                    _run_compiled_tile(spec, seed_list[lo:hi], program)
+                )
+            except BatchMemoryError:
+                raise
+            except MemoryError as error:
+                raise BatchMemoryError(
+                    oversized_batch_message(spec, hi - lo)
+                ) from error
+    return results
+
+
+def _run_compiled_tile(
+    spec: RunSpec,
+    seed_list: Sequence[Optional[int]],
+    program: CompiledProgram,
+) -> list[RunResult]:
+    """One rep tile: the monolithic compiled stepper over ``seed_list``."""
+    R = len(seed_list)
     phase = telemetry.timer()
     if phase:
         telemetry.count("compiled.batches")

@@ -118,6 +118,23 @@ def main(argv: list[str] | None = None) -> int:
         "byte-identical for every batch size",
     )
     run_parser.add_argument(
+        "--memory-budget", metavar="SIZE", default=None,
+        help="cap each batched kernel call's estimated working set "
+        "(e.g. 4G, 512M, 1073741824); repetitions stream through "
+        "memory-bounded tiles that shard across --jobs workers; results "
+        "are byte-identical for every budget",
+    )
+    run_parser.add_argument(
+        "--tile-reps", metavar="N", type=int, default=None,
+        help="explicit repetitions per streaming tile (overrides the "
+        "--memory-budget-derived cap)",
+    )
+    run_parser.add_argument(
+        "--tile-rounds", metavar="N", type=int, default=None,
+        help="rounds per ack-resolution window inside a tile (bounds the "
+        "fixpoint's transient working set)",
+    )
+    run_parser.add_argument(
         "--telemetry", metavar="DIR", default=None,
         help="enable the telemetry registry for the run and export a JSONL "
         "span/event log plus an OpenMetrics snapshot into DIR "
@@ -171,6 +188,19 @@ def main(argv: list[str] | None = None) -> int:
         "--batch-size", metavar="N", type=int, default=None,
         help="batched-kernel chunk size for every experiment in the suite "
         "(default 64; 1 = per-run execution)",
+    )
+    suite_parser.add_argument(
+        "--memory-budget", metavar="SIZE", default=None,
+        help="working-set cap per batched kernel call for every experiment "
+        "(e.g. 4G, 512M); see `repro run --help`",
+    )
+    suite_parser.add_argument(
+        "--tile-reps", metavar="N", type=int, default=None,
+        help="explicit repetitions per streaming tile",
+    )
+    suite_parser.add_argument(
+        "--tile-rounds", metavar="N", type=int, default=None,
+        help="rounds per ack-resolution window inside a tile",
     )
     suite_parser.add_argument(
         "--telemetry", metavar="DIR", default=None,
@@ -232,6 +262,9 @@ def main(argv: list[str] | None = None) -> int:
                 max_retries=args.max_retries,
                 engine=args.engine,
                 batch_size=args.batch_size,
+                memory_budget=args.memory_budget,
+                tile_reps=args.tile_reps,
+                tile_rounds=args.tile_rounds,
             )
         except KeyError as error:
             print(error.args[0], file=sys.stderr)
@@ -250,6 +283,9 @@ def main(argv: list[str] | None = None) -> int:
             max_retries=args.max_retries,
             engine=args.engine,
             batch_size=args.batch_size,
+            memory_budget=args.memory_budget,
+            tile_reps=args.tile_reps,
+            tile_rounds=args.tile_rounds,
             **overrides,
         )
     except KeyError as error:

@@ -42,6 +42,22 @@ from repro.engine.dispatch import (
     use_engine,
     vectorized_inadmissibility,
 )
+from repro.engine.plan import (
+    BatchMemoryError,
+    TilePlan,
+    build_plan,
+    estimate_rep_bytes,
+    format_bytes,
+    get_default_memory_budget,
+    get_default_tile_reps,
+    get_default_tile_rounds,
+    parse_memory_budget,
+    set_default_memory_budget,
+    set_default_tile_reps,
+    set_default_tile_rounds,
+    tile_rep_cap,
+    use_tiling,
+)
 
 __all__ = [
     "RunSpec",
@@ -71,4 +87,18 @@ __all__ = [
     "table_cache_info",
     "clear_table_cache",
     "set_table_cache_limit",
+    "BatchMemoryError",
+    "TilePlan",
+    "build_plan",
+    "estimate_rep_bytes",
+    "format_bytes",
+    "parse_memory_budget",
+    "tile_rep_cap",
+    "set_default_memory_budget",
+    "get_default_memory_budget",
+    "set_default_tile_reps",
+    "get_default_tile_reps",
+    "set_default_tile_rounds",
+    "get_default_tile_rounds",
+    "use_tiling",
 ]

@@ -356,6 +356,11 @@ def execute_batch(
       :class:`EngineSelectionError` on inadmissible specs like ``execute``;
     * ``"object"`` / ``"cross-check"``: always the per-run loop (the object
       engine has no batch form; cross-check shadows each run).
+
+    Both fused kernels stream their repetitions through memory-bounded
+    tiles governed by the process-wide tiling defaults (CLI
+    ``--memory-budget`` / ``--tile-reps`` / ``--tile-rounds``; see
+    :mod:`repro.engine.plan`) — tiling never changes result bytes.
     """
     seed_list = [int(s) for s in seeds]
     if engine is None:

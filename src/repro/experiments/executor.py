@@ -4,7 +4,11 @@ Every experiment in this package reduces to an *embarrassingly parallel*
 bag of simulation runs: each run is a pure function of a pre-assigned
 integer seed (see the seeding contract in :mod:`repro.experiments.harness`),
 so runs may execute in any order, on any worker, and still produce
-bit-identical results.  :class:`RunExecutor` exploits exactly that:
+bit-identical results.  The unit of scheduling is a *tile* — a chunk of
+repetitions bounded by both ``--batch-size`` and the memory-budget
+rep-tile cap (:mod:`repro.engine.plan`) — so a single large configuration
+shards across every worker instead of occupying one.
+:class:`RunExecutor` exploits exactly that:
 
 * ``jobs == 1`` (the default) executes tasks serially in-process;
 * ``jobs > 1`` fans tasks out over a ``multiprocessing`` pool using the

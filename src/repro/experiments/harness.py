@@ -232,6 +232,14 @@ def _execute_runs(
     ``batch_bases`` — is exactly the historical one-task-per-run path.
     Under batching, ``task_timeout`` bounds a whole chunk attempt and a
     retried chunk re-executes all of its runs (same seeds, same results).
+
+    Tiled scheduling: when a memory budget or ``--tile-reps`` is active
+    (see :mod:`repro.engine.plan`), each base's chunk ceiling shrinks to
+    its rep-tile cap, so a *tile* — not a config — becomes the fork-pool
+    scheduling unit and one large config shards across every worker.
+    Journal entries stay per-(fingerprint, seed), so ``--resume`` is
+    tile-size-invariant: a journal written under one tiling folds into a
+    resumed run under any other.
     """
     journal = current_checkpoint() if fingerprints is not None else None
     n = len(tasks)
@@ -249,6 +257,21 @@ def _execute_runs(
                 pending.append(index)
     if pending:
         size = resolve_batch_size(batch_size) if batch_bases is not None else 1
+        # Per-base chunk ceiling: min(batch size, the base's rep-tile cap)
+        # so one fork-pool task never exceeds the memory budget and a
+        # single config fans out across workers tile by tile.
+        from repro.engine.plan import tile_rep_cap
+
+        cap_cache: dict[int, int] = {}
+
+        def base_cap(base: RunSpec) -> int:
+            cached = cap_cache.get(id(base))
+            if cached is None:
+                cap = tile_rep_cap(base)
+                cached = size if cap is None else min(size, cap)
+                cap_cache[id(base)] = cached
+            return cached
+
         chunks: list[list[int]] = []
         exec_tasks: list[Callable[[], object]] = []
         if size > 1:
@@ -259,9 +282,10 @@ def _execute_runs(
                 group = [index]
                 i += 1
                 if base is not None:
+                    cap = base_cap(base)
                     while (
                         i < len(pending)
-                        and len(group) < size
+                        and len(group) < cap
                         and batch_bases[pending[i]] is base
                     ):
                         group.append(pending[i])

@@ -17,6 +17,7 @@ from collections.abc import Callable
 from typing import Optional
 
 from repro.engine.dispatch import use_engine
+from repro.engine.plan import use_tiling
 from repro.experiments.checkpoint import CheckpointJournal, use_checkpoint
 from repro.experiments.executor import (
     execution_stats,
@@ -100,6 +101,9 @@ def run_experiment(
     max_retries: Optional[int] = None,
     engine: Optional[str] = None,
     batch_size: Optional[int] = None,
+    memory_budget: Optional[object] = None,
+    tile_reps: Optional[int] = None,
+    tile_rounds: Optional[int] = None,
     **overrides,
 ) -> ExperimentReport:
     """Run one experiment from the registry by its DESIGN.md id.
@@ -140,7 +144,12 @@ def run_experiment(
     stats_before = execution_stats()
     start = time.perf_counter()
     with use_jobs(jobs), use_failure_policy(task_timeout, max_retries), \
-            use_batch_size(batch_size), use_checkpoint(journal), use_engine(engine):
+            use_batch_size(batch_size), use_checkpoint(journal), \
+            use_engine(engine), use_tiling(
+                memory_budget=memory_budget,
+                tile_reps=tile_reps,
+                tile_rounds=tile_rounds,
+            ):
         with telemetry.span("experiment.run"):
             report = EXPERIMENTS[experiment_id](**overrides)
     report.timings["wall_s"] = time.perf_counter() - start

@@ -101,6 +101,9 @@ def run_suite(
     max_retries: Optional[int] = None,
     engine: Optional[str] = None,
     batch_size: Optional[int] = None,
+    memory_budget: Optional[object] = None,
+    tile_reps: Optional[int] = None,
+    tile_rounds: Optional[int] = None,
     progress: Callable[[str], None] = print,
 ) -> dict[str, ExperimentReport]:
     """Run every (or a subset of) registered experiment(s) at a scale.
@@ -121,7 +124,10 @@ def run_suite(
     (``"cross-check"`` turns the whole suite into an engine-agreement
     sweep without changing any reported number).  ``batch_size`` bounds
     the harness's chunked batch submission (``1`` = per-run execution);
-    rows are byte-identical for every batch size.
+    rows are byte-identical for every batch size.  ``memory_budget`` /
+    ``tile_reps`` / ``tile_rounds`` bound each kernel call's working set
+    by streaming repetitions through tiles (see
+    :mod:`repro.engine.plan`); rows are byte-identical for every tiling.
     """
     overrides = suite_overrides(scale)
     wanted = set(only) if only is not None else set(EXPERIMENTS)
@@ -144,6 +150,9 @@ def run_suite(
             max_retries=max_retries,
             engine=engine,
             batch_size=batch_size,
+            memory_budget=memory_budget,
+            tile_reps=tile_reps,
+            tile_rounds=tile_rounds,
             **overrides.get(experiment_id, {}),
         )
         reports[experiment_id] = report

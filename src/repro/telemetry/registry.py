@@ -57,6 +57,7 @@ __all__ = [
     "trace_sample",
     "count",
     "gauge",
+    "gauge_max",
     "observe",
     "event",
     "span",
@@ -153,6 +154,23 @@ def gauge(name: str, value: float) -> None:
         return
     with _lock:
         _gauges[name] = float(value)
+
+
+def gauge_max(name: str, value: float) -> None:
+    """Raise gauge ``name`` to ``value`` if larger — peak semantics.
+
+    Use for high-water marks (peak working set).  Name the gauge with a
+    ``.peak`` suffix: :func:`merge` folds worker deltas of ``.peak``
+    gauges by *max* instead of last-write-wins, so a peak observed inside
+    a pool worker survives the fork piggyback losslessly.
+    """
+    if not _enabled:
+        return
+    value = float(value)
+    with _lock:
+        previous = _gauges.get(name)
+        if previous is None or value > previous:
+            _gauges[name] = value
 
 
 def _bucket_index(value: float) -> int:
@@ -389,7 +407,8 @@ def merge(delta: dict) -> None:
     """Fold a :func:`delta_since` payload (e.g. from a pool worker) in.
 
     Counters/histogram counts/span totals add; gauges take the incoming
-    value (last write wins); min/max merge by min/max; events append
+    value (last write wins), except ``.peak``-suffixed gauges, which
+    merge by max; min/max merge by min/max; events append
     (subject to the buffer cap).  Safe to call when disabled — a worker
     may report after the parent already turned telemetry off; the data
     still lands so the final export is complete.
@@ -398,7 +417,13 @@ def merge(delta: dict) -> None:
         for name, value in delta.get("counters", {}).items():
             _counters[name] = _counters.get(name, 0) + value
         for name, value in delta.get("gauges", {}).items():
-            _gauges[name] = value
+            if name.endswith(".peak"):
+                previous = _gauges.get(name)
+                _gauges[name] = (
+                    value if previous is None else max(previous, value)
+                )
+            else:
+                _gauges[name] = value
         for name, counts in delta.get("hist_counts", {}).items():
             mine = _hist_counts.get(name)
             if mine is None:
