@@ -1,0 +1,111 @@
+"""Adaptive-adversary + CD-feedback benchmark: compiled stepper vs object.
+
+Not a paper artefact — infrastructure health, and the third anchor of the
+perf trajectory (``scripts/bench_trajectory.py`` folds these medians into
+``BENCH_engines.json`` as ``adaptive_speedup`` and ``cd_speedup``).  PR 9
+lowered the adaptive adversaries to Mealy tables and widened the compiled
+symbol alphabet to ternary, so the two configurations below — the last
+object-only experiment families — now run on the fast path:
+
+* the ISSUE acceptance config, 1000-rep k=64 ``BurstOnQuietAdversary``
+  driving ``AdaptiveNoK`` (acceptance gate: >= 5x over the object loop);
+* a CD baseline row, ``CdAimdProtocol`` under
+  ``FeedbackModel.COLLISION_DETECTION``.
+
+Both sides execute identical seeds and are byte-identical (see
+``tests/test_engine_fuzz.py``), so each median ratio is the engine
+speedup and nothing else.  ``REPRO_BENCH_REPS`` scales the repetition
+count (default 1000; CI uses a smaller value); the object loops are
+measured with ``benchmark.pedantic`` (one round) because the ratio of
+medians is insensitive to the reduced round count.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.adversary.adaptive import BurstOnQuietAdversary
+from repro.adversary.oblivious import UniformRandomSchedule
+from repro.baselines.cd_adaptive import CdAimdProtocol
+from repro.channel.compiled import run_compiled_batch
+from repro.channel.feedback import FeedbackModel
+from repro.channel.results import StopCondition
+from repro.core.protocols.adaptive_no_k import AdaptiveNoK
+from repro.core.spec import RunSpec
+from repro.engine.dispatch import execute
+
+K = 64
+REPS = int(os.environ.get("REPRO_BENCH_REPS", "1000"))
+
+
+def _adaptive_no_k():
+    return AdaptiveNoK()
+
+
+_adaptive_no_k.protocol_name = "AdaptiveNoK"
+
+
+def _cd_aimd():
+    return CdAimdProtocol()
+
+
+_cd_aimd.protocol_name = "CdAimdProtocol"
+
+BURST_SPEC = RunSpec(
+    k=K,
+    protocol=_adaptive_no_k,
+    adversary=BurstOnQuietAdversary(burst=8, quiet=16),
+    stop=StopCondition.ALL_SWITCHED_OFF,
+    max_rounds=30 * K,
+    seed=7,
+)
+CD_SPEC = RunSpec(
+    k=K,
+    protocol=_cd_aimd,
+    adversary=UniformRandomSchedule(span=lambda k: 2 * k),
+    feedback=FeedbackModel.COLLISION_DETECTION,
+    stop=StopCondition.ALL_SWITCHED_OFF,
+    max_rounds=30 * K,
+    seed=7,
+)
+SEEDS = [7 + r for r in range(REPS)]
+
+
+def _sanity(results):
+    assert len(results) == REPS
+    # Adversarial / windowed configs defeat some runs inside the horizon;
+    # the benchmark only checks the workload is non-trivial (identity is
+    # fuzz-tested).
+    assert sum(r.rounds_executed for r in results) > REPS * K
+
+
+def test_bench_compiled_burst_batch(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_compiled_batch(BURST_SPEC, seeds=SEEDS),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    _sanity(results)
+
+
+def test_bench_object_burst_loop(benchmark):
+    results = benchmark.pedantic(
+        lambda: [execute(BURST_SPEC.with_seed(s), engine="object") for s in SEEDS],
+        rounds=1, iterations=1,
+    )
+    _sanity(results)
+
+
+def test_bench_compiled_cd_batch(benchmark):
+    results = benchmark.pedantic(
+        lambda: run_compiled_batch(CD_SPEC, seeds=SEEDS),
+        rounds=3, iterations=1, warmup_rounds=1,
+    )
+    _sanity(results)
+
+
+def test_bench_object_cd_loop(benchmark):
+    results = benchmark.pedantic(
+        lambda: [execute(CD_SPEC.with_seed(s), engine="object") for s in SEEDS],
+        rounds=1, iterations=1,
+    )
+    _sanity(results)

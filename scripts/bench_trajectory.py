@@ -40,6 +40,7 @@ BENCH_SUITES = [
     "benchmarks/test_bench_batched.py",
     "benchmarks/test_bench_compiled.py",
     "benchmarks/test_bench_streaming.py",
+    "benchmarks/test_bench_adaptive.py",
 ]
 #: The two cases whose median ratio is the batching speedup.
 BASELINE_CASE = "test_bench_per_run_vectorized_loop"
@@ -57,6 +58,14 @@ STREAMING_CASE = "test_bench_streaming_kernel"
 #: multi-core hosts — see ``host.cpu_count``).
 SHARDING_JOBS1_CASE = "test_bench_tile_sharding_jobs1"
 SHARDING_JOBS4_CASE = "test_bench_tile_sharding_jobs4"
+#: PR 9: adaptive adversaries + CD feedback on the compiled stepper.  The
+#: burst pair is the ISSUE acceptance config (1000-rep k=64
+#: BurstOnQuietAdversary -> ``adaptive_speedup``); the cd pair is a
+#: CdAimd collision-detection baseline row (-> ``cd_speedup``).
+OBJECT_BURST_CASE = "test_bench_object_burst_loop"
+COMPILED_BURST_CASE = "test_bench_compiled_burst_batch"
+OBJECT_CD_CASE = "test_bench_object_cd_loop"
+COMPILED_CD_CASE = "test_bench_compiled_cd_batch"
 
 
 def git_sha() -> str:
@@ -162,6 +171,18 @@ def normalise(report: dict, reps: int | None) -> dict:
         entry["tile_sharding_speedup"] = round(
             jobs1["median_ns"] / jobs4["median_ns"], 2
         )
+    obj_burst = cases.get(OBJECT_BURST_CASE)
+    comp_burst = cases.get(COMPILED_BURST_CASE)
+    if obj_burst and comp_burst and comp_burst["median_ns"] > 0:
+        entry["adaptive_speedup"] = round(
+            obj_burst["median_ns"] / comp_burst["median_ns"], 2
+        )
+    obj_cd = cases.get(OBJECT_CD_CASE)
+    comp_cd = cases.get(COMPILED_CD_CASE)
+    if obj_cd and comp_cd and comp_cd["median_ns"] > 0:
+        entry["cd_speedup"] = round(
+            obj_cd["median_ns"] / comp_cd["median_ns"], 2
+        )
     return entry
 
 
@@ -181,6 +202,11 @@ def main(argv: list[str] | None = None) -> int:
         "--min-compiled-speedup", type=float, default=None,
         help="fail unless the compiled AdaptiveNoK batch beats the "
         "per-run object loop by this factor",
+    )
+    parser.add_argument(
+        "--min-adaptive-speedup", type=float, default=None,
+        help="fail unless the compiled BurstOnQuiet adaptive-adversary "
+        "batch beats the per-run object loop by this factor",
     )
     parser.add_argument(
         "--out", type=Path, default=BENCH_FILE,
@@ -226,6 +252,18 @@ def main(argv: list[str] | None = None) -> int:
             f"intra-config tile sharding jobs=4 vs jobs=1: {sharding:.2f}x "
             f"on {entry['host']['cpu_count']} cores"
         )
+    adaptive_speedup = entry.get("adaptive_speedup")
+    if adaptive_speedup is not None:
+        print(
+            "compiled adaptive-adversary speedup over per-run object "
+            f"loop: {adaptive_speedup:.2f}x"
+        )
+    cd_speedup = entry.get("cd_speedup")
+    if cd_speedup is not None:
+        print(
+            "compiled CD-feedback speedup over per-run object loop: "
+            f"{cd_speedup:.2f}x"
+        )
     print(f"trajectory updated: {args.out} @ {sha[:12]}")
 
     if args.min_speedup is not None:
@@ -253,6 +291,22 @@ def main(argv: list[str] | None = None) -> int:
                 f"error: compiled speedup {compiled_speedup:.2f}x is below "
                 f"the --min-compiled-speedup gate "
                 f"{args.min_compiled_speedup:g}x",
+                file=sys.stderr,
+            )
+            return 1
+    if args.min_adaptive_speedup is not None:
+        if adaptive_speedup is None:
+            print(
+                "error: adaptive speedup cases missing from the benchmark "
+                "report",
+                file=sys.stderr,
+            )
+            return 1
+        if adaptive_speedup < args.min_adaptive_speedup:
+            print(
+                f"error: adaptive speedup {adaptive_speedup:.2f}x is below "
+                f"the --min-adaptive-speedup gate "
+                f"{args.min_adaptive_speedup:g}x",
                 file=sys.stderr,
             )
             return 1

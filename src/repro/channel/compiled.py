@@ -55,6 +55,28 @@ round start, decisions for lanes with local round >= 1, ``0/1/many``
 channel resolution with oblivious jamming, observation delivery to active
 lanes, retirement, stop conditions — in the object engine's exact order.
 
+Two capabilities ride on the same per-round structure:
+
+* **Adaptive adversaries.**  A lowered :class:`AdversaryProgram` is one
+  Mealy machine per repetition: at each round the stepper gathers
+  ``(state, previous outcome) -> wake count / next state`` for every
+  live repetition still holding unwoken stations, appends the newly
+  woken lanes in chronological order (so lane ``j`` of a repetition is
+  its ``j``-th woken station, exactly the object engine's id and RNG
+  assignment), and force-wakes the remainder at ``adversary.deadline(k)``
+  — mirroring ``SlotSimulator``'s call order, including the state step
+  on deadline rounds.
+
+* **Collision-detection feedback.**  Under
+  ``FeedbackModel.COLLISION_DETECTION`` every active lane additionally
+  receives the round's common channel outcome: on non-success rounds the
+  per-repetition outcome maps to ``SYM_CD_SILENCE`` / ``SYM_CD_COLLISION``
+  (success rounds keep the ordinary ack / heard-payload symbols, which
+  already imply success).  ACK-only machines carry identity transitions
+  on the CD columns, so delivery is unconditional and byte-neutral for
+  them; ``CdAimdProtocol`` walks its window lattice on exactly these
+  symbols.
+
 Speed comes from batching: the per-round numpy cost is amortised over all
 ``R x k`` lanes, so the engine pays off on repetition sweeps (the
 1000-rep acceptance configuration in ``benchmarks/test_bench_compiled.py``
@@ -71,11 +93,15 @@ from typing import Optional
 
 import numpy as np
 
-from repro.adversary.base import WakeSchedule
+from repro.adversary.base import AdaptiveAdversary, WakeSchedule
+from repro.channel.feedback import FeedbackModel
 from repro.channel.results import RunResult, StopCondition
 from repro.core.spec import RunSpec
 from repro.core.station import StationRecord
 from repro.engine.compile import (
+    ADV_COLLISION,
+    ADV_SILENCE,
+    ADV_SUCCESS,
     ANK_ELECTION,
     ANK_LEADER,
     ANK_MEMBER,
@@ -88,10 +114,16 @@ from repro.engine.compile import (
     PAYLOAD_DMODE,
     PAYLOAD_PROBE,
     SYM_ACK,
+    SYM_CD_COLLISION,
+    SYM_CD_SILENCE,
+    SYM_HEAR_BEACON,
     SYM_HEAR_DATA,
     SYM_HEAR_DMODE,
     SYM_HEAR_PROBE,
+    AdversaryProgram,
     CompiledProgram,
+    adversary_lowering_reason,
+    compile_adversary,
     compile_spec,
 )
 from repro.telemetry import registry as telemetry
@@ -100,6 +132,13 @@ __all__ = ["CompiledSimulator", "run_compiled_batch"]
 
 #: "Never happens" sentinel for round numbers (first success / switch-off).
 _INF = np.iinfo(np.int64).max
+
+#: Channel outcome (ADV_SILENCE/ADV_SUCCESS/ADV_COLLISION) -> the CD
+#: symbol active lanes receive; 0 on success (ack / heard-payload symbols
+#: already carry the outcome there).
+_CD_SYMBOL_OF_OUTCOME = np.array(
+    [SYM_CD_SILENCE, 0, SYM_CD_COLLISION], dtype=np.int8
+)
 
 
 def _resolve_seeds(
@@ -280,7 +319,8 @@ def run_compiled_batch(
     Returns one :class:`RunResult` per seed, in order, byte-identical to
     object-engine (``SlotSimulator``) runs of ``spec.with_seed(seed)``.
     Spec-level admissibility is the dispatch layer's job; this function
-    assumes an oblivious :class:`WakeSchedule` adversary, ACK-only
+    accepts oblivious :class:`WakeSchedule` adversaries and the lowerable
+    :class:`AdaptiveAdversary` machines, ACK-only or collision-detection
     feedback, no stateful jammer and no trace request.
 
     Repetitions stream through memory-bounded tiles: each seed's RNG
@@ -289,14 +329,30 @@ def run_compiled_batch(
     process-wide tiling defaults (see :mod:`repro.engine.plan`); the
     program is compiled once and shared by every tile.
     """
-    if not isinstance(spec.adversary, WakeSchedule):
+    if isinstance(spec.adversary, WakeSchedule):
+        adv_program = None
+    elif isinstance(spec.adversary, AdaptiveAdversary):
+        reason = adversary_lowering_reason(spec.adversary)
+        if reason is not None:
+            raise TypeError(f"run_compiled_batch: {reason}")
+        adv_program = compile_adversary(spec.adversary)
+    else:
         raise TypeError(
-            "run_compiled_batch only supports oblivious WakeSchedule "
-            "adversaries (spec.adversary is "
+            "run_compiled_batch needs a WakeSchedule or a lowerable "
+            "AdaptiveAdversary (spec.adversary is "
             f"{type(spec.adversary).__name__})"
         )
     if program is None:
         program = compile_spec(spec)
+    if (
+        program.kind == "cd_aimd"
+        and spec.feedback is not FeedbackModel.COLLISION_DETECTION
+    ):
+        raise TypeError(
+            "CdAimdProtocol requires FeedbackModel.COLLISION_DETECTION "
+            "(the object engine raises at the first observation; the "
+            "compiled stepper refuses the spec up front)"
+        )
     seed_list = _resolve_seeds(spec, n_reps, seeds)
     R = len(seed_list)
     if R == 0:
@@ -318,7 +374,9 @@ def run_compiled_batch(
                 telemetry.count("tile.reps", hi - lo)
             try:
                 results.extend(
-                    _run_compiled_tile(spec, seed_list[lo:hi], program)
+                    _run_compiled_tile(
+                        spec, seed_list[lo:hi], program, adv_program
+                    )
                 )
             except BatchMemoryError:
                 raise
@@ -333,6 +391,7 @@ def _run_compiled_tile(
     spec: RunSpec,
     seed_list: Sequence[Optional[int]],
     program: CompiledProgram,
+    adv_program: Optional[AdversaryProgram] = None,
 ) -> list[RunResult]:
     """One rep tile: the monolithic compiled stepper over ``seed_list``."""
     R = len(seed_list)
@@ -349,26 +408,43 @@ def _run_compiled_tile(
     # The object engine consumes one RNG child for the ScheduledJammer it
     # wraps jam_rounds in; mirror that to keep station children aligned.
     base_children = 2 if spec.jam_rounds is not None else 1
+    adaptive_adv = adv_program is not None
+    cd = spec.feedback is FeedbackModel.COLLISION_DETECTION
+    # The adversary tables (and CD delivery) need the per-repetition
+    # channel outcome every round, even on jammed ones.
+    need_outcome = adaptive_adv or cd
 
     # ---- per-repetition seed fan-out and wake draws (chronological).
     wake = np.empty(N, dtype=np.int64)
     children: list = [None] * N
     adversary = spec.adversary
-    for rep, seed in enumerate(seed_list):
-        kids = np.random.SeedSequence(seed).spawn(base_children + k)
-        adversary_rng = np.random.Generator(np.random.PCG64(kids[0]))
-        rounds = adversary.wake_rounds(k, adversary_rng)
-        if len(rounds) != k:
-            raise ValueError(
-                f"adversary produced {len(rounds)} wake rounds for k={k}"
-            )
-        drawn = np.asarray(rounds, dtype=np.int64)
-        # Stations are anonymous: the object engine assigns ids and RNG
-        # children in chronological wake order, so sort each repetition's
-        # draws and pair child j with the j-th woken station.
-        drawn.sort(kind="stable")
-        wake[rep * k : (rep + 1) * k] = drawn
-        children[rep * k : (rep + 1) * k] = kids[base_children:]
+    if adaptive_adv:
+        # Wake rounds are decided online; lanes are still pre-assigned in
+        # chronological wake order (the j-th lane of a repetition becomes
+        # its j-th woken station), so the RNG children pair up exactly as
+        # the object engine's successive next_generator() calls.  The
+        # adversary child (kids[0]) is spawned for stream alignment; none
+        # of the lowerable adversaries draws from it.
+        wake.fill(_INF)
+        for rep, seed in enumerate(seed_list):
+            kids = np.random.SeedSequence(seed).spawn(base_children + k)
+            children[rep * k : (rep + 1) * k] = kids[base_children:]
+    else:
+        for rep, seed in enumerate(seed_list):
+            kids = np.random.SeedSequence(seed).spawn(base_children + k)
+            adversary_rng = np.random.Generator(np.random.PCG64(kids[0]))
+            rounds = adversary.wake_rounds(k, adversary_rng)
+            if len(rounds) != k:
+                raise ValueError(
+                    f"adversary produced {len(rounds)} wake rounds for k={k}"
+                )
+            drawn = np.asarray(rounds, dtype=np.int64)
+            # Stations are anonymous: the object engine assigns ids and RNG
+            # children in chronological wake order, so sort each repetition's
+            # draws and pair child j with the j-th woken station.
+            drawn.sort(kind="stable")
+            wake[rep * k : (rep + 1) * k] = drawn
+            children[rep * k : (rep + 1) * k] = kids[base_children:]
 
     rep_of = np.repeat(np.arange(R, dtype=np.int64), k)
     lanes = _Lanes(N, program)
@@ -394,17 +470,41 @@ def _run_compiled_tile(
     guarded_acks = bool(np.any(ack_guard != PAYLOAD_ANY))
     any_parity_guard = bool(parity_guard.any())
 
-    # Lanes sorted by wake round: pointer sweeps turn per-round wake
-    # processing into O(1) amortised work instead of an O(N) scan.
-    wake_order = np.argsort(wake, kind="stable")
-    wake_sorted = wake[wake_order]
-    wake_ptr = int(np.searchsorted(wake_sorted, 0, side="right"))
-    woken += np.bincount(rep_of[wake_order[:wake_ptr]], minlength=R)
     # started[lane]: wake < current round (the lane decides/observes).
     # lane_live[lane]: the lane's repetition has not stopped.
     started = np.zeros(N, dtype=bool)
-    started_ptr = 0
     lane_live = np.ones(N, dtype=bool)
+    if adaptive_adv:
+        # Online wakes: per-repetition Mealy state plus the previous
+        # round's outcome drive the wake counts; the deadline force-wake
+        # mirrors SlotSimulator (wake_now is still "called" first — the
+        # state steps on deadline rounds too).
+        wake_order = wake_sorted = None
+        wake_ptr = started_ptr = N
+        deadline = adversary.deadline(k)
+        adv_state = np.full(R, adv_program.start_state, dtype=np.int64)
+        prev_outcome = np.zeros(R, dtype=np.int64)  # round 1 sees silence
+        adv_next = adv_program.next_state
+        adv_wake = adv_program.wake_count
+        # Round 0: the unconditional wake_now(0, []) before the loop.
+        wake0 = min(adv_program.wake0, k)
+        if wake0:
+            pending_started = (
+                np.arange(R, dtype=np.int64)[:, None] * k
+                + np.arange(wake0, dtype=np.int64)
+            ).ravel()
+            wake[pending_started] = 0
+            woken += wake0
+        else:
+            pending_started = np.empty(0, dtype=np.int64)
+    else:
+        # Lanes sorted by wake round: pointer sweeps turn per-round wake
+        # processing into O(1) amortised work instead of an O(N) scan.
+        wake_order = np.argsort(wake, kind="stable")
+        wake_sorted = wake[wake_order]
+        wake_ptr = int(np.searchsorted(wake_sorted, 0, side="right"))
+        woken += np.bincount(rep_of[wake_order[:wake_ptr]], minlength=R)
+        started_ptr = 0
 
     def _switch_off(idx: np.ndarray, at_round: int) -> None:
         lanes.alive[idx] = False
@@ -420,22 +520,56 @@ def _run_compiled_tile(
         # 1. Wakes at the start of round t (dead repetitions stopped in an
         # earlier round; their later wakes never happen and are excluded
         # from the records by the wake <= rounds_executed filter).
-        if wake_ptr < N:
-            start = wake_ptr
-            while wake_ptr < N and wake_sorted[wake_ptr] == t:
-                wake_ptr += 1
-            if wake_ptr > start:
-                woke_now = wake_order[start:wake_ptr]
-                np.add.at(woken, rep_of[woke_now], 1)
+        if adaptive_adv:
+            # Lanes woken last round become active (local round >= 1) now.
+            if pending_started.size:
+                started[pending_started] = True
+                pending_started = pending_started[:0]
+            # SlotSimulator consults wake_now only while stations remain
+            # (and only for still-running repetitions), so the adversary
+            # state freezes exactly when the object engine stops calling.
+            eligible = np.flatnonzero(rep_live & (woken < k))
+            if eligible.size:
+                s = adv_state[eligible]
+                y = prev_outcome[eligible]
+                adv_state[eligible] = adv_next[s, y]
+                if t >= deadline:
+                    want = k - woken[eligible]
+                else:
+                    want = np.minimum(adv_wake[s, y], k - woken[eligible])
+                waking = want > 0
+                if waking.any():
+                    reps_w = eligible[waking]
+                    counts_w = want[waking]
+                    starts = reps_w * k + woken[reps_w]
+                    total = int(counts_w.sum())
+                    offsets = np.arange(total, dtype=np.int64) - np.repeat(
+                        np.cumsum(counts_w) - counts_w, counts_w
+                    )
+                    new_lanes = np.repeat(starts, counts_w) + offsets
+                    wake[new_lanes] = t
+                    woken[reps_w] += counts_w
+                    pending_started = new_lanes
+        else:
+            if wake_ptr < N:
+                start = wake_ptr
+                while wake_ptr < N and wake_sorted[wake_ptr] == t:
+                    wake_ptr += 1
+                if wake_ptr > start:
+                    woke_now = wake_order[start:wake_ptr]
+                    np.add.at(woken, rep_of[woke_now], 1)
 
-        # Active = woken before this round, not switched off, rep still live.
-        while started_ptr < N and wake_sorted[started_ptr] < t:
-            started[wake_order[started_ptr]] = True
-            started_ptr += 1
+            # Active = woken before this round, not off, rep still live.
+            while started_ptr < N and wake_sorted[started_ptr] < t:
+                started[wake_order[started_ptr]] = True
+                started_ptr += 1
         act = np.flatnonzero(started & lanes.alive & lane_live)
         if act.size == 0:
-            # No station can act; the channel is silent and only the stop
-            # check below can change anything.
+            # No station can act; the channel is silent (an empty round is
+            # SILENCE even when jammed) and only the stop check below can
+            # change anything.
+            if adaptive_adv:
+                prev_outcome.fill(ADV_SILENCE)
             for rep in _check_stops(
                 stop, rep_live, woken, succeeded, switched_off, k,
                 stop_round, rep_completed, t,
@@ -453,6 +587,8 @@ def _run_compiled_tile(
             _decide_suniform(lanes, rng, act)
         elif kind == "global_clock":
             _decide_global_clock(lanes, rng, act, prob_rows[0], t)
+        elif kind == "cd_aimd":
+            _decide_cd_aimd(lanes, rng, act, prob_rows)
         else:
             _decide_adaptive(lanes, rng, act, prob_rows[ANK_ELECTION], white)
         transmitting = lanes.transmit[act]
@@ -464,9 +600,11 @@ def _run_compiled_tile(
         # 3. Channel resolution per repetition: success iff exactly one
         # transmitter and the round is not jammed.
         jammed = jam_set is not None and t in jam_set
-        if tx_lanes.size and not jammed:
+        counts = None
+        if tx_lanes.size and (not jammed or need_outcome):
             tx_reps = rep_of[tx_lanes]
             counts = np.bincount(tx_reps, minlength=R)
+        if counts is not None and not jammed:
             success_reps = np.flatnonzero(counts == 1)
             # tx_lanes ascends in lane order (= repetition-major), so the
             # winner of rep r sits at the first position with rep == r.
@@ -474,6 +612,23 @@ def _run_compiled_tile(
         else:
             success_reps = np.empty(0, dtype=np.int64)
             winners = np.empty(0, dtype=np.int64)
+        if need_outcome:
+            # The common outcome per repetition, RoundOutcome semantics:
+            # a jammed round with any transmitter is a COLLISION (even
+            # m == 1 — the winner is destroyed), a jammed empty round
+            # stays SILENCE.
+            if counts is None:
+                outcome_rep = np.zeros(R, dtype=np.int64)
+            elif jammed:
+                outcome_rep = np.where(counts > 0, ADV_COLLISION, ADV_SILENCE)
+            else:
+                outcome_rep = np.where(
+                    counts >= 2,
+                    ADV_COLLISION,
+                    np.where(counts == 1, ADV_SUCCESS, ADV_SILENCE),
+                )
+            if adaptive_adv:
+                prev_outcome = outcome_rep
 
         # 4. Observations: first-success bookkeeping, then the machine's
         # symbol-driven transitions.
@@ -494,12 +649,24 @@ def _run_compiled_tile(
                 ~lanes.transmit[act] & (hear_sym[rep_of[act]] != 0)
             ]
             lanes.sym[listeners] = hear_sym[rep_of[listeners]]
+        if cd:
+            # Non-success rounds deliver the common outcome to every
+            # active lane (transmitting losers included); success rounds
+            # map to 0 and keep their ack / heard-payload symbols.
+            cd_sym = _CD_SYMBOL_OF_OUTCOME[outcome_rep[rep_of[act]]]
+            hit = cd_sym != 0
+            if hit.any():
+                lanes.sym[act[hit]] = cd_sym[hit]
 
         if adaptive:
             _observe_adaptive(
                 lanes, rng, act, listen_window,
                 next_mode, ack_guard, parity_guard, t,
                 lambda idx: _switch_off(idx, t),
+            )
+        elif kind == "cd_aimd":
+            _observe_cd_aimd(
+                lanes, act, next_mode, lambda idx: _switch_off(idx, t)
             )
         else:
             _observe_simple(
@@ -668,6 +835,19 @@ def _decide_global_clock(
             lanes.payload[hit] = PAYLOAD_DATA
 
 
+def _decide_cd_aimd(
+    lanes: _Lanes, rng: _LaneRng, act: np.ndarray, prob_rows: np.ndarray
+) -> None:
+    # CdAimdProtocol.decide draws one uniform per active round
+    # unconditionally (rng.random() < 1/W), so every act lane consumes
+    # exactly one buffered draw at its mode's lattice probability.
+    p = prob_rows[lanes.mode[act], 0]
+    u = rng.uniform(act)
+    hit = act[u < p]
+    lanes.transmit[hit] = True
+    lanes.payload[hit] = PAYLOAD_DATA
+
+
 def _decide_adaptive(
     lanes: _Lanes,
     rng: _LaneRng,
@@ -743,6 +923,33 @@ def _observe_simple(
         switch_off(winners)
 
 
+def _observe_cd_aimd(
+    lanes: _Lanes,
+    act: np.ndarray,
+    next_mode: np.ndarray,
+    switch_off,
+) -> None:
+    """MIMD window walk: a plain (mode, symbol) gather, no guards.
+
+    An ack switches off (the early return in ``CdAimdProtocol.observe``
+    means ack beats the channel update); SYM_CD_COLLISION climbs the
+    window lattice, SYM_CD_SILENCE descends it, heard-payload symbols
+    (success rounds) hold the operating point via identity columns.
+    """
+    m0 = lanes.mode[act]
+    target = next_mode[m0, lanes.sym[act]]
+    moved = target != m0
+    if not moved.any():
+        return
+    changed = act[moved]
+    dst = target[moved]
+    to_off = changed[dst == OFF]
+    if to_off.size:
+        switch_off(to_off)
+    surviving = dst != OFF
+    lanes.mode[changed[surviving]] = dst[surviving]
+
+
 def _observe_adaptive(
     lanes: _Lanes,
     rng: _LaneRng,
@@ -761,7 +968,9 @@ def _observe_adaptive(
     if waiting.size:
         lanes.window_rounds[waiting] += 1
         sym_w = lanes.sym[waiting]
-        heard = sym_w >= SYM_HEAR_DATA
+        # "Heard a message" means a successful payload — the CD outcome
+        # symbols (silence/collision) are not messages.
+        heard = (sym_w >= SYM_HEAR_DATA) & (sym_w <= SYM_HEAR_BEACON)
         lanes.saw_message[waiting[heard]] = True
         lanes.saw_probe[waiting[sym_w == SYM_HEAR_PROBE]] = True
         full = waiting[lanes.window_rounds[waiting] == listen_window]

@@ -23,6 +23,24 @@ heard-control / nothing).  That structure lowers to two tables:
   (:mod:`repro.channel.compiled`).  ``OFF`` (-1) encodes permanent
   switch-off.
 
+The feedback alphabet is *ternary-aware*: besides the ACK-only symbols
+(ack / heard-payload / nothing) it carries two collision-detection
+columns, ``SYM_CD_SILENCE`` and ``SYM_CD_COLLISION`` — the common
+channel outcome every active station perceives on a non-success round
+under ``FeedbackModel.COLLISION_DETECTION``.  Machines that ignore the
+channel (every ACK-only lowering) keep identity transitions on those
+columns, so one table format serves both feedback models;
+``CdAimdProtocol`` is lowered onto them as a window-lattice walk
+(:func:`_compile_cd_aimd`).
+
+The same Mealy-machine treatment extends to *adaptive adversaries*: the
+four concrete strategies in :mod:`repro.adversary.adaptive` are finite
+state machines over the ternary channel outcome, so
+:func:`compile_adversary` lowers each to an :class:`AdversaryProgram`
+holding ``(state, outcome) -> next state`` and ``(state, outcome) ->
+wake count`` tables, stepped once per (repetition, round) by the
+compiled stepper — lane-synchronously with the protocol tables.
+
 Two structured side channels keep the tables honest where a pure
 ``(mode, symbol)`` gather cannot express the pseudocode:
 
@@ -54,6 +72,13 @@ from typing import Optional
 
 import numpy as np
 
+from repro.adversary.adaptive import (
+    AntiLeaderAdversary,
+    BurstOnQuietAdversary,
+    DripFeedAdversary,
+    WakeOnSuccessAdversary,
+)
+from repro.baselines.cd_adaptive import CdAimdProtocol
 from repro.core.protocol import ProbabilitySchedule, ScheduleProtocol
 from repro.core.protocols.adaptive_no_k import LISTEN_WINDOW, AdaptiveNoK
 from repro.core.protocols.global_clock import GlobalClockUFR
@@ -64,8 +89,11 @@ from repro.engine.cache import probability_table
 __all__ = [
     "CompileError",
     "CompiledProgram",
+    "AdversaryProgram",
     "compile_spec",
+    "compile_adversary",
     "lowering_reason",
+    "adversary_lowering_reason",
     "OFF",
     "PAYLOAD_NONE",
     "PAYLOAD_DATA",
@@ -79,7 +107,14 @@ __all__ = [
     "SYM_HEAR_PROBE",
     "SYM_HEAR_DMODE",
     "SYM_HEAR_BEACON",
+    "SYM_CD_SILENCE",
+    "SYM_CD_COLLISION",
     "N_SYMBOLS",
+    "ADV_SILENCE",
+    "ADV_SUCCESS",
+    "ADV_COLLISION",
+    "ADV_N_SYMBOLS",
+    "MAX_CD_MODES",
 ]
 
 # ---------------------------------------------------------------- alphabets
@@ -89,7 +124,12 @@ PAYLOAD_NONE, PAYLOAD_DATA, PAYLOAD_PROBE, PAYLOAD_DMODE, PAYLOAD_BEACON = range
 #: Wildcard for :attr:`CompiledProgram.ack_payload_guard`: ack always fires.
 PAYLOAD_ANY = -1
 
-#: Feedback symbols under ACK_ONLY: what one station perceived this round.
+#: Feedback symbols: what one station perceived this round.  The first
+#: six are the ACK_ONLY alphabet; the last two are the ternary
+#: collision-detection columns every active station receives on a
+#: non-success round under ``FeedbackModel.COLLISION_DETECTION`` (a
+#: success round delivers the ordinary ack / heard-payload symbols,
+#: which already imply ``RoundOutcome.SUCCESS``).
 (
     SYM_NOTHING,
     SYM_ACK,
@@ -97,8 +137,16 @@ PAYLOAD_ANY = -1
     SYM_HEAR_PROBE,
     SYM_HEAR_DMODE,
     SYM_HEAR_BEACON,
-) = range(6)
-N_SYMBOLS = 6
+    SYM_CD_SILENCE,
+    SYM_CD_COLLISION,
+) = range(8)
+N_SYMBOLS = 8
+
+#: Channel outcomes as the *adversary* tables see them — the encoding
+#: matches ``RoundOutcome`` semantics (silence / success / collision) and
+#: doubles as the per-repetition outcome index computed by the stepper.
+ADV_SILENCE, ADV_SUCCESS, ADV_COLLISION = range(3)
+ADV_N_SYMBOLS = 3
 
 #: ``next_mode`` sentinel: the station switches off permanently.
 OFF = -1
@@ -124,7 +172,7 @@ class CompiledProgram:
     global-clock parity split).
     """
 
-    kind: str  # "schedule" | "suniform" | "adaptive_no_k" | "global_clock"
+    kind: str  # "schedule" | "suniform" | "adaptive_no_k" | "global_clock" | "cd_aimd"
     mode_names: tuple[str, ...]
     start_mode: int
     #: (n_modes, horizon) Bernoulli parameter by (mode, per-mode counter).
@@ -169,6 +217,48 @@ class CompiledProgram:
             self.ack_payload_guard,
             self.control_parity_guard,
         ):
+            table.setflags(write=False)
+
+
+@dataclass
+class AdversaryProgram:
+    """One adaptive adversary lowered to Mealy-machine tables.
+
+    The object engine calls ``wake_now(t, history)`` once per round while
+    stations remain, with the previous round's outcome as the only
+    history the four concrete strategies consult.  That is a Mealy
+    machine over the ternary outcome alphabet: entering round ``t`` in
+    ``state`` with the previous round's outcome ``y``, the adversary
+    wakes ``wake_count[state, y]`` stations and moves to
+    ``next_state[state, y]``.  Round 0 is special-cased by every
+    strategy (``wake_now(0, [])`` before the loop, no state change), so
+    it is a scalar, ``wake0``.  The force-wake ``deadline`` stays a
+    runtime call on the adversary instance (``DripFeedAdversary``
+    overrides it).
+
+    Outcome encoding is :data:`ADV_SILENCE` / :data:`ADV_SUCCESS` /
+    :data:`ADV_COLLISION`; round 1 sees an empty history, which every
+    strategy treats as a non-success — the stepper's initial
+    ``ADV_SILENCE`` reproduces that exactly.
+    """
+
+    kind: str  # "burst_on_quiet" | "wake_on_success" | "anti_leader" | "drip"
+    start_state: int
+    #: Stations woken by the unconditional round-0 call (clamped to k).
+    wake0: int
+    #: (n_states, ADV_N_SYMBOLS) -> next state.
+    next_state: np.ndarray
+    #: (n_states, ADV_N_SYMBOLS) -> stations to wake (clamped to budget).
+    wake_count: np.ndarray
+
+    @property
+    def n_states(self) -> int:
+        return self.next_state.shape[0]
+
+    def __post_init__(self) -> None:
+        self.next_state = np.ascontiguousarray(self.next_state, dtype=np.int64)
+        self.wake_count = np.ascontiguousarray(self.wake_count, dtype=np.int64)
+        for table in (self.next_state, self.wake_count):
             table.setflags(write=False)
 
 
@@ -268,6 +358,83 @@ def _compile_suniform(horizon: int) -> CompiledProgram:
     )
 
 
+#: Cap on the ``CdAimdProtocol`` window lattice.  The per-lane ``mode``
+#: array is int8, and the default geometry (factor-2 up/down to a 2**40
+#: cap) closes in 41 states; exotic parameters whose lattice does not
+#: close under this cap fall back to the object engine.
+MAX_CD_MODES = 96
+
+
+def _cd_window_lattice(
+    increase: float, decrease: float, max_window: float
+) -> Optional[tuple[list[float], list[int], list[int]]]:
+    """Enumerate the reachable ``W`` values of a :class:`CdAimdProtocol`.
+
+    The window evolves by the exact float maps ``up(w) = min(w *
+    increase, max_window)`` and ``down(w) = max(1.0, w / decrease)``
+    from ``W = 1.0``; both are replayed here verbatim so each lattice
+    value is *bit-equal* to the object protocol's ``self.window``.
+    Returns ``(values, up_index, down_index)`` in BFS discovery order,
+    or None when the closure exceeds :data:`MAX_CD_MODES` states.
+    """
+    values: list[float] = [1.0]
+    index: dict[float, int] = {1.0: 0}
+    up: list[int] = []
+    down: list[int] = []
+    i = 0
+    while i < len(values):
+        w = values[i]
+        for target, out in (
+            (min(w * increase, max_window), up),
+            (max(1.0, w / decrease), down),
+        ):
+            slot = index.get(target)
+            if slot is None:
+                if len(values) >= MAX_CD_MODES:
+                    return None
+                slot = len(values)
+                index[target] = slot
+                values.append(target)
+            out.append(slot)
+        i += 1
+    return values, up, down
+
+
+def _compile_cd_aimd(probe: CdAimdProtocol, horizon: int) -> CompiledProgram:
+    """Lower the MIMD contention estimator onto the CD symbol columns.
+
+    Every mode is one reachable window value ``W``; the transmission
+    probability is the counter-free ``1 / W``; the only transitions are
+    channel-driven — collision climbs the lattice, silence descends it,
+    success holds, and an ack switches off (the early return in
+    ``CdAimdProtocol.observe`` makes ack beat the channel update).
+    """
+    lattice = _cd_window_lattice(probe.increase, probe.decrease, probe.max_window)
+    if lattice is None:
+        raise CompileError(
+            f"CdAimdProtocol(increase={probe.increase}, "
+            f"decrease={probe.decrease}, max_window={probe.max_window}) has "
+            f"a window lattice that does not close within {MAX_CD_MODES} "
+            "values; the compiled engine only runs finite window machines"
+        )
+    values, up, down = lattice
+    n = len(values)
+    next_mode = _identity_transitions(n).copy()
+    next_mode[:, SYM_ACK] = OFF
+    next_mode[:, SYM_CD_COLLISION] = np.asarray(up, dtype=np.int8)
+    next_mode[:, SYM_CD_SILENCE] = np.asarray(down, dtype=np.int8)
+    prob_rows = (1.0 / np.asarray(values, dtype=np.float64))[:, None]
+    return CompiledProgram(
+        kind="cd_aimd",
+        mode_names=tuple(f"W={w:g}" for w in values),
+        start_mode=0,
+        prob_rows=prob_rows,
+        next_mode=next_mode,
+        ack_payload_guard=np.full(n, PAYLOAD_ANY),
+        control_parity_guard=np.zeros(n, dtype=bool),
+    )
+
+
 def _compile_global_clock(q: float, horizon: int) -> CompiledProgram:
     next_mode = _identity_transitions(1).copy()
     next_mode[0, SYM_ACK] = OFF
@@ -285,6 +452,115 @@ def _compile_global_clock(q: float, horizon: int) -> CompiledProgram:
     )
 
 
+# ------------------------------------------------------ adversary lowerings
+
+
+def _compile_burst_on_quiet(adv: BurstOnQuietAdversary) -> AdversaryProgram:
+    # State = the ``_quiet_run`` value entering the round (0 .. quiet-1):
+    # a success resets the run; the ``quiet``-th consecutive non-success
+    # releases the burst and resets.
+    quiet, burst = adv.quiet, adv.burst
+    next_state = np.zeros((quiet, ADV_N_SYMBOLS), dtype=np.int64)
+    wake_count = np.zeros((quiet, ADV_N_SYMBOLS), dtype=np.int64)
+    for s in range(quiet):
+        for y in (ADV_SILENCE, ADV_COLLISION):
+            if s == quiet - 1:
+                next_state[s, y] = 0
+                wake_count[s, y] = burst
+            else:
+                next_state[s, y] = s + 1
+        next_state[s, ADV_SUCCESS] = 0
+    return AdversaryProgram(
+        kind="burst_on_quiet",
+        start_state=0,
+        wake0=1,
+        next_state=next_state,
+        wake_count=wake_count,
+    )
+
+
+def _compile_wake_on_success(adv: WakeOnSuccessAdversary) -> AdversaryProgram:
+    # Stateless beyond the seed group: refill exactly on success.
+    wake_count = np.zeros((1, ADV_N_SYMBOLS), dtype=np.int64)
+    wake_count[0, ADV_SUCCESS] = adv.refill
+    return AdversaryProgram(
+        kind="wake_on_success",
+        start_state=0,
+        wake0=adv.seed_group,
+        next_state=np.zeros((1, ADV_N_SYMBOLS), dtype=np.int64),
+        wake_count=wake_count,
+    )
+
+
+def _compile_anti_leader(adv: AntiLeaderAdversary) -> AdversaryProgram:
+    # State 0: ``_saw_quiet`` — the next success is the first after a
+    # lull and triggers the flood; state 1: already flooded this streak.
+    next_state = np.zeros((2, ADV_N_SYMBOLS), dtype=np.int64)
+    next_state[:, ADV_SUCCESS] = 1
+    wake_count = np.zeros((2, ADV_N_SYMBOLS), dtype=np.int64)
+    wake_count[0, ADV_SUCCESS] = adv.flood
+    return AdversaryProgram(
+        kind="anti_leader",
+        start_state=0,
+        wake0=1,
+        next_state=next_state,
+        wake_count=wake_count,
+    )
+
+
+def _compile_drip_feed(adv: DripFeedAdversary) -> AdversaryProgram:
+    # State = ``t mod interval`` entering round t; outcome-independent.
+    # Round 0 is the scalar wake0, so the loop starts at state 1 mod
+    # interval (= 0 for interval 1: every round wakes one station).
+    interval = adv.interval
+    column = (np.arange(interval, dtype=np.int64) + 1) % interval
+    wake_column = (np.arange(interval, dtype=np.int64) == 0).astype(np.int64)
+    return AdversaryProgram(
+        kind="drip",
+        start_state=1 % interval,
+        wake0=1,
+        next_state=np.repeat(column[:, None], ADV_N_SYMBOLS, axis=1),
+        wake_count=np.repeat(wake_column[:, None], ADV_N_SYMBOLS, axis=1),
+    )
+
+
+_ADVERSARY_LOWERINGS = {
+    BurstOnQuietAdversary: _compile_burst_on_quiet,
+    WakeOnSuccessAdversary: _compile_wake_on_success,
+    AntiLeaderAdversary: _compile_anti_leader,
+    DripFeedAdversary: _compile_drip_feed,
+}
+
+
+def adversary_lowering_reason(adversary: object) -> Optional[str]:
+    """Why ``adversary`` has no table lowering, or None if it has one.
+
+    Exact-type matches only, for the same reason as
+    :func:`lowering_reason`: a subclass may override ``wake_now`` (or
+    ``deadline``'s interaction with it) in ways the tables cannot see.
+    """
+    if type(adversary) in _ADVERSARY_LOWERINGS:
+        return None
+    return (
+        f"adversary {type(adversary).__name__} has no table lowering; the "
+        "compiled stepper only runs the adversary state machines it knows "
+        "(BurstOnQuietAdversary, WakeOnSuccessAdversary, "
+        "AntiLeaderAdversary, DripFeedAdversary)"
+    )
+
+
+def compile_adversary(adversary: object) -> AdversaryProgram:
+    """Lower an adaptive adversary to its :class:`AdversaryProgram`.
+
+    Raises :class:`CompileError` when the adversary is not one of the
+    known state machines (see :func:`adversary_lowering_reason`).
+    """
+    reason = adversary_lowering_reason(adversary)
+    if reason is not None:
+        raise CompileError(reason)
+    return _ADVERSARY_LOWERINGS[type(adversary)](adversary)
+
+
 # -------------------------------------------------------------- entry points
 
 
@@ -297,10 +573,21 @@ def lowering_reason(probe: object) -> Optional[str]:
     """
     if type(probe) in (AdaptiveNoK, SUniform, GlobalClockUFR, ScheduleProtocol):
         return None
+    if type(probe) is CdAimdProtocol:
+        if _cd_window_lattice(probe.increase, probe.decrease, probe.max_window) is None:
+            return (
+                f"CdAimdProtocol(increase={probe.increase}, "
+                f"decrease={probe.decrease}, max_window={probe.max_window}) "
+                f"has a window lattice that does not close within "
+                f"{MAX_CD_MODES} values; the compiled engine only runs "
+                "finite window machines"
+            )
+        return None
     return (
         f"protocol {type(probe).__name__} has no table lowering; the "
         "compiled engine only runs the finite state machines it knows "
-        "(AdaptiveNoK, SUniform, GlobalClockUFR, probability schedules)"
+        "(AdaptiveNoK, SUniform, GlobalClockUFR, CdAimd, probability "
+        "schedules)"
     )
 
 
@@ -328,4 +615,6 @@ def compile_spec(spec: RunSpec, horizon: Optional[int] = None) -> CompiledProgra
         return _compile_adaptive_no_k(probe.q, horizon)
     if type(probe) is SUniform:
         return _compile_suniform(horizon)
+    if type(probe) is CdAimdProtocol:
+        return _compile_cd_aimd(probe, horizon)
     return _compile_global_clock(probe.q, horizon)

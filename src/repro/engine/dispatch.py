@@ -16,12 +16,16 @@ spec property                    vectorised-admissible?
 ===============================  ======================================
 protocol is a factory            no — stateful protocols need the round loop
 adaptive adversary               no — reacts to history the batch sampler
-                                 never materialises
+                                 never materialises (the *compiled*
+                                 stepper runs the lowerable adversary
+                                 machines)
 ``jammer`` object                no — may be adaptive (``jam_rounds`` is
                                  the oblivious, engine-portable form)
 ``record_trace=True``            no — the fast engine keeps no event log
-non-ACK feedback                 no — CD feedback only exists in the
-                                 object engine's observation path
+non-ACK feedback                 no — needs the per-round observation
+                                 path (the *compiled* stepper covers
+                                 collision detection via its ternary
+                                 symbol columns)
 ``queue_discipline="fifo"``      no — FIFO heads depend on channel
                                  history; only the
                                  :class:`~repro.channel.traffic.QueueSimulator`
@@ -38,11 +42,12 @@ the object engine on the reduced spec.  FIFO traffic always runs on the
 dedicated object-engine :class:`~repro.channel.traffic.QueueSimulator`.
 
 ``engine="auto"`` (the default) routes vectorised-admissible specs to the
-vectorised engine, compiled-admissible ones (same channel-level
-capability subset — oblivious adversary, ACK feedback, no jammer
-objects, no traces — but with the protocol drawn from the *lowerable*
-machines instead of only schedules) to the compiled stepper, and
-everything else to the object engine.  ``engine="object"`` forces the
+vectorised engine, compiled-admissible ones (a wider capability set:
+the protocol drawn from the *lowerable* machines, the adversary either
+an oblivious schedule or one of the lowerable adaptive machines, and
+ACK-only or collision-detection feedback — still no jammer objects, no
+traces) to the compiled stepper, and everything else to the object
+engine.  ``engine="object"`` forces the
 reference engine (always legal); ``engine="vectorized"`` or
 ``engine="compiled"`` on an inadmissible spec raises
 :class:`EngineSelectionError` instead of silently running the wrong
@@ -73,7 +78,8 @@ from typing import Optional, Union
 
 import numpy as np
 
-from repro.adversary.base import WakeSchedule
+from repro.adversary.base import AdaptiveAdversary, WakeSchedule
+from repro.baselines.cd_adaptive import CdAimdProtocol
 from repro.channel.batched import run_batch
 from repro.channel.compiled import CompiledSimulator, run_compiled_batch
 from repro.channel.jamming import ScheduledJammer
@@ -85,7 +91,7 @@ from repro.channel.validate import validate_run
 from repro.channel.vectorized import VectorizedSimulator
 from repro.core.spec import RunSpec
 from repro.engine.cache import probability_table
-from repro.engine.compile import lowering_reason
+from repro.engine.compile import adversary_lowering_reason, lowering_reason
 from repro.telemetry import registry as telemetry
 
 __all__ = [
@@ -113,6 +119,35 @@ ENGINE_NAMES = ("auto", "object", "vectorized", "compiled", "cross-check")
 #: Process-wide default consulted when ``execute`` is called with
 #: ``engine=None`` — the hook the CLI's ``--engine`` flag sets.
 _default_engine = "auto"
+
+
+#: Shared dispatch-reason strings.  Each capability gap is spelled once
+#: here — the admissibility predicates, forced-engine errors and the docs'
+#: dispatch table all quote the same sentence, so the wording cannot
+#: drift between the two fast engines.
+_FIFO_REASON = (
+    "fifo queues serialise packets on channel history, which only the "
+    "QueueSimulator round loop materialises"
+)
+_ADAPTIVE_ADVERSARY_REASON = (
+    "adaptive adversaries react to channel history, which the batch "
+    "sampler never materialises; the lowerable adversary machines run on "
+    "the compiled stepper instead"
+)
+_JAMMER_REASON = (
+    "jammer objects may be adaptive; use jam_rounds for oblivious "
+    "jamming on the fast engines"
+)
+_CD_FEEDBACK_REASON = (
+    "non-ACK feedback needs the per-round observation path; the compiled "
+    "stepper's ternary symbol columns cover collision detection, the "
+    "batch sampler does not"
+)
+_CD_AIMD_ACK_REASON = (
+    "CdAimdProtocol requires collision-detection feedback; under ack-only "
+    "feedback the object engine raises its RuntimeError at the first "
+    "observation"
+)
 
 
 class EngineSelectionError(ValueError):
@@ -157,71 +192,68 @@ def vectorized_inadmissibility(spec: RunSpec) -> Optional[str]:
     """
     if spec.is_traffic_run:
         if spec.queue_discipline != "free":
-            return (
-                "fifo queues serialise packets on channel history, which "
-                "only the QueueSimulator round loop materialises"
-            )
+            return _FIFO_REASON
         # Free-discipline traffic is exactly its packet-level reduction.
         return vectorized_inadmissibility(traffic_reduction(spec))
     if not spec.is_schedule_run:
         return "protocol-factory runs need the object engine's round loop"
     if not isinstance(spec.adversary, WakeSchedule):
-        return (
-            "adaptive adversaries react to channel history, which the "
-            "batch sampler never materialises"
-        )
+        return _ADAPTIVE_ADVERSARY_REASON
     if spec.jammer is not None:
-        return (
-            "jammer objects may be adaptive; use jam_rounds for oblivious "
-            "jamming on the fast engine"
-        )
+        return _JAMMER_REASON
     if spec.record_trace:
         return "the vectorised engine keeps no per-round event log"
     if spec.feedback is not FeedbackModel.ACK_ONLY:
-        return (
-            "non-ACK feedback models only exist in the object engine's "
-            "observation path"
-        )
+        return _CD_FEEDBACK_REASON
     return None
 
 
 def compiled_inadmissibility(spec: RunSpec) -> Optional[str]:
     """Why ``spec`` cannot run on the compiled engine, or None if it can.
 
-    The channel-level capabilities are the vectorised engine's (oblivious
-    adversary, oblivious jamming only, no traces, ACK feedback); the
-    protocol capability is wider — any machine the lowering pass knows
+    Channel-level capabilities: oblivious jamming only (``jam_rounds``),
+    no traces, ACK-only *or* collision-detection feedback (the ternary
+    symbol columns), and any adversary that is either an oblivious
+    :class:`WakeSchedule` or one of the lowerable adaptive machines
+    (:func:`repro.engine.compile.adversary_lowering_reason`).  The
+    protocol capability is any machine the lowering pass knows
     (:func:`repro.engine.compile.lowering_reason`), probed on a fresh
-    instance via :attr:`RunSpec.protocol_probe`.
+    instance via :attr:`RunSpec.protocol_probe` — with the one coupling
+    rule that ``CdAimdProtocol`` also *requires* CD feedback.
     """
     if spec.is_traffic_run:
         if spec.queue_discipline != "free":
-            return (
-                "fifo queues serialise packets on channel history, which "
-                "only the QueueSimulator round loop materialises"
-            )
+            return _FIFO_REASON
         # Free-discipline traffic is exactly its packet-level reduction.
         return compiled_inadmissibility(traffic_reduction(spec))
     if not isinstance(spec.adversary, WakeSchedule):
-        return (
-            "adaptive adversaries react to channel history, which the "
-            "compiled stepper never materialises"
-        )
+        reason = adversary_lowering_reason(spec.adversary)
+        if reason is not None:
+            return reason
     if spec.jammer is not None:
-        return (
-            "jammer objects may be adaptive; use jam_rounds for oblivious "
-            "jamming on the fast engines"
-        )
+        return _JAMMER_REASON
     if spec.record_trace:
         return "the compiled engine keeps no per-round event log"
-    if spec.feedback is not FeedbackModel.ACK_ONLY:
+    if spec.feedback not in (
+        FeedbackModel.ACK_ONLY,
+        FeedbackModel.COLLISION_DETECTION,
+    ):
         return (
-            "non-ACK feedback models only exist in the object engine's "
-            "observation path"
+            f"feedback model {spec.feedback.value!r} has no compiled "
+            "symbol lowering"
         )
     if spec.is_schedule_run:
         return None
-    return lowering_reason(spec.protocol_probe)
+    probe = spec.protocol_probe
+    reason = lowering_reason(probe)
+    if reason is not None:
+        return reason
+    if (
+        type(probe) is CdAimdProtocol
+        and spec.feedback is not FeedbackModel.COLLISION_DETECTION
+    ):
+        return _CD_AIMD_ACK_REASON
+    return None
 
 
 def select_engine(spec: RunSpec) -> str:
@@ -330,11 +362,22 @@ def execute(spec: RunSpec, engine: Optional[str] = None) -> RunResult:
             return simulator.run()
     if isinstance(simulator, CompiledSimulator):
         telemetry.count("engine.select.compiled")
+        _count_compiled_capabilities(simulator.spec)
         with telemetry.span("engine.execute.compiled"):
             return simulator.run()
     telemetry.count("engine.select.object")
     with telemetry.span("engine.execute.object"):
         return simulator.run()
+
+
+def _count_compiled_capabilities(spec: RunSpec) -> None:
+    """Sub-counters under ``engine.select``: which widened capability a
+    compiled selection exercised (``repro stats`` renders them alongside
+    the per-engine selection counts)."""
+    if isinstance(spec.adversary, AdaptiveAdversary):
+        telemetry.count("engine.select.compiled.adaptive")
+    if spec.feedback is FeedbackModel.COLLISION_DETECTION:
+        telemetry.count("engine.select.compiled.cd")
 
 
 def execute_batch(
@@ -383,6 +426,7 @@ def execute_batch(
     comp_reason = compiled_inadmissibility(spec)
     if comp_reason is None:
         telemetry.count("engine.batch_fused_runs", len(seed_list))
+        _count_compiled_capabilities(base)
         return run_compiled_batch(base, seeds=seed_list)
     if engine == "compiled":
         raise EngineSelectionError(

@@ -56,6 +56,7 @@ __all__ = [
     "EVENT_BYTES",
     "STATION_BYTES",
     "COMPILED_STATION_BYTES",
+    "ADAPTIVE_LANE_BYTES",
     "SAFETY_FACTOR",
     "BatchMemoryError",
     "TilePlan",
@@ -91,6 +92,12 @@ STATION_BYTES = 160
 #: arrays plus each lane's ``SeedSequence``/``PCG64`` generator pair,
 #: which dominate (the compiled path has no event stream).
 COMPILED_STATION_BYTES = 1024
+
+#: Extra bytes per (rep, station) lane when the adversary is adaptive:
+#: the compiled stepper's dynamic-wake bookkeeping (per-repetition Mealy
+#: state and previous-outcome arrays broadcast over lanes, pending-start
+#: index buffers, the per-round outcome scratch).
+ADAPTIVE_LANE_BYTES = 64
 
 #: Measured safety factor between the model's estimate and the kernel's
 #: actual peak working set (sort scratch, fixpoint ``valid`` masks and
@@ -289,18 +296,31 @@ def _cost_parts(spec: RunSpec) -> tuple[int, int, float, int]:
         from repro.channel.traffic import traffic_reduction
 
         spec = traffic_reduction(spec)
+    from repro.adversary.base import AdaptiveAdversary
+
     horizon = spec.resolve_horizon()
     k = spec.k
+    # Adaptive adversaries run on the compiled stepper with extra
+    # per-lane dynamic-wake state; oblivious runs pay nothing.
+    per_station_extra = (
+        ADAPTIVE_LANE_BYTES
+        if isinstance(spec.adversary, AdaptiveAdversary)
+        else 0
+    )
     if spec.is_schedule_run:
         hazard = _hazard_total(spec, horizon)
         events = k * max(hazard, 1.0)
         event_bytes = int(SAFETY_FACTOR * events * EVENT_BYTES)
-        station_bytes = int(SAFETY_FACTOR * k * STATION_BYTES)
+        station_bytes = int(
+            SAFETY_FACTOR * k * (STATION_BYTES + per_station_extra)
+        )
     else:
         # Compiled/object batches have no event stream; lanes dominate.
         hazard = 0.0
         event_bytes = 0
-        station_bytes = int(SAFETY_FACTOR * k * COMPILED_STATION_BYTES)
+        station_bytes = int(
+            SAFETY_FACTOR * k * (COMPILED_STATION_BYTES + per_station_extra)
+        )
     return event_bytes, station_bytes, hazard, horizon
 
 

@@ -4,10 +4,15 @@ adversary", verified.
 Every upper-bound theorem in the paper closes with "the result holds even
 against an adaptive adversary".  The Table 1 sweeps use the oblivious pool
 (they run on the vectorised engine); this experiment closes the gap by
-running all three paper protocols under the *online* adversary pool on the
-object engine, at a moderate ``k``, and comparing against each protocol's
-worst oblivious figure.  The paper predicts: no blow-up — the adaptive
-adversary buys at most constants.
+running all three paper protocols under the *online* adversary pool, at a
+moderate ``k``, and comparing against each protocol's worst oblivious
+figure.  The paper predicts: no blow-up — the adaptive adversary buys at
+most constants.
+
+The adversary pool's machines are all lowerable
+(``repro.engine.compile.compile_adversary``), so since PR 9 these runs
+auto-route to the compiled stepper (batched, tiled, ``--jobs``-sharded)
+instead of the per-round object loop — byte-identically.
 """
 
 from __future__ import annotations

@@ -7,6 +7,11 @@ the row with the classical MIMD contention estimator
 the paper's **CD-free** ``AdaptiveNoK`` — the comparison the paper itself
 makes: "our adaptive algorithm exhibits the same optimal performance on
 latency even in the more severe setting without collision detection."
+
+``CdAimdProtocol`` lowers to a finite window-lattice walk over the
+compiled stepper's ternary CD symbol columns, so since PR 9 both sides
+of this row run on the fast path (batched, tiled, ``--jobs``-sharded)
+instead of the per-round object loop — byte-identically.
 """
 
 from __future__ import annotations

@@ -25,6 +25,7 @@ import pytest
 from repro.adversary.base import FixedSchedule
 from repro.adversary.adaptive import WakeOnSuccessAdversary
 from repro.baselines.backoff import BinaryExponentialBackoff
+from repro.baselines.cd_adaptive import CdAimdProtocol
 from repro.channel.compiled import CompiledSimulator
 from repro.channel.feedback import FeedbackModel
 from repro.channel.jamming import RandomJammer, ScheduledJammer
@@ -113,12 +114,10 @@ def test_admissible_spec_selects_vectorized():
 @pytest.mark.parametrize(
     "overrides",
     [
-        {"adversary": WakeOnSuccessAdversary(seed_group=2, refill=2)},
         {"jammer": RandomJammer(0.1)},
         {"record_trace": True},
-        {"feedback": FeedbackModel.COLLISION_DETECTION},
     ],
-    ids=["adaptive-adversary", "jammer", "trace", "feedback"],
+    ids=["jammer", "trace"],
 )
 def test_inadmissible_specs_fall_back_to_object(overrides):
     spec = schedule_spec(**overrides)
@@ -127,6 +126,31 @@ def test_inadmissible_specs_fall_back_to_object(overrides):
         assert isinstance(reason, str) and reason
     assert select_engine(spec) == "object"
     assert isinstance(build_simulator(spec, "auto"), SlotSimulator)
+
+
+@pytest.mark.parametrize(
+    "overrides",
+    [
+        {"adversary": WakeOnSuccessAdversary(seed_group=2, refill=2)},
+        {"feedback": FeedbackModel.COLLISION_DETECTION},
+        {
+            "adversary": WakeOnSuccessAdversary(seed_group=2, refill=2),
+            "feedback": FeedbackModel.COLLISION_DETECTION,
+        },
+    ],
+    ids=["adaptive-adversary", "cd-feedback", "adaptive-cd"],
+)
+def test_adaptive_and_cd_specs_select_compiled(overrides):
+    # PR 9: lowerable adaptive adversaries and ternary CD symbols run on
+    # the compiled stepper; only the batch sampler stays out of reach.
+    spec = schedule_spec(**overrides)
+    assert vectorized_inadmissibility(spec) is not None
+    assert compiled_inadmissibility(spec) is None
+    assert select_engine(spec) == "compiled"
+    assert isinstance(build_simulator(spec, "auto"), CompiledSimulator)
+    compiled = execute(spec, engine="compiled")
+    reference = execute(spec, engine="object")
+    assert result_key(compiled) == result_key(reference)
 
 
 def test_lowerable_factory_selects_compiled():
@@ -194,19 +218,29 @@ def test_dispatch_matrix(family, adversary, feedback):
         adversary=_OBLIVIOUS if adversary == "oblivious" else _ADAPTIVE,
         feedback=feedback,
     )
-    if adversary == "oblivious" and feedback is FeedbackModel.ACK_ONLY:
+    if family == "backoff-baseline":
+        expected = "object"  # no table lowering, regardless of the cell
+    elif adversary == "oblivious" and feedback is FeedbackModel.ACK_ONLY:
         expected = _OBLIVIOUS_ACK_ENGINE[family]
     else:
-        expected = "object"
+        # Adaptive adversary and/or CD feedback: the batch sampler is out,
+        # but the compiled stepper covers every lowerable machine.
+        expected = "compiled"
     assert select_engine(spec) == expected
+
+
+class _TweakedWakeOnSuccess(WakeOnSuccessAdversary):
+    """Subclass: may override wake_now, so the lowering must not claim it."""
 
 
 _STABLE_COMPILED_REASONS = [
     ({"record_trace": True}, "the compiled engine keeps no per-round event log"),
     (
-        {"adversary": WakeOnSuccessAdversary(seed_group=2, refill=2)},
-        "adaptive adversaries react to channel history, which the "
-        "compiled stepper never materialises",
+        {"adversary": _TweakedWakeOnSuccess(seed_group=2, refill=2)},
+        "adversary _TweakedWakeOnSuccess has no table lowering; the "
+        "compiled stepper only runs the adversary state machines it knows "
+        "(BurstOnQuietAdversary, WakeOnSuccessAdversary, "
+        "AntiLeaderAdversary, DripFeedAdversary)",
     ),
     (
         {"jammer": RandomJammer(0.1)},
@@ -214,9 +248,10 @@ _STABLE_COMPILED_REASONS = [
         "jamming on the fast engines",
     ),
     (
-        {"feedback": FeedbackModel.COLLISION_DETECTION},
-        "non-ACK feedback models only exist in the object engine's "
-        "observation path",
+        {"protocol": make_factory(CdAimdProtocol)},
+        "CdAimdProtocol requires collision-detection feedback; under "
+        "ack-only feedback the object engine raises its RuntimeError at "
+        "the first observation",
     ),
 ]
 
@@ -224,7 +259,7 @@ _STABLE_COMPILED_REASONS = [
 @pytest.mark.parametrize(
     "overrides, reason",
     _STABLE_COMPILED_REASONS,
-    ids=["trace", "adaptive-adversary", "jammer", "feedback"],
+    ids=["trace", "unlowerable-adversary", "jammer", "cd-aimd-under-ack"],
 )
 def test_forced_compiled_reason_strings_are_stable(overrides, reason):
     spec = protocol_spec(**overrides)

@@ -29,6 +29,7 @@ from __future__ import annotations
 from collections.abc import Sequence
 
 import numpy as np
+import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
@@ -462,3 +463,134 @@ def test_compiled_handles_simultaneous_wakes_and_k_one():
             seed=3,
         )
         assert_compiled_byte_identical(spec)
+
+
+# ------------------------------------- compiled adaptive + CD feedback fuzz
+#
+# PR 9 widens the compiled stepper to the adaptive adversaries (lowered to
+# Mealy tables over the ternary silence/success/collision outcome) and to
+# ``FeedbackModel.COLLISION_DETECTION`` (ternary symbol columns, including
+# the ``CdAimdProtocol`` window-lattice walk).  Byte identity must hold on
+# that whole new axis too: every lowerable adversary x every lowerable
+# protocol x both feedback models, with jamming and tight horizons mixed
+# in, object == compiled == fused-batch per seed.
+
+from repro.adversary.adaptive import (  # noqa: E402
+    AntiLeaderAdversary,
+    BurstOnQuietAdversary,
+    DripFeedAdversary,
+    WakeOnSuccessAdversary,
+)
+from repro.baselines.cd_adaptive import CdAimdProtocol  # noqa: E402
+from repro.channel.feedback import FeedbackModel  # noqa: E402
+
+_ADAPTIVE_ADVERSARIES = {
+    "burst-on-quiet": lambda c: BurstOnQuietAdversary(
+        burst=c(st.integers(1, 6)), quiet=c(st.integers(1, 6))
+    ),
+    "wake-on-success": lambda c: WakeOnSuccessAdversary(
+        seed_group=c(st.integers(1, 4)), refill=c(st.integers(1, 4))
+    ),
+    "anti-leader": lambda c: AntiLeaderAdversary(flood=c(st.integers(1, 6))),
+    "drip-feed": lambda c: DripFeedAdversary(interval=c(st.integers(1, 6))),
+}
+
+
+@st.composite
+def compiled_adaptive_configs(c):
+    adv_kind = c(st.sampled_from(sorted(_ADAPTIVE_ADVERSARIES) + ["oblivious"]))
+    proto_kind = c(st.sampled_from(sorted(_LOWERABLE) + ["schedule", "cd-aimd"]))
+    cd = True if proto_kind == "cd-aimd" else c(st.booleans())
+    k = c(st.integers(1, 8))
+    if adv_kind == "oblivious":
+        adversary = FixedSchedule(
+            c(st.lists(st.integers(0, MAX_WAKE), min_size=k, max_size=k))
+        )
+    else:
+        adversary = _ADAPTIVE_ADVERSARIES[adv_kind](c)
+    stop = c(st.sampled_from(sorted(StopCondition, key=lambda s: s.value)))
+    max_rounds = c(st.integers(MIN_ROUNDS, 400))
+    jam = c(st.one_of(
+        st.none(),
+        st.sets(st.integers(1, 400), min_size=1, max_size=40),
+    ))
+    seed = c(st.integers(0, 2**31 - 1))
+    if proto_kind == "schedule":
+        protocol = StochasticSchedule(
+            c(st.lists(st.floats(0.0, 1.0, allow_nan=False),
+                       min_size=1, max_size=MAX_PATTERN))
+        )
+    elif proto_kind == "cd-aimd":
+        protocol = make_factory(CdAimdProtocol)
+    else:
+        protocol = make_factory(_LOWERABLE[proto_kind])
+    return protocol, adversary, cd, k, stop, max_rounds, jam, seed
+
+
+def compiled_adaptive_spec(config) -> RunSpec:
+    protocol, adversary, cd, k, stop, max_rounds, jam, seed = config
+    return RunSpec(
+        k=k,
+        protocol=protocol,
+        adversary=adversary,
+        feedback=(
+            FeedbackModel.COLLISION_DETECTION if cd else FeedbackModel.ACK_ONLY
+        ),
+        stop=stop,
+        max_rounds=max_rounds,
+        jam_rounds=None if jam is None else tuple(jam),
+        seed=seed,
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(compiled_adaptive_configs())
+def test_compiled_adaptive_and_cd_byte_identical(config):
+    """object == compiled == fused-batch on the adaptive/CD axis: every
+    lowerable adversary machine and ``CdAimdProtocol`` under both feedback
+    models, mixed with jamming, stop conditions and tight horizons."""
+    assert_compiled_byte_identical(compiled_adaptive_spec(config))
+
+
+# Fixed-seed trajectory anchors: these pin the *object engine's* observable
+# trajectory for the two adversaries whose lowering is subtlest (the
+# anti-leader success-edge detector and the drip-feed modular clock), so a
+# regression in either engine — not just a divergence between them — fails
+# loudly.  Values were captured from the object engine at the pinned seeds.
+
+_TRAJECTORY_ANCHORS = [
+    (
+        "anti-leader",
+        AntiLeaderAdversary(flood=5),
+        dict(rounds_executed=224, success_count=24, total_transmissions=463),
+    ),
+    (
+        "drip-feed",
+        DripFeedAdversary(interval=3),
+        dict(rounds_executed=234, success_count=24, total_transmissions=421),
+    ),
+]
+
+
+@pytest.mark.parametrize(
+    "adversary, expected",
+    [(a, e) for _, a, e in _TRAJECTORY_ANCHORS],
+    ids=[name for name, _, _ in _TRAJECTORY_ANCHORS],
+)
+def test_compiled_adaptive_trajectory_anchors(adversary, expected):
+    spec = RunSpec(
+        k=24,
+        protocol=make_factory(AdaptiveNoK),
+        adversary=adversary,
+        stop=StopCondition.ALL_SWITCHED_OFF,
+        max_rounds=2000,
+        seed=20260808,
+    )
+    obj = execute(spec, "object")
+    comp = execute(spec, "compiled")
+    assert_results_identical(spec, obj, comp)
+    for result in (obj, comp):
+        assert result.completed
+        assert result.rounds_executed == expected["rounds_executed"]
+        assert result.success_count == expected["success_count"]
+        assert result.total_transmissions == expected["total_transmissions"]

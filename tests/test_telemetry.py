@@ -203,6 +203,50 @@ class TestForkMerge:
         assert telemetry.snapshot()["hist_stats"]["executor.task_seconds"][0] == 1
 
 
+class TestCompiledCapabilityCounters:
+    def _adaptive_spec(self, **overrides):
+        from repro.adversary.adaptive import BurstOnQuietAdversary
+        from repro.core.protocols import AdaptiveNoK
+
+        factory = lambda: AdaptiveNoK()  # noqa: E731
+        factory.protocol_name = "AdaptiveNoK"
+        base = dict(
+            k=4,
+            protocol=factory,
+            adversary=BurstOnQuietAdversary(burst=2, quiet=3),
+            stop=StopCondition.ALL_SUCCEEDED,
+            max_rounds=400,
+            seed=7,
+        )
+        base.update(overrides)
+        return RunSpec(**base)
+
+    def test_adaptive_and_cd_selections_are_counted(self):
+        from repro.channel.feedback import FeedbackModel
+
+        telemetry.enable()
+        execute(self._adaptive_spec())
+        execute(self._adaptive_spec(
+            feedback=FeedbackModel.COLLISION_DETECTION, seed=8,
+        ))
+        counters = telemetry.snapshot()["counters"]
+        assert counters["engine.select.compiled"] == 2
+        assert counters["engine.select.compiled.adaptive"] == 2
+        assert counters["engine.select.compiled.cd"] == 1
+
+    def test_capability_counters_render_in_stats(self, tmp_path):
+        from repro.channel.feedback import FeedbackModel
+
+        telemetry.enable()
+        execute(self._adaptive_spec(
+            feedback=FeedbackModel.COLLISION_DETECTION,
+        ))
+        tel_export.export_to_dir(tmp_path)
+        text = render_stats(tmp_path)
+        assert "engine.select.compiled.adaptive" in text
+        assert "engine.select.compiled.cd" in text
+
+
 class TestExport:
     def test_export_round_trip(self, tmp_path):
         telemetry.enable()
