@@ -41,6 +41,7 @@ BENCH_SUITES = [
     "benchmarks/test_bench_compiled.py",
     "benchmarks/test_bench_streaming.py",
     "benchmarks/test_bench_adaptive.py",
+    "benchmarks/test_bench_faults.py",
 ]
 #: The two cases whose median ratio is the batching speedup.
 BASELINE_CASE = "test_bench_per_run_vectorized_loop"
@@ -66,6 +67,13 @@ OBJECT_BURST_CASE = "test_bench_object_burst_loop"
 COMPILED_BURST_CASE = "test_bench_compiled_burst_batch"
 OBJECT_CD_CASE = "test_bench_object_cd_loop"
 COMPILED_CD_CASE = "test_bench_compiled_cd_batch"
+#: PR 10: the fault subsystem.  faulted/clean kernel ratio is the cost of
+#: the fault path itself (``fault_overhead``, should hover near 1.0x);
+#: the per-run-loop/faulted-kernel ratio is the batching win the fault
+#: lowering preserves (``fault_path_speedup``).
+FAULT_NONE_CASE = "test_bench_fault_none_kernel"
+FAULT_BATCHED_CASE = "test_bench_fault_batched_kernel"
+FAULT_PER_RUN_CASE = "test_bench_fault_per_run_loop"
 
 
 def git_sha() -> str:
@@ -183,6 +191,17 @@ def normalise(report: dict, reps: int | None) -> dict:
         entry["cd_speedup"] = round(
             obj_cd["median_ns"] / comp_cd["median_ns"], 2
         )
+    fault_none = cases.get(FAULT_NONE_CASE)
+    fault_batched = cases.get(FAULT_BATCHED_CASE)
+    fault_per_run = cases.get(FAULT_PER_RUN_CASE)
+    if fault_none and fault_batched and fault_none["median_ns"] > 0:
+        entry["fault_overhead"] = round(
+            fault_batched["median_ns"] / fault_none["median_ns"], 2
+        )
+    if fault_per_run and fault_batched and fault_batched["median_ns"] > 0:
+        entry["fault_path_speedup"] = round(
+            fault_per_run["median_ns"] / fault_batched["median_ns"], 2
+        )
     return entry
 
 
@@ -263,6 +282,18 @@ def main(argv: list[str] | None = None) -> int:
         print(
             "compiled CD-feedback speedup over per-run object loop: "
             f"{cd_speedup:.2f}x"
+        )
+    fault_overhead = entry.get("fault_overhead")
+    if fault_overhead is not None:
+        print(
+            "faulted kernel cost over the clean kernel: "
+            f"{fault_overhead:.2f}x"
+        )
+    fault_path_speedup = entry.get("fault_path_speedup")
+    if fault_path_speedup is not None:
+        print(
+            "faulted batched speedup over faulted per-run loop: "
+            f"{fault_path_speedup:.2f}x"
         )
     print(f"trajectory updated: {args.out} @ {sha[:12]}")
 

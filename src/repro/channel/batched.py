@@ -207,6 +207,11 @@ def _check_batchable(spec: RunSpec) -> None:
             "run_batch only models ACK feedback: spec.feedback is "
             f"{spec.feedback.value!r}"
         )
+    if spec.faults is not None and spec.faults.energy_budget is not None:
+        raise ValueError(
+            "run_batch does not model energy budgets: "
+            "spec.faults.energy_budget is set; use the object engine"
+        )
 
 
 def _segment_singletons(
@@ -542,6 +547,29 @@ def _run_tile(
         ev_jammed = np.isin(g, np.asarray(spec.jam_rounds, dtype=np.int64))
     else:
         ev_jammed = np.zeros(g.size, dtype=bool)
+    # Oblivious faults lower as post-resolution outcome rewrites: a fault
+    # round can carry no *observed* success (noise corrupts the slot; ack
+    # loss keeps the schedule-following winner contending), which under
+    # schedule semantics is exactly the jammed-round treatment.  Fault
+    # rounds are per repetition (each rep draws its own plan from its own
+    # seed), so membership is tested on the (rep, round) composite key.
+    ev_noise: Optional[np.ndarray] = None
+    ev_fault: Optional[np.ndarray] = None
+    ev_dead = ev_jammed
+    if spec.faults is not None:
+        fault_parts: list[np.ndarray] = []
+        noise_parts: list[np.ndarray] = []
+        with telemetry.span("fault.plan"):
+            for r, seed in enumerate(seed_list):
+                fault_plan = spec.faults.plan(seed, max_rounds)
+                rep_base = np.int64(r) << np.int64(sp)
+                fault_parts.append(rep_base + fault_plan.fault_rounds)
+                noise_parts.append(rep_base + fault_plan.noise_rounds)
+        fault_keys = np.concatenate(fault_parts)
+        noise_keys = np.concatenate(noise_parts)
+        ev_fault = np.isin(gk, fault_keys)
+        ev_noise = np.isin(gk, noise_keys)
+        ev_dead = ev_jammed | ev_fault
     if phase:
         phase.lap("batched.sort")
         telemetry.count("batched.events", int(key.size))
@@ -571,7 +599,7 @@ def _run_tile(
         # never changes; under FIRST_SUCCESS the run ends at the first
         # success, so no ack can have removed events before any round the
         # result reports (everything past the stop round is masked below).
-        singles = _segment_singletons(gk, ev_jammed)
+        singles = _segment_singletons(gk, ev_dead)
         np.minimum.at(win, s[singles], g[singles])
     else:
         # The fixpoint's transient copies (valid mask, filtered slices,
@@ -585,7 +613,7 @@ def _run_tile(
             n_windows = (int(max_rounds) - 1) // tile_rounds + 1
         if n_windows <= 1 or key.size == 0:
             win, passes = _ack_fixpoint(
-                win, s, g, gk, ev_rep, ev_jammed, R, k
+                win, s, g, gk, ev_rep, ev_dead, R, k
             )
         else:
             # Stable sort on the window index keeps each window's events
@@ -600,7 +628,7 @@ def _run_tile(
                     continue
                 win, w_passes = _ack_fixpoint(
                     win, s[idx], g[idx], gk[idx], ev_rep[idx],
-                    ev_jammed[idx], R, k,
+                    ev_dead[idx], R, k,
                 )
                 passes += w_passes
             passes = max(passes, 1)
@@ -633,6 +661,18 @@ def _run_tile(
     if ack:
         cutoff = np.minimum(cutoff, win[s])
     attempts = np.bincount(s[g <= cutoff], minlength=R * k).reshape(R, k)
+
+    if ev_fault is not None and telemetry.enabled():
+        # Suppressed would-be successes, matching the object engine's
+        # per-round attribution: singleton among live pre-stop events,
+        # not jammed; noise wins when both components drew the round.
+        live = g <= cutoff
+        singles = _segment_singletons(gk[live], ev_jammed[live])
+        fault_hits = int(np.count_nonzero(ev_fault[live][singles]))
+        noise_hits = int(np.count_nonzero(ev_noise[live][singles]))
+        telemetry.count("fault.runs", R)
+        telemetry.count("fault.slots_corrupted", noise_hits)
+        telemetry.count("fault.acks_dropped", fault_hits - noise_hits)
 
     completed = t_stop < _INF
     rounds_executed = np.where(completed, t_stop, max_rounds)

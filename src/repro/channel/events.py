@@ -63,6 +63,12 @@ class RoundEvent:
             without collision detection the two are indistinguishable
             anyway.  Both engines account jammed empty rounds as
             non-events.
+        corrupted: True iff channel noise (:class:`~repro.faults.SlotNoise`)
+            corrupted the slot.  Same outcome algebra as ``jammed``: a
+            corrupted round with a unique transmitter is recorded as
+            COLLISION — the noise destroys the would-be success.  Noise on
+            empty or already-colliding rounds is unobservable and never
+            recorded.
     """
 
     round_index: int
@@ -71,13 +77,14 @@ class RoundEvent:
     winner: Optional[int] = None
     message: Optional[object] = None
     jammed: bool = False
+    corrupted: bool = False
 
     def __post_init__(self) -> None:
-        if self.jammed and self.transmitter_count > 0:
+        if (self.jammed or self.corrupted) and self.transmitter_count > 0:
             if self.outcome is not RoundOutcome.COLLISION:
                 raise ValueError(
-                    "a jammed round with transmitters must be recorded as "
-                    "COLLISION"
+                    "a jammed or noise-corrupted round with transmitters "
+                    "must be recorded as COLLISION"
                 )
         else:
             expected = RoundOutcome.from_transmitter_count(self.transmitter_count)

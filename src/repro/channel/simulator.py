@@ -54,6 +54,11 @@ class SlotSimulator:
         record_trace: keep the full per-round event log on the result.
         jammer: optional :class:`~repro.channel.jamming.Jammer`; a jammed
             round carries no successful transmission.
+        faults: optional :class:`~repro.faults.FaultModel`; the object
+            engine supports every component (noise, ack loss, energy
+            budgets).  The fault plan is drawn from its own salted
+            SeedSequence, so attaching faults never shifts the
+            adversary/station streams.
     """
 
     def __init__(
@@ -68,6 +73,7 @@ class SlotSimulator:
         seed: Optional[int] = None,
         record_trace: bool = False,
         jammer=None,
+        faults=None,
     ):
         if k < 1:
             raise ValueError(f"need at least one station, got k={k}")
@@ -80,12 +86,27 @@ class SlotSimulator:
         self.seed = seed
         self.record_trace = record_trace
         self.jammer = jammer
+        self.faults = faults
 
     def run(self) -> RunResult:
         rng_factory = RngFactory(self.seed)
         adversary_rng = rng_factory.next_generator()
         if self.jammer is not None:
             self.jammer.begin(rng_factory.next_generator())
+
+        noise_set: frozenset = frozenset()
+        ack_set: frozenset = frozenset()
+        energy_cap: Optional[int] = None
+        slots_corrupted = 0
+        acks_dropped = 0
+        stations_exhausted = 0
+        if self.faults is not None:
+            with telemetry.span("fault.plan"):
+                fault_plan = self.faults.plan(self.seed, self.max_rounds)
+            noise_set = fault_plan.noise_set
+            ack_set = fault_plan.ack_set
+            if self.faults.energy_budget is not None:
+                energy_cap = self.faults.energy_budget.charges
 
         adaptive = isinstance(self.adversary, AdaptiveAdversary)
         if adaptive:
@@ -176,6 +197,19 @@ class SlotSimulator:
                 # silent, exactly as the vectorised engine (which never
                 # materialises transmitter-free rounds) accounts for it.
                 outcome = RoundOutcome.from_transmitter_count(m)
+            # Fault hooks: noise corrupts a would-be success into a
+            # collision; ack loss keeps the success on the air but drops
+            # the winner's acknowledgement.  Noise wins when both fire.
+            ack_dropped = False
+            corrupted = False
+            if outcome is RoundOutcome.SUCCESS:
+                if t in noise_set:
+                    outcome = RoundOutcome.COLLISION
+                    corrupted = True
+                    slots_corrupted += 1
+                elif t in ack_set:
+                    ack_dropped = True
+                    acks_dropped += 1
             winner: Optional[Station] = None
             delivered: Optional[object] = None
             if outcome is RoundOutcome.SUCCESS:
@@ -188,6 +222,7 @@ class SlotSimulator:
                 winner=winner.station_id if winner is not None else None,
                 message=delivered,
                 jammed=jammed,
+                corrupted=corrupted,
             )
             history.append(event)
             if sample and t % sample == 0:
@@ -214,7 +249,9 @@ class SlotSimulator:
                     local_round=local,
                     transmitted=did_transmit,
                     outcome=outcome,
-                    is_winner=winner is not None and station is winner,
+                    is_winner=(
+                        winner is not None and station is winner and not ack_dropped
+                    ),
                     delivered=delivered,
                     model=self.feedback,
                 )
@@ -222,6 +259,18 @@ class SlotSimulator:
                 station.observe(obs, t)
                 if station.first_success_round is not None and not was_succeeded:
                     succeeded += 1
+
+            # 4b. Energy budget: a station that has spent its charges is
+            # switched off at the end of the round, succeeded or not.
+            if energy_cap is not None:
+                for station in active:
+                    if (
+                        station.active
+                        and station.transmissions + station.listening_slots
+                        >= energy_cap
+                    ):
+                        station.switch_off_round = t
+                        stations_exhausted += 1
 
             # 5. Retire switched-off stations.
             still_active = [s for s in active if s.active]
@@ -246,6 +295,11 @@ class SlotSimulator:
             telemetry.count("simulator.successes", tallies[RoundOutcome.SUCCESS])
             telemetry.count("simulator.collisions", tallies[RoundOutcome.COLLISION])
             telemetry.count("simulator.silent_rounds", tallies[RoundOutcome.SILENCE])
+            if self.faults is not None:
+                telemetry.count("fault.runs")
+                telemetry.count("fault.slots_corrupted", slots_corrupted)
+                telemetry.count("fault.acks_dropped", acks_dropped)
+                telemetry.count("fault.stations_exhausted", stations_exhausted)
         return RunResult(
             records=[s.record() for s in stations],
             rounds_executed=t,

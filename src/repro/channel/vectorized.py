@@ -178,6 +178,14 @@ class VectorizedSimulator:
             oblivious jammer (see :func:`repro.channel.jamming.draw_jam_rounds`);
             a jammed round can carry no success, but attempts in it still
             cost energy.
+        faults: optional :class:`~repro.faults.FaultModel`.  Oblivious
+            noise and ack loss lower onto this engine exactly: under
+            schedule semantics a corrupted success and a dropped ack are
+            observationally identical (the would-be winner keeps
+            following its schedule, no ack, no switch-off), so fault
+            rounds are treated like jammed rounds in the singleton
+            sweep.  Energy budgets mutate per-station liveness
+            mid-protocol and are rejected here (object engine only).
     """
 
     def __init__(
@@ -192,6 +200,7 @@ class VectorizedSimulator:
         seed: Optional[int] = None,
         prob_table: Optional[np.ndarray] = None,
         jam_rounds=None,
+        faults=None,
     ):
         if k < 1:
             raise ValueError(f"need at least one station, got k={k}")
@@ -201,6 +210,11 @@ class VectorizedSimulator:
             raise TypeError(
                 "VectorizedSimulator only supports oblivious WakeSchedule "
                 "adversaries; use SlotSimulator for adaptive adversaries"
+            )
+        if faults is not None and faults.energy_budget is not None:
+            raise TypeError(
+                "VectorizedSimulator does not model energy budgets; "
+                "use SlotSimulator for EnergyBudget faults"
             )
         self.k = k
         self.schedule = schedule
@@ -213,6 +227,7 @@ class VectorizedSimulator:
         self._jam_rounds = (
             frozenset(int(r) for r in jam_rounds) if jam_rounds is not None else None
         )
+        self.faults = faults
 
     def run(self) -> RunResult:
         phase = telemetry.timer()
@@ -254,6 +269,16 @@ class VectorizedSimulator:
         if phase:
             phase.lap("vectorized.sample")
 
+        fault_set: frozenset = frozenset()
+        noise_set: frozenset = frozenset()
+        slots_corrupted = 0
+        acks_dropped = 0
+        if self.faults is not None:
+            with telemetry.span("fault.plan"):
+                fault_plan = self.faults.plan(self.seed, self.max_rounds)
+            fault_set = fault_plan.fault_set
+            noise_set = fault_plan.noise_set
+
         first_success = np.full(self.k, -1, dtype=np.int64)
         alive = np.ones(self.k, dtype=bool)
         attempts = np.zeros(self.k, dtype=np.int64)
@@ -287,8 +312,17 @@ class VectorizedSimulator:
             idx = end
             live = group[alive[group]]
             attempts[live] += 1
-            jammed = self._jam_rounds is not None and int(t) in self._jam_rounds
-            if live.size == 1 and not jammed:
+            ti = int(t)
+            jammed = self._jam_rounds is not None and ti in self._jam_rounds
+            faulted = ti in fault_set
+            if live.size == 1 and not jammed and faulted:
+                # A would-be success suppressed by a fault: attribute it
+                # (noise wins over ack loss, as in the object engine).
+                if ti in noise_set:
+                    slots_corrupted += 1
+                else:
+                    acks_dropped += 1
+            if live.size == 1 and not jammed and not faulted:
                 winner = int(live[0])
                 if first_success[winner] < 0:
                     first_success[winner] = t
@@ -304,6 +338,10 @@ class VectorizedSimulator:
             phase.lap("vectorized.sweep")
             telemetry.count("vectorized.runs")
             telemetry.count("vectorized.events", n)
+        if self.faults is not None and telemetry.enabled():
+            telemetry.count("fault.runs")
+            telemetry.count("fault.slots_corrupted", slots_corrupted)
+            telemetry.count("fault.acks_dropped", acks_dropped)
 
         if not completed:
             rounds_executed = self.max_rounds

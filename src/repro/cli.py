@@ -135,6 +135,21 @@ def main(argv: list[str] | None = None) -> int:
         "fixpoint's transient working set)",
     )
     run_parser.add_argument(
+        "--noise", metavar="P", type=float, default=None,
+        help="inject channel noise: each round is corrupted (success -> "
+        "collision) independently with probability P; see docs/faults.md",
+    )
+    run_parser.add_argument(
+        "--ack-loss", metavar="P", type=float, default=None,
+        help="drop the winner's acknowledgement with probability P per "
+        "successful round; the sender keeps contending",
+    )
+    run_parser.add_argument(
+        "--energy-budget", metavar="E", type=int, default=None,
+        help="give each station E transmit/listen charges; an exhausted "
+        "station switches off (forces the object engine)",
+    )
+    run_parser.add_argument(
         "--telemetry", metavar="DIR", default=None,
         help="enable the telemetry registry for the run and export a JSONL "
         "span/event log plus an OpenMetrics snapshot into DIR "
@@ -203,6 +218,19 @@ def main(argv: list[str] | None = None) -> int:
         help="rounds per ack-resolution window inside a tile",
     )
     suite_parser.add_argument(
+        "--noise", metavar="P", type=float, default=None,
+        help="inject channel noise into every run of the suite "
+        "(success -> collision with probability P per round)",
+    )
+    suite_parser.add_argument(
+        "--ack-loss", metavar="P", type=float, default=None,
+        help="drop acknowledgements with probability P in every run",
+    )
+    suite_parser.add_argument(
+        "--energy-budget", metavar="E", type=int, default=None,
+        help="per-station charge budget for every run (object engine)",
+    )
+    suite_parser.add_argument(
         "--telemetry", metavar="DIR", default=None,
         help="enable the telemetry registry for the whole suite and export "
         "JSONL + OpenMetrics artefacts into DIR",
@@ -265,6 +293,9 @@ def main(argv: list[str] | None = None) -> int:
                 memory_budget=args.memory_budget,
                 tile_reps=args.tile_reps,
                 tile_rounds=args.tile_rounds,
+                noise=args.noise,
+                ack_loss=args.ack_loss,
+                energy_budget=args.energy_budget,
             )
         except KeyError as error:
             print(error.args[0], file=sys.stderr)
@@ -286,6 +317,9 @@ def main(argv: list[str] | None = None) -> int:
             memory_budget=args.memory_budget,
             tile_reps=args.tile_reps,
             tile_rounds=args.tile_rounds,
+            noise=args.noise,
+            ack_loss=args.ack_loss,
+            energy_budget=args.energy_budget,
             **overrides,
         )
     except KeyError as error:

@@ -35,6 +35,7 @@ from repro.adversary.base import AdaptiveAdversary, ArrivalProcess, WakeSchedule
 from repro.channel.feedback import FeedbackModel
 from repro.channel.results import StopCondition
 from repro.core.protocol import ProbabilitySchedule, Protocol, ScheduleProtocol
+from repro.faults import FaultModel
 
 __all__ = [
     "RunSpec",
@@ -149,6 +150,11 @@ class RunSpec:
             independently — engine-portable via the traffic reduction) or
             ``"fifo"`` (stations serialise their queue — object engine
             only).  Only meaningful for traffic runs.
+        faults: a :class:`~repro.faults.FaultModel` describing channel
+            noise, ack loss, and/or per-station energy budgets; ``None``
+            (the default) is the paper's ideal channel.  Oblivious
+            noise/ack-loss runs on every engine; energy budgets force the
+            object engine.  Not supported with ``fifo`` queueing.
         seed: base seed for all randomness (None = OS entropy; such a spec
             cannot be journaled).
         label: reporting label; folded into protocol-run fingerprints to
@@ -167,6 +173,7 @@ class RunSpec:
     jam_rounds: Optional[tuple[int, ...]] = None
     arrivals: Optional[ArrivalProcess] = None
     queue_discipline: str = "free"
+    faults: Optional[FaultModel] = None
     seed: Optional[int] = None
     label: str = ""
 
@@ -223,6 +230,16 @@ class RunSpec:
             object.__setattr__(
                 self, "jam_rounds", tuple(sorted({int(r) for r in rounds}))
             )
+        if self.faults is not None:
+            if not isinstance(self.faults, FaultModel):
+                raise TypeError(
+                    f"faults must be a FaultModel, got {type(self.faults).__name__}"
+                )
+            if self.arrivals is not None and self.queue_discipline == "fifo":
+                raise ValueError(
+                    "faults are not supported with fifo queueing: the queue "
+                    "simulator has no fault path; use the free discipline"
+                )
 
     # ------------------------------------------------------------------ kind
 
@@ -344,6 +361,7 @@ class RunSpec:
             )
         else:
             adv_token = adversary_token(self.adversary, self.k)
+        fault_token: object = None if self.faults is None else self.faults.token()
         if self.is_schedule_run:
             if prob_table is None:
                 from repro.engine.cache import probability_table
@@ -363,6 +381,7 @@ class RunSpec:
                 self.switch_off_on_ack,
                 self.stop.value,
                 jam_token,
+                fault_token,
             )
         probe = self.protocol_probe
         attrs = tuple(
@@ -382,4 +401,5 @@ class RunSpec:
             self.feedback.value if hasattr(self.feedback, "value") else str(self.feedback),
             self.stop.value,
             jam_token,
+            fault_token,
         )

@@ -30,6 +30,12 @@ non-ACK feedback                 no — needs the per-round observation
                                  history; only the
                                  :class:`~repro.channel.traffic.QueueSimulator`
                                  round loop materialises it
+``faults`` with an energy        no — budgets mutate per-station
+budget                           liveness mid-protocol; oblivious
+                                 noise/ack-loss faults *are*
+                                 vectorised-admissible (they lower as
+                                 post-resolution outcome rewrites; the
+                                 compiled stepper rejects all faults)
 everything else                  yes
 ===============================  ======================================
 
@@ -148,6 +154,23 @@ _CD_AIMD_ACK_REASON = (
     "feedback the object engine raises its RuntimeError at the first "
     "observation"
 )
+_PROTOCOL_FACTORY_REASON = (
+    "protocol-factory runs need the object engine's round loop"
+)
+_VECTORIZED_TRACE_REASON = "the vectorised engine keeps no per-round event log"
+_COMPILED_TRACE_REASON = "the compiled engine keeps no per-round event log"
+_COMPILED_FEEDBACK_REASON = (
+    "feedback model {feedback!r} has no compiled symbol lowering"
+)
+_FAULT_ENERGY_REASON = (
+    "energy budgets kill stations mid-protocol, a per-station liveness "
+    "mutation only the object engine's round loop tracks; oblivious "
+    "noise/ack-loss faults run on every engine"
+)
+_FAULT_COMPILED_REASON = (
+    "the compiled stepper has no fault lowering; faulted specs run "
+    "vectorised (oblivious noise/ack-loss) or on the object engine"
+)
 
 
 class EngineSelectionError(ValueError):
@@ -196,15 +219,17 @@ def vectorized_inadmissibility(spec: RunSpec) -> Optional[str]:
         # Free-discipline traffic is exactly its packet-level reduction.
         return vectorized_inadmissibility(traffic_reduction(spec))
     if not spec.is_schedule_run:
-        return "protocol-factory runs need the object engine's round loop"
+        return _PROTOCOL_FACTORY_REASON
     if not isinstance(spec.adversary, WakeSchedule):
         return _ADAPTIVE_ADVERSARY_REASON
     if spec.jammer is not None:
         return _JAMMER_REASON
     if spec.record_trace:
-        return "the vectorised engine keeps no per-round event log"
+        return _VECTORIZED_TRACE_REASON
     if spec.feedback is not FeedbackModel.ACK_ONLY:
         return _CD_FEEDBACK_REASON
+    if spec.faults is not None and spec.faults.energy_budget is not None:
+        return _FAULT_ENERGY_REASON
     return None
 
 
@@ -226,6 +251,8 @@ def compiled_inadmissibility(spec: RunSpec) -> Optional[str]:
             return _FIFO_REASON
         # Free-discipline traffic is exactly its packet-level reduction.
         return compiled_inadmissibility(traffic_reduction(spec))
+    if spec.faults is not None:
+        return _FAULT_COMPILED_REASON
     if not isinstance(spec.adversary, WakeSchedule):
         reason = adversary_lowering_reason(spec.adversary)
         if reason is not None:
@@ -233,15 +260,12 @@ def compiled_inadmissibility(spec: RunSpec) -> Optional[str]:
     if spec.jammer is not None:
         return _JAMMER_REASON
     if spec.record_trace:
-        return "the compiled engine keeps no per-round event log"
+        return _COMPILED_TRACE_REASON
     if spec.feedback not in (
         FeedbackModel.ACK_ONLY,
         FeedbackModel.COLLISION_DETECTION,
     ):
-        return (
-            f"feedback model {spec.feedback.value!r} has no compiled "
-            "symbol lowering"
-        )
+        return _COMPILED_FEEDBACK_REASON.format(feedback=spec.feedback.value)
     if spec.is_schedule_run:
         return None
     probe = spec.protocol_probe
@@ -311,6 +335,7 @@ def build_simulator(spec: RunSpec, engine: str = "auto") -> Engine:
             seed=spec.seed,
             prob_table=probability_table(spec.schedule, horizon),
             jam_rounds=spec.jam_rounds,
+            faults=spec.faults,
         )
     if engine == "compiled":
         reason = compiled_inadmissibility(spec)
@@ -333,6 +358,7 @@ def build_simulator(spec: RunSpec, engine: str = "auto") -> Engine:
             seed=spec.seed,
             record_trace=spec.record_trace,
             jammer=jammer,
+            faults=spec.faults,
         )
     raise ValueError(
         f"unknown engine {engine!r}; known: {ENGINE_NAMES}"
@@ -358,6 +384,8 @@ def execute(spec: RunSpec, engine: Optional[str] = None) -> RunResult:
     simulator = build_simulator(spec, engine)
     if isinstance(simulator, VectorizedSimulator):
         telemetry.count("engine.select.vectorized")
+        if spec.faults is not None:
+            telemetry.count("engine.select.vectorized.fault")
         with telemetry.span("engine.execute.vectorized"):
             return simulator.run()
     if isinstance(simulator, CompiledSimulator):
@@ -366,6 +394,8 @@ def execute(spec: RunSpec, engine: Optional[str] = None) -> RunResult:
         with telemetry.span("engine.execute.compiled"):
             return simulator.run()
     telemetry.count("engine.select.object")
+    if spec.faults is not None:
+        telemetry.count("engine.select.object.fault")
     with telemetry.span("engine.execute.object"):
         return simulator.run()
 
@@ -418,6 +448,8 @@ def execute_batch(
     vec_reason = vectorized_inadmissibility(spec)
     if engine in ("auto", "vectorized") and vec_reason is None:
         telemetry.count("engine.batch_fused_runs", len(seed_list))
+        if spec.faults is not None:
+            telemetry.count("engine.select.vectorized.fault", len(seed_list))
         return run_batch(base, seeds=seed_list)
     if engine == "vectorized":
         raise EngineSelectionError(

@@ -70,6 +70,7 @@ from repro.engine.dispatch import (
     vectorized_inadmissibility,
 )
 from repro.experiments.checkpoint import current_checkpoint
+from repro.faults import current_faults
 from repro.experiments.executor import RunExecutor, resolve_batch_size
 from repro.telemetry import registry as telemetry
 
@@ -367,6 +368,25 @@ def _spec_task(spec: RunSpec) -> Callable[[], RunResult]:
     return task
 
 
+def _apply_default_faults(base: RunSpec) -> RunSpec:
+    """Fold the process-default fault model into a harness-built spec.
+
+    The CLI's ``--noise``/``--ack-loss``/``--energy-budget`` flags set a
+    process default (:func:`repro.faults.use_faults`); every harness
+    helper folds it into the specs it builds, so any experiment can be
+    re-run on a degraded channel without changing its driver.  A spec
+    that already carries its own fault model wins (the robustness
+    experiment sets per-cell models), and fifo traffic stays unfaulted
+    (the queue simulator has no fault path).
+    """
+    default = current_faults()
+    if default is None or base.faults is not None:
+        return base
+    if base.is_traffic_run and base.queue_discipline != "free":
+        return base
+    return base.replace(faults=default)
+
+
 def _warm_tables(spec: RunSpec) -> Optional[object]:
     """Precompute (and cache) the spec's probability table in this process.
 
@@ -415,6 +435,7 @@ def repeat_schedule_runs(
         stop=stop,
         max_rounds=max_rounds(k) if max_rounds is not None else None,
     )
+    base = _apply_default_faults(base)
     prob_table = _warm_tables(base)
     seeds = [seed + r for r in range(reps)]
     tasks = [_spec_task(base.with_seed(s)) for s in seeds]
@@ -462,6 +483,7 @@ def repeat_protocol_runs(
         max_rounds=max_rounds(k) if max_rounds is not None else None,
         label=label,
     )
+    base = _apply_default_faults(base)
     seeds = [seed + r for r in range(reps)]
     tasks = [_spec_task(base.with_seed(s)) for s in seeds]
     fingerprints = None
@@ -498,6 +520,7 @@ def repeat_spec_runs(
     which fuse through their packet-level reduction) ride the batched
     kernel; everything else falls back to per-run dispatch.
     """
+    base = _apply_default_faults(base)
     prob_table = _warm_tables(base)
     seeds = [seed + r for r in range(reps)]
     tasks = [_spec_task(base.with_seed(s)) for s in seeds]
@@ -552,6 +575,7 @@ def sweep_schedule(
             stop=stop,
             max_rounds=max_rounds(k) if max_rounds is not None else None,
         )
+        base = _apply_default_faults(base)
         prob_table = _warm_tables(base)
         labels.append(label or schedule.name)
         if journaling:
@@ -608,6 +632,7 @@ def sweep_protocol(
             max_rounds=max_rounds(k) if max_rounds is not None else None,
             label=sample_label,
         )
+        base = _apply_default_faults(base)
         if journaling:
             fingerprints.extend([base.fingerprint()] * reps)
         for r in range(reps):

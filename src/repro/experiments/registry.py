@@ -19,6 +19,7 @@ from typing import Optional
 from repro.engine.dispatch import use_engine
 from repro.engine.plan import use_tiling
 from repro.experiments.checkpoint import CheckpointJournal, use_checkpoint
+from repro.faults import fault_model, use_faults
 from repro.experiments.executor import (
     execution_stats,
     resolve_jobs,
@@ -52,6 +53,7 @@ from repro.experiments.suniform_exp import run_suniform_static
 from repro.experiments.table1 import run_table1_energy, run_table1_latency
 from repro.experiments.throughput_exp import run_throughput
 from repro.experiments.tradeoff_exp import run_tradeoff
+from repro.experiments.robustness_exp import run_robustness
 from repro.experiments.traffic_phase_exp import run_traffic_phase
 from repro.experiments.wakeup import run_wakeup
 from repro.experiments.wakeup_variants_exp import run_wakeup_variants
@@ -89,6 +91,9 @@ EXPERIMENTS: dict[str, Callable[..., ExperimentReport]] = {
     "ext_aloha_instability": run_aloha_instability,
     # Dynamic-arrival traffic layer: λ-sweep stability phase diagrams.
     "traffic_phase": run_traffic_phase,
+    # Fault-injection subsystem: graceful degradation under channel
+    # noise, ack loss, and energy budgets.
+    "robustness": run_robustness,
 }
 
 
@@ -104,6 +109,9 @@ def run_experiment(
     memory_budget: Optional[object] = None,
     tile_reps: Optional[int] = None,
     tile_rounds: Optional[int] = None,
+    noise: Optional[float] = None,
+    ack_loss: Optional[float] = None,
+    energy_budget: Optional[int] = None,
     **overrides,
 ) -> ExperimentReport:
     """Run one experiment from the registry by its DESIGN.md id.
@@ -121,6 +129,12 @@ def run_experiment(
     see :mod:`repro.engine.dispatch`) — ``"cross-check"`` shadows each
     admissible run with the reference engine and asserts agreement without
     changing any reported number.
+
+    ``noise`` / ``ack_loss`` / ``energy_budget`` (the CLI's fault flags)
+    compose a process-default :class:`~repro.faults.FaultModel` folded
+    into every harness-built spec, so any experiment can be re-run on a
+    degraded channel; drivers that set their own per-spec fault models
+    (the robustness experiment) are unaffected.
 
     ``resume_dir`` activates crash-safe checkpointing: every completed run
     is journaled to ``<resume_dir>/<experiment_id>.runs.jsonl`` and runs
@@ -149,7 +163,11 @@ def run_experiment(
                 memory_budget=memory_budget,
                 tile_reps=tile_reps,
                 tile_rounds=tile_rounds,
-            ):
+            ), use_faults(fault_model(
+                noise=noise,
+                ack_loss=ack_loss,
+                energy_budget=energy_budget,
+            )):
         with telemetry.span("experiment.run"):
             report = EXPERIMENTS[experiment_id](**overrides)
     report.timings["wall_s"] = time.perf_counter() - start

@@ -1,0 +1,305 @@
+"""Experiment ``robustness`` — graceful degradation under channel faults.
+
+Sweeps a fault-intensity grid (slot noise ``f`` paired with ack loss
+``f * ack_fraction``) across five protocols on one dynamic workload and
+measures how latency and energy degrade as the channel gets worse.  The
+summary statistic per protocol is the *degradation slope*: the linear-fit
+slope of (censored) latency and energy against the fault rate, plus the
+slope relative to the protocol's own clean-channel latency.  Protocols are
+ranked by relative latency slope — the flattest line wins, i.e. degrades
+most gracefully.
+
+Why censored metrics: under noise and ack loss some stations never deliver
+within the horizon.  Dropping them would *reward* fragile protocols (the
+stations that fail are exactly the slow ones), so an undelivered station is
+charged the full remaining horizon ``max_rounds - wake_round`` instead.
+
+The optional energy-budget section re-runs the worst fault cell with a
+per-station charge budget (:class:`~repro.faults.EnergyBudget`), showing
+how much of the delivered fraction survives when stations can die — that
+configuration is object-engine-only by dispatch admissibility.
+
+All fault draws come from the fault model's own salted RNG stream
+(:mod:`repro.faults`), so every cell is reproducible per seed on any
+engine and the ``f = 0`` column is byte-identical to the clean world
+(``faults=None`` — no fault plan is even drawn).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from typing import Optional
+
+import numpy as np
+
+from repro.adversary.oblivious import UniformRandomSchedule
+from repro.baselines.aloha import SlottedAlohaKnownK
+from repro.baselines.backoff import BinaryExponentialBackoff
+from repro.channel.results import RunResult, StopCondition
+from repro.core.protocols.adaptive_no_k import AdaptiveNoK
+from repro.core.protocols.non_adaptive_with_k import NonAdaptiveWithK
+from repro.core.protocols.sublinear_decrease import SublinearDecrease
+from repro.core.spec import RunSpec
+from repro.experiments.harness import (
+    ExperimentReport,
+    config_seed,
+    repeat_spec_runs,
+)
+from repro.faults import AckLoss, EnergyBudget, FaultModel, SlotNoise
+from repro.util.ascii_chart import line_chart, render_table
+
+__all__ = ["run_robustness"]
+
+
+def _protocol_grid(k: int, *, c: int, b: int):
+    """The five contenders: the paper's three plus two classic baselines."""
+
+    def adaptive_factory():
+        return AdaptiveNoK()
+
+    adaptive_factory.protocol_name = "AdaptiveNoK"
+
+    def beb_factory():
+        return BinaryExponentialBackoff()
+
+    beb_factory.protocol_name = "BEB"
+
+    return [
+        ("NonAdaptiveWithK", NonAdaptiveWithK(k, c)),
+        ("SublinearDecrease", SublinearDecrease(b)),
+        ("Aloha(1/k)", SlottedAlohaKnownK(k)),
+        ("AdaptiveNoK", adaptive_factory),
+        ("BEB", beb_factory),
+    ]
+
+
+def _fault_model(rate: float, ack_fraction: float) -> Optional[FaultModel]:
+    """``rate`` -> the cell's fault model; the clean cell stays ``None``.
+
+    ``None`` (not a zero-probability model) keeps the ``f = 0`` column on
+    the exact code path — and fingerprint — of every other experiment.
+    """
+    if rate == 0.0:
+        return None
+    return FaultModel(
+        noise=SlotNoise(rate),
+        ack_loss=AckLoss(rate * ack_fraction),
+    )
+
+
+def _cell_metrics(results: Sequence[RunResult], horizon: int) -> dict[str, float]:
+    """Fold one cell's raw runs into delivered / latency / energy means."""
+    delivered: list[float] = []
+    latencies: list[float] = []
+    energies: list[float] = []
+    for result in results:
+        k = max(result.k, 1)
+        delivered.append(result.success_count / k)
+        censored = [
+            record.latency
+            if record.latency is not None
+            else horizon - record.wake_round
+            for record in result.records
+        ]
+        latencies.append(float(np.mean(censored)))
+        energies.append(result.total_transmissions / k)
+    return {
+        "delivered": float(np.mean(delivered)),
+        "latency": float(np.mean(latencies)),
+        "energy": float(np.mean(energies)),
+    }
+
+
+def _slope(xs: Sequence[float], ys: Sequence[float]) -> float:
+    """Least-squares degradation slope; 0 when the grid has one point."""
+    if len(xs) < 2:
+        return 0.0
+    return float(np.polyfit(np.asarray(xs, float), np.asarray(ys, float), 1)[0])
+
+
+def run_robustness(
+    k: int = 32,
+    *,
+    fault_rates: Sequence[float] = (0.0, 0.02, 0.05, 0.1),
+    reps: int = 3,
+    ack_fraction: float = 0.5,
+    horizon_factor: int = 60,
+    energy_charges: Optional[int] = None,
+    c: int = 6,
+    b: int = 4,
+    seed: int = 20260808,
+    jobs: Optional[int] = None,
+    task_timeout: Optional[float] = None,
+    max_retries: Optional[int] = None,
+    batch_size: Optional[int] = None,
+) -> ExperimentReport:
+    """Fault-intensity x protocol grid with graceful-degradation ranking.
+
+    ``fault_rates`` are slot-noise probabilities; each cell also drops acks
+    with probability ``rate * ack_fraction``.  ``horizon_factor * k`` bounds
+    every run explicitly — faulted runs may never complete (that is the
+    measurement), so the horizon is part of the experiment, and undelivered
+    stations are charged the remaining horizon (censored latency).
+
+    ``energy_charges`` (a per-station charge count) adds a section re-running
+    the worst fault cell with :class:`~repro.faults.EnergyBudget`, on the
+    object engine per dispatch admissibility.
+    """
+    rates = [float(r) for r in fault_rates]
+    if not rates:
+        raise ValueError("need at least one fault rate")
+    if sorted(rates) != rates:
+        raise ValueError(f"fault_rates must be ascending, got {fault_rates}")
+    adversary = UniformRandomSchedule(span=lambda kk: 2 * kk)
+    horizon = horizon_factor * k
+    protocols = _protocol_grid(k, c=c, b=b)
+
+    rows: list[dict[str, object]] = []
+    metrics: dict[str, list[dict[str, float]]] = {}
+    for p_index, (name, protocol) in enumerate(protocols):
+        metrics[name] = []
+        for r_index, rate in enumerate(rates):
+            base = RunSpec(
+                k=k,
+                protocol=protocol,
+                adversary=adversary,
+                stop=StopCondition.ALL_SWITCHED_OFF,
+                max_rounds=horizon,
+                faults=_fault_model(rate, ack_fraction),
+                label=name,
+            )
+            cell_index = p_index * len(rates) + r_index
+            results = repeat_spec_runs(
+                base,
+                reps=reps,
+                seed=config_seed(seed, cell_index),
+                jobs=jobs,
+                task_timeout=task_timeout,
+                max_retries=max_retries,
+                batch_size=batch_size,
+            )
+            cell = _cell_metrics(results, horizon)
+            metrics[name].append(cell)
+            rows.append({"protocol": name, "fault_rate": rate, **cell})
+
+    # Degradation slopes and the graceful-degradation ranking.
+    ranking = []
+    for name, cells in metrics.items():
+        latencies = [cell["latency"] for cell in cells]
+        energies = [cell["energy"] for cell in cells]
+        clean_latency = max(latencies[0], 1e-9)
+        latency_slope = _slope(rates, latencies)
+        ranking.append(
+            {
+                "protocol": name,
+                "clean_latency": latencies[0],
+                "worst_latency": latencies[-1],
+                "latency_slope": latency_slope,
+                "rel_slope": latency_slope / clean_latency,
+                "energy_slope": _slope(rates, energies),
+                "delivered_worst": cells[-1]["delivered"],
+            }
+        )
+    ranking.sort(key=lambda row: row["rel_slope"])
+
+    grid_table = render_table(
+        ["protocol", "fault_rate", "delivered", "latency", "energy"],
+        [[r["protocol"], r["fault_rate"], r["delivered"], r["latency"],
+          r["energy"]] for r in rows],
+    )
+    ranking_table = render_table(
+        ["rank", "protocol", "clean_latency", "worst_latency",
+         "latency_slope", "rel_slope", "energy_slope", "delivered_worst"],
+        [[i + 1, r["protocol"], r["clean_latency"], r["worst_latency"],
+          r["latency_slope"], r["rel_slope"], r["energy_slope"],
+          r["delivered_worst"]] for i, r in enumerate(ranking)],
+    )
+    latency_chart = line_chart(
+        rates,
+        {name: [cell["latency"] for cell in cells]
+         for name, cells in metrics.items()},
+        width=64, height=14,
+        title=f"censored mean latency vs fault rate (k={k})",
+    )
+    energy_chart = line_chart(
+        rates,
+        {name: [cell["energy"] for cell in cells]
+         for name, cells in metrics.items()},
+        width=64, height=14,
+        title=f"mean transmissions per station vs fault rate (k={k})",
+    )
+
+    sections = [
+        f"== robustness at k={k} ==",
+        f"fault grid: noise=f, ack_loss=f*{ack_fraction:g} over "
+        f"f in {tuple(rates)}; horizon={horizon}; reps={reps}",
+        grid_table,
+        "",
+        "graceful-degradation ranking (flattest relative latency slope first):",
+        ranking_table,
+        "",
+        latency_chart,
+        "",
+        energy_chart,
+    ]
+
+    # Optional energy-budget section: the worst fault cell with stations
+    # that can die (object engine only — see repro.engine.dispatch).
+    if energy_charges is not None and rates[-1] > 0.0:
+        worst = rates[-1]
+        budget_rows = []
+        for p_index, (name, protocol) in enumerate(protocols):
+            base = RunSpec(
+                k=k,
+                protocol=protocol,
+                adversary=adversary,
+                stop=StopCondition.ALL_SWITCHED_OFF,
+                max_rounds=horizon,
+                faults=FaultModel(
+                    noise=SlotNoise(worst),
+                    ack_loss=AckLoss(worst * ack_fraction),
+                    energy_budget=EnergyBudget(energy_charges),
+                ),
+                label=f"{name}+budget",
+            )
+            results = repeat_spec_runs(
+                base,
+                reps=reps,
+                seed=config_seed(seed, len(protocols) * len(rates) + p_index),
+                jobs=jobs,
+                task_timeout=task_timeout,
+                max_retries=max_retries,
+                batch_size=batch_size,
+            )
+            cell = _cell_metrics(results, horizon)
+            unbudgeted = metrics[name][-1]
+            budget_rows.append(
+                [name, cell["delivered"], unbudgeted["delivered"],
+                 cell["energy"], unbudgeted["energy"]]
+            )
+            rows.append({
+                "protocol": f"{name}+budget({energy_charges})",
+                "fault_rate": worst,
+                **cell,
+            })
+        sections += [
+            "",
+            f"energy budget E={energy_charges} charges at f={worst:g} "
+            "(delivered/energy vs the unbudgeted cell):",
+            render_table(
+                ["protocol", "delivered(E)", "delivered", "energy(E)", "energy"],
+                budget_rows,
+            ),
+        ]
+
+    sections += [
+        "",
+        "Read: a flat relative slope means the protocol absorbs channel",
+        "faults with proportionally little extra latency; steep slopes or a",
+        "collapsing delivered fraction mark fragile designs.  Energy slopes",
+        "show who pays for robustness in retransmissions.",
+    ]
+    text = "\n".join(sections)
+    return ExperimentReport(
+        "robustness", "Graceful degradation under channel faults", rows, text
+    )

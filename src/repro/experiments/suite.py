@@ -51,6 +51,10 @@ SCALES: dict[str, dict[str, dict[str, object]]] = {
             "stations": 8, "lams": (0.1, 0.5), "horizon": 2_000,
             "reps": 2, "window": 256,
         },
+        "robustness": {
+            "k": 16, "fault_rates": (0.0, 0.05, 0.1), "reps": 2,
+            "energy_charges": 24,
+        },
     },
     "paper": {
         "table1_latency": {"ks": (32, 64, 128, 256, 512), "reps": 3},
@@ -79,6 +83,10 @@ SCALES: dict[str, dict[str, dict[str, object]]] = {
             "stations": 16, "lams": (0.05, 0.15, 0.25, 0.35, 0.45, 0.55),
             "horizon": 20_000, "reps": 3,
         },
+        "robustness": {
+            "k": 64, "fault_rates": (0.0, 0.02, 0.05, 0.1, 0.2), "reps": 3,
+            "energy_charges": 96,
+        },
     },
 }
 
@@ -104,6 +112,9 @@ def run_suite(
     memory_budget: Optional[object] = None,
     tile_reps: Optional[int] = None,
     tile_rounds: Optional[int] = None,
+    noise: Optional[float] = None,
+    ack_loss: Optional[float] = None,
+    energy_budget: Optional[int] = None,
     progress: Callable[[str], None] = print,
 ) -> dict[str, ExperimentReport]:
     """Run every (or a subset of) registered experiment(s) at a scale.
@@ -128,6 +139,11 @@ def run_suite(
     ``tile_reps`` / ``tile_rounds`` bound each kernel call's working set
     by streaming repetitions through tiles (see
     :mod:`repro.engine.plan`); rows are byte-identical for every tiling.
+
+    ``noise`` / ``ack_loss`` / ``energy_budget`` compose a process-default
+    :class:`~repro.faults.FaultModel` applied to every harness-built spec
+    in the suite, degrading the whole sweep's channel at once (the
+    robustness experiment's own per-cell fault models are unaffected).
     """
     overrides = suite_overrides(scale)
     wanted = set(only) if only is not None else set(EXPERIMENTS)
@@ -153,6 +169,9 @@ def run_suite(
             memory_budget=memory_budget,
             tile_reps=tile_reps,
             tile_rounds=tile_rounds,
+            noise=noise,
+            ack_loss=ack_loss,
+            energy_budget=energy_budget,
             **overrides.get(experiment_id, {}),
         )
         reports[experiment_id] = report

@@ -552,6 +552,111 @@ def test_compiled_adaptive_and_cd_byte_identical(config):
     assert_compiled_byte_identical(compiled_adaptive_spec(config))
 
 
+# ---------------------------------------------------- fault-injection fuzz
+#
+# PR 10 adds the fault subsystem (``repro.faults``): oblivious slot noise
+# and ack loss lower onto the vectorised and batched engines as outcome
+# rewrites, energy budgets are object-engine-only.  The fault plan is a
+# pure function of ``(seed, horizon)``, so — unlike ``run_both`` above,
+# which deliberately gives each engine a different seed — faulted
+# byte-identity runs every engine *on the same seed* and demands exact
+# record agreement on deterministic schedules.
+
+from repro.engine.dispatch import (  # noqa: E402
+    _FAULT_COMPILED_REASON,
+    _FAULT_ENERGY_REASON,
+    EngineSelectionError,
+)
+from repro.faults import AckLoss, EnergyBudget, FaultModel, SlotNoise  # noqa: E402
+
+
+@st.composite
+def faulted_configs(c):
+    k = c(st.integers(1, 10))
+    wakes = c(st.lists(st.integers(0, MAX_WAKE), min_size=k, max_size=k))
+    pattern = c(st.lists(st.booleans(), min_size=1, max_size=MAX_PATTERN))
+    direct = c(st.booleans())
+    ack = c(st.booleans())
+    stop = c(st.sampled_from(sorted(StopCondition, key=lambda s: s.value)))
+    max_rounds = c(st.integers(MIN_ROUNDS, MAX_ROUNDS))
+    jam = c(st.one_of(
+        st.none(),
+        st.sets(st.integers(1, MAX_ROUNDS), min_size=1, max_size=40),
+    ))
+    noise = c(st.one_of(st.none(), st.floats(0.0, 0.6, allow_nan=False)))
+    ack_loss = c(st.one_of(st.none(), st.floats(0.0, 0.6, allow_nan=False)))
+    if noise is None and ack_loss is None:
+        noise = 0.1
+    seed = c(st.integers(0, 2**31 - 1))
+    return (k, wakes, pattern, direct, ack, stop, max_rounds, jam,
+            noise, ack_loss, seed)
+
+
+def faulted_spec(config) -> RunSpec:
+    (k, wakes, pattern, direct, ack, stop, max_rounds, jam,
+     noise, ack_loss, seed) = config
+    return RunSpec(
+        k=k,
+        protocol=DeterministicSchedule(pattern, direct=direct),
+        adversary=FixedSchedule(wakes),
+        switch_off_on_ack=ack,
+        stop=stop,
+        max_rounds=max_rounds,
+        jam_rounds=None if jam is None else tuple(jam),
+        faults=FaultModel(
+            noise=None if noise is None else SlotNoise(noise),
+            ack_loss=None if ack_loss is None else AckLoss(ack_loss),
+        ),
+        seed=seed,
+    )
+
+
+@settings(max_examples=100, deadline=None)
+@given(faulted_configs())
+def test_faulted_engines_byte_identical(config):
+    """Oblivious noise/ack-loss on deterministic schedules: the object,
+    vectorised and fused-batch engines agree byte for byte per seed,
+    jamming and every stop condition mixed in."""
+    spec = faulted_spec(config)
+    assert vectorized_inadmissibility(spec) is None
+    obj = execute(spec, "object")
+    vec = execute(spec, "vectorized")
+    (fused,) = execute_batch(spec, seeds=[spec.seed])
+    for a, b in ((obj, vec), (vec, fused)):
+        assert a.completed == b.completed
+        assert a.rounds_executed == b.rounds_executed
+        assert a.success_count == b.success_count
+        assert a.total_transmissions == b.total_transmissions
+        assert sorted(a.latencies) == sorted(b.latencies)
+        assert record_keys(a, a.rounds_executed) == record_keys(
+            b, b.rounds_executed
+        )
+
+
+@settings(max_examples=25, deadline=None)
+@given(faulted_configs(), st.integers(1, 40))
+def test_energy_budget_is_object_engine_only(config, charges):
+    """Energy-budget specs are vectorised- and compiled-inadmissible with
+    the documented reason strings; dispatch falls back to the object
+    engine, which runs them."""
+    spec = faulted_spec(config)
+    spec = spec.replace(faults=FaultModel(
+        noise=spec.faults.noise,
+        ack_loss=spec.faults.ack_loss,
+        energy_budget=EnergyBudget(charges),
+    ))
+    assert vectorized_inadmissibility(spec) == _FAULT_ENERGY_REASON
+    assert compiled_inadmissibility(spec) == _FAULT_COMPILED_REASON
+    with pytest.raises(EngineSelectionError):
+        execute(spec, "vectorized")
+    with pytest.raises(EngineSelectionError):
+        execute(spec, "compiled")
+    result = execute(spec)  # auto -> object
+    assert all(
+        r.transmissions + r.listening_slots <= charges for r in result.records
+    )
+
+
 # Fixed-seed trajectory anchors: these pin the *object engine's* observable
 # trajectory for the two adversaries whose lowering is subtlest (the
 # anti-leader success-edge detector and the drip-feed modular clock), so a

@@ -47,7 +47,9 @@ class TestRegistry:
         }
         # Dynamic-arrival traffic layer (queued stations, λ sweeps).
         traffic = {"traffic_phase"}
-        assert core | extensions | traffic == set(EXPERIMENTS)
+        # Fault-injection subsystem (channel noise / ack loss / energy).
+        faults = {"robustness"}
+        assert core | extensions | traffic | faults == set(EXPERIMENTS)
 
     def test_unknown_id_rejected(self):
         with pytest.raises(KeyError):
